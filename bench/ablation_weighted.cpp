@@ -1,0 +1,53 @@
+// Ablation: traffic-weighted vs count-based broker selection.
+//
+// The paper counts every AS pair equally; QoS revenue follows traffic,
+// which is heavily skewed. This ablation puts a gravity traffic weight on
+// every AS (degree-proportional base x heavy-tailed popularity) and asks:
+// how much traffic does the count-based selection leave on the table, and
+// how much does weighted greedy recover?
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "broker/greedy_mcb.hpp"
+#include "broker/weighted.hpp"
+
+int main() {
+  auto ctx = bsr::bench::make_context("Ablation: traffic-weighted broker selection");
+  const auto& g = ctx.topo.graph;
+
+  // Synthetic traffic weights: popularity ~ bounded Pareto, amplified for
+  // content networks (video origins).
+  bsr::graph::Rng rng(ctx.env.seed + 11);
+  std::vector<double> weight(g.num_vertices());
+  for (bsr::graph::NodeId v = 0; v < g.num_vertices(); ++v) {
+    double w = rng.pareto(1.1, 1.0, 5000.0);
+    if (ctx.topo.meta[v].type == bsr::topology::NodeType::kContent) w *= 8.0;
+    if (ctx.topo.is_ixp(v)) w = 0.0;  // IXPs source no traffic themselves
+    weight[v] = w;
+  }
+
+  bsr::io::Table table({"k", "selection", "covered traffic share",
+                        "traffic-pair connectivity"});
+  for (const std::uint32_t paper_k : {100u, 400u, 1000u}) {
+    const std::uint32_t k = ctx.env.scaled(paper_k, 4);
+    const auto count_based = bsr::broker::greedy_mcb(g, k).brokers;
+    const auto traffic_based = bsr::broker::weighted_greedy_mcb(g, k, weight).brokers;
+
+    double total_weight = 0;
+    for (const double w : weight) total_weight += w;
+    const auto report = [&](const char* name, const bsr::broker::BrokerSet& b) {
+      table.row()
+          .cell(std::uint64_t{k})
+          .cell(name)
+          .percent(bsr::broker::weighted_coverage(g, b, weight) / total_weight)
+          .percent(bsr::broker::weighted_saturated_connectivity(g, b, weight));
+    };
+    report("count-based greedy (paper)", count_based);
+    report("traffic-weighted greedy", traffic_based);
+  }
+  table.print(std::cout);
+  std::cout << "(extension: weighted f stays submodular, so the (1-1/e) "
+               "guarantee carries over; the gap is the revenue argument for "
+               "traffic-aware broker placement)\n";
+  return 0;
+}

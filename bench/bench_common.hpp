@@ -1,0 +1,58 @@
+// Shared setup for the table/figure reproduction binaries.
+//
+// Every bench builds the same calibrated synthetic Internet topology (scaled
+// by REPRO_SCALE) and prints a self-describing header, so outputs are
+// comparable across binaries and runs.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "io/env.hpp"
+#include "io/table.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::bench {
+
+struct BenchContext {
+  bsr::io::ExperimentEnv env;
+  bsr::topology::InternetConfig config;   // already scaled
+  bsr::topology::InternetTopology topo;
+};
+
+/// Builds the standard experiment context and prints the header banner.
+inline BenchContext make_context(const std::string& title) {
+  BenchContext ctx;
+  ctx.env = bsr::io::experiment_env();
+  bsr::topology::InternetConfig base;
+  base.seed = ctx.env.seed;
+  ctx.config = base.scaled(ctx.env.scale);
+
+  bsr::io::print_banner(std::cout, title);
+  std::cout << "config: " << bsr::io::describe(ctx.env) << "\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  ctx.topo = bsr::topology::make_internet(ctx.config);
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  std::cout << "topology: " << ctx.topo.num_ases << " ASes + " << ctx.topo.num_ixps
+            << " IXPs, " << ctx.topo.graph.num_edges() << " edges ("
+            << bsr::io::format_double(elapsed.count(), 2) << "s to generate)\n";
+  return ctx;
+}
+
+/// Wall-clock helper for per-stage timing lines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bsr::bench

@@ -1,0 +1,187 @@
+// Reproduces §7 (Fig. 6) — the economic model: Nash bargaining, the
+// Stackelberg game, Shapley revenue sharing, and the coalition-growth
+// stopping signal.
+//
+// Paper claims to reproduce:
+//   * a Nash bargaining solution exists for the broker-employee price
+//     (Theorem 5) — we print the price curve;
+//   * a Stackelberg equilibrium exists (Theorem 6) and including high-tier
+//     ISPs in B makes lower-tier ISPs more willing to adopt (§7.1's closing
+//     observation) — we compare two coalition compositions;
+//   * Shapley-value revenue sharing is individually rational under
+//     superadditivity (Theorem 7), and supermodularity decays as the
+//     coalition grows — the signal to stop adding members (§7.2).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "broker/dominated.hpp"
+#include "broker/greedy_mcb.hpp"
+#include "econ/bargaining.hpp"
+#include "econ/coalition.hpp"
+#include "econ/shapley.hpp"
+#include "econ/stackelberg.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace {
+
+std::vector<bsr::econ::CustomerParams> make_customers(std::size_t count,
+                                                      double provider_broker_frac,
+                                                      bsr::graph::Rng& rng) {
+  // a_hat rises with the share of a customer's providers inside B: offloading
+  // paid transit onto the coalition keeps paying off for longer.
+  std::vector<bsr::econ::CustomerParams> customers;
+  customers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bsr::econ::CustomerParams p;
+    p.v_scale = 0.8 + 0.4 * rng.uniform01();
+    p.v_curvature = 4.0;
+    p.a0 = 0.05 + 0.1 * rng.uniform01();
+    p.a_hat = std::min(0.95, 0.3 + 0.6 * provider_broker_frac);
+    p.p_peak = 0.25;
+    customers.push_back(p);
+  }
+  return customers;
+}
+
+}  // namespace
+
+int main() {
+  auto ctx = bsr::bench::make_context("Economic model (§7): bargaining, game, Shapley");
+
+  // --- Nash bargaining price curve (Theorem 5). ---------------------------
+  bsr::io::Table bargain({"p_B (broker price)", "feasible", "p_j (employee)",
+                          "u_employee", "u_B"});
+  for (const double p_b : {0.05, 0.2, 0.5, 1.0, 2.0}) {
+    bsr::econ::BargainingConfig config;
+    config.broker_price = p_b;
+    config.transit_cost = 0.05;
+    config.beta = 4;
+    const auto s = bsr::econ::solve_bargaining(config);
+    bargain.row()
+        .cell(p_b, 2)
+        .cell(s.feasible ? "yes" : "no")
+        .cell(s.price, 3)
+        .cell(s.u_employee, 3)
+        .cell(s.u_broker, 3);
+  }
+  bsr::io::print_banner(std::cout, "Nash bargaining (broker <-> employee AS)");
+  bargain.print(std::cout);
+
+  // --- Stackelberg equilibrium, two coalition compositions. ---------------
+  bsr::graph::Rng rng(ctx.env.seed + 8);
+  bsr::io::print_banner(std::cout, "Stackelberg game (broker price vs adoption)");
+  bsr::io::Table game({"coalition composition", "p_B*", "mean a_i*",
+                       "full adopters", "u_B*"});
+  for (const auto& [label, frac] :
+       {std::pair{"low-tier only (10% providers in B)", 0.1},
+        std::pair{"with high-tier ISPs (70% providers in B)", 0.7}}) {
+    bsr::econ::StackelbergConfig config;
+    bsr::graph::Rng customer_rng(ctx.env.seed + 9);  // same draw both rows
+    config.customers = make_customers(200, frac, customer_rng);
+    const auto eq = bsr::econ::solve_stackelberg(config);
+    game.row()
+        .cell(label)
+        .cell(eq.price, 3)
+        .cell(eq.mean_adoption, 3)
+        .cell(static_cast<std::uint64_t>(eq.full_adopters))
+        .cell(eq.broker_utility, 2);
+  }
+  game.print(std::cout);
+  std::cout << "(paper: including high-tier ISPs in B raises lower-tier "
+               "adoption a_i)\n";
+
+  // --- Shapley revenue split among the top brokers. -----------------------
+  const auto& g = ctx.topo.graph;
+  const auto greedy = bsr::broker::greedy_mcb(g, 10);
+  const auto members = greedy.brokers.members();
+  const std::vector<bsr::graph::NodeId> players(members.begin(),
+                                                members.begin() + std::min<std::size_t>(
+                                                                      members.size(), 10));
+  bsr::econ::CoalitionParams params;
+  params.revenue_per_connectivity = 100.0;
+  params.operating_cost = 0.01;
+  const bsr::econ::CoalitionGame coalition(g, players, params);
+
+  bsr::bench::Stopwatch sw;
+  const auto phi = bsr::econ::shapley_exact(players.size(), coalition.characteristic());
+  bsr::io::print_banner(std::cout, "Shapley revenue split (top greedy brokers)");
+  bsr::io::Table shapley({"player (vertex)", "type", "degree", "Shapley value",
+                          "U({j}) alone"});
+  for (std::size_t j = 0; j < players.size(); ++j) {
+    shapley.row()
+        .cell(std::uint64_t{players[j]})
+        .cell(std::string(bsr::topology::to_string(ctx.topo.meta[players[j]].type)))
+        .cell(std::uint64_t{g.degree(players[j])})
+        .cell(phi[j], 3)
+        .cell(coalition.value(1ull << j), 3);
+  }
+  shapley.print(std::cout);
+  std::cout << "exact Shapley over 2^" << players.size() << " coalitions in "
+            << bsr::io::format_double(sw.seconds(), 1) << "s\n";
+
+  double sum = 0;
+  for (const double p : phi) sum += p;
+  std::cout << "efficiency check: sum(phi) = " << bsr::io::format_double(sum, 3)
+            << " vs U(grand) = "
+            << bsr::io::format_double(coalition.value((1ull << players.size()) - 1), 3)
+            << "\n";
+
+  // --- Supermodularity decay: the coalition-growth stopping signal. -------
+  bsr::io::print_banner(std::cout, "Supermodularity rate vs candidate pool size");
+  // Early coalition members complement each other (network externality =>
+  // supermodular); deeper pools add redundant hubs whose marginal value
+  // shrinks in larger coalitions, killing supermodularity — the §7.2
+  // stopping signal. Redundancy is strongest among the top-degree hubs,
+  // whose neighborhoods overlap heavily, so the probe pools draw from the
+  // DB (degree) ranking.
+  const auto db_order = bsr::graph::vertices_by_degree_desc(g);
+  bsr::io::Table supermod({"top-k degree hubs as players", "supermodularity rate",
+                           "superadditivity rate"});
+  for (const std::size_t pool : {2u, 4u, 8u, 12u, 16u}) {
+    const std::vector<bsr::graph::NodeId> subset(db_order.begin(),
+                                                 db_order.begin() + pool);
+    const bsr::econ::CoalitionGame game_k(g, subset, params);
+    bsr::graph::Rng probe_rng(ctx.env.seed + 10);
+    const double smod = bsr::econ::supermodularity_rate(
+        subset.size(), game_k.characteristic(), 300, probe_rng);
+    const double sadd = bsr::econ::superadditivity_rate(
+        subset.size(), game_k.characteristic(), 300, probe_rng);
+    supermod.row()
+        .cell(static_cast<std::uint64_t>(subset.size()))
+        .percent(smod)
+        .percent(sadd);
+  }
+  supermod.print(std::cout);
+  std::cout << "(supermodularity stays near 100% while members complement "
+               "each other — the network-externality regime; the first "
+               "violations appear once redundant hubs enter the pool)\n";
+
+  // --- Marginal contribution decay: §7.2's stopping signal, directly. -----
+  // U(first k members) - U(first k-1): "new joiners have only marginal
+  // contributions, so the supermodularity condition does not hold any more.
+  // That's the time to stop increasing the set size."
+  bsr::io::print_banner(std::cout, "Marginal contribution of the k-th joiner");
+  const auto maxsg_like = bsr::broker::greedy_mcb(g, 64).brokers;
+  bsr::io::Table marginal({"k (greedy join order)", "U(first k)", "marginal Δ_k"});
+  double previous_value = 0.0;
+  bsr::broker::BrokerSet coalition_prefix(g.num_vertices());
+  for (std::size_t k = 1; k <= maxsg_like.size(); ++k) {
+    coalition_prefix.add(maxsg_like.members()[k - 1]);
+    const double connectivity =
+        bsr::broker::saturated_connectivity(g, coalition_prefix);
+    const double value = params.revenue_per_connectivity * connectivity -
+                         params.operating_cost * static_cast<double>(k);
+    if (k == 1 || k == 2 || k == 4 || k == 8 || k == 16 || k == 32 || k == 64) {
+      marginal.row()
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(value, 3)
+          .cell(value - previous_value, 3);
+    }
+    previous_value = value;
+  }
+  marginal.print(std::cout);
+  std::cout << "(paper §7.2: once the important ASes are in, each joiner "
+               "adds only a sliver of revenue — the coalition should stop "
+               "growing)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig. 2b — l-hop E2E connectivity of every selection algorithm.
+//
+// Paper curves (at full scale): MCBG-approx and MaxSG on top (85 %+ with
+// ~1,000 brokers), DB/PRB below with a serious marginal effect, IXPB capped
+// at 15.70 %, Tier1Only worst. Each algorithm also emits a CSV series for
+// external plotting.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "broker/baselines.hpp"
+#include "broker/dominated.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/mcbg_approx.hpp"
+#include "io/csv.hpp"
+
+int main() {
+  auto ctx = bsr::bench::make_context("Fig. 2b: l-hop connectivity by algorithm");
+  const auto& g = ctx.topo.graph;
+  const std::uint32_t k = ctx.env.scaled(1000, 8);
+
+  struct Entry {
+    std::string name;
+    bsr::broker::BrokerSet brokers;
+  };
+  std::vector<Entry> entries;
+
+  bsr::bench::Stopwatch sw;
+  entries.push_back({"MaxSG", bsr::broker::maxsg(g, k).brokers});
+  std::cout << "MaxSG done (" << bsr::io::format_double(sw.seconds(), 1) << "s)\n";
+
+  bsr::bench::Stopwatch sw2;
+  bsr::broker::McbgOptions mcbg_options;
+  mcbg_options.max_roots = 16;  // paper loops over all roots; 16 suffices
+  entries.push_back({"MCBG-approx", bsr::broker::mcbg_approx(g, k, mcbg_options).brokers});
+  std::cout << "MCBG-approx done (" << bsr::io::format_double(sw2.seconds(), 1)
+            << "s)\n";
+
+  entries.push_back({"DB", bsr::broker::db_top_degree(g, k)});
+  entries.push_back({"PRB", bsr::broker::prb_top_pagerank(g, k)});
+  entries.push_back({"IXPB", bsr::broker::ixpb(ctx.topo)});
+  entries.push_back({"Tier1Only", bsr::broker::tier1_only(ctx.topo)});
+
+  bsr::io::Table table({"Algorithm", "|B|", "l=2", "l=4", "l=6", "l=8", "saturated"});
+  bsr::io::CsvWriter csv({"algorithm", "k", "l", "connectivity"});
+  bsr::graph::Rng rng(ctx.env.seed + 6);
+  for (const Entry& entry : entries) {
+    const auto cdf =
+        bsr::broker::dominated_distance_cdf(g, entry.brokers, rng, ctx.env.bfs_sources);
+    table.row()
+        .cell(entry.name)
+        .cell(static_cast<std::uint64_t>(entry.brokers.size()))
+        .percent(cdf.at(2))
+        .percent(cdf.at(4))
+        .percent(cdf.at(6))
+        .percent(cdf.at(8))
+        .percent(cdf.reachable);
+    for (std::uint32_t l = 1; l <= 10; ++l) {
+      csv.add_row({entry.name, std::to_string(entry.brokers.size()),
+                   std::to_string(l), bsr::io::format_double(cdf.at(l), 6)});
+    }
+  }
+  table.print(std::cout);
+  csv.write_file("fig2b_lhop_algorithms.csv");
+  std::cout << "series written to fig2b_lhop_algorithms.csv\n"
+            << "(paper anchors: MaxSG/MCBG ~85% saturated at k~1000, "
+               "IXPB capped at 15.70%, Tier1Only lowest)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 4 — path inflation through the MaxSG alliance.
+//
+// Paper: with bidirectional inter-broker connections, the l-hop E2E
+// connectivity curve of the 3,540-alliance almost overlaps free-path
+// selection ("ASesWithIXPs"), i.e., minimal path inflation; contrast with
+// DB whose 1,005-broker set satisfies only 72.40 % within 4 hops vs 90.02 %
+// free.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "broker/baselines.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/path_length.hpp"
+
+int main() {
+  auto ctx = bsr::bench::make_context("Table 4: path inflation via the alliance");
+  const auto& g = ctx.topo.graph;
+
+  const std::uint32_t k_alliance = ctx.env.scaled(3540, 8);
+  const std::uint32_t k_db = ctx.env.scaled(1005, 8);
+
+  bsr::bench::Stopwatch sw;
+  const auto alliance = bsr::broker::maxsg(g, k_alliance).brokers;
+  std::cout << "MaxSG alliance: " << alliance.size() << " brokers ("
+            << bsr::io::format_double(sw.seconds(), 1) << "s)\n";
+  const auto db = bsr::broker::db_top_degree(g, k_db);
+
+  bsr::graph::Rng rng(ctx.env.seed + 4);
+  const auto alliance_cmp =
+      bsr::broker::compare_path_lengths(g, alliance, rng, ctx.env.bfs_sources);
+  const auto db_cmp =
+      bsr::broker::compare_path_lengths(g, db, rng, ctx.env.bfs_sources);
+
+  bsr::io::Table table({"hops l", "free paths F(l)", "MaxSG alliance", "inflation",
+                        "DB top-" + std::to_string(db.size()), "inflation "});
+  for (std::uint32_t l = 1; l <= 8; ++l) {
+    table.row()
+        .cell(std::uint64_t{l})
+        .percent(alliance_cmp.free_paths.at(l))
+        .percent(alliance_cmp.dominated_paths.at(l))
+        .percent(alliance_cmp.inflation_at(l))
+        .percent(db_cmp.dominated_paths.at(l))
+        .percent(db_cmp.inflation_at(l));
+  }
+  table.print(std::cout);
+  std::cout << "max |F_B(l) - F(l)|: alliance = "
+            << bsr::io::format_percent(alliance_cmp.max_deviation)
+            << "%, DB = " << bsr::io::format_percent(db_cmp.max_deviation)
+            << "%  (epsilon-feasibility, Eq. 4)\n"
+            << "(paper anchor: DB@1005 reaches 72.40% at l = 4 vs 90.02% free; "
+               "the alliance curve overlaps the free curve)\n";
+  return 0;
+}

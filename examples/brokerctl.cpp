@@ -1,0 +1,193 @@
+// brokerctl — command-line front end for the broker-set toolkit.
+//
+// A downstream operator's entry point: generate or load a topology, select
+// a broker set with any algorithm, evaluate it, and export artifacts —
+// without writing C++.
+//
+//   brokerctl gen <out.topo> [scale]          generate a calibrated topology
+//   brokerctl select <in.topo> <algo> <k>     maxsg|mcbg|greedy|db|prb|weighted
+//   brokerctl eval <in.topo> <algo> <k>       selection + full evaluation
+//   brokerctl export-dot <in.topo> <out.dot> [k]   sampled DOT (brokers marked)
+//   brokerctl stats <in.topo>                 dataset summary (Table-2 style)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "broker/baselines.hpp"
+#include "broker/coverage.hpp"
+#include "broker/disjoint.hpp"
+#include "broker/dominated.hpp"
+#include "broker/greedy_mcb.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/mcbg_approx.hpp"
+#include "broker/weighted.hpp"
+#include "io/dot_export.hpp"
+#include "io/env.hpp"
+#include "io/table.hpp"
+#include "topology/caida_import.hpp"
+#include "topology/serialization.hpp"
+#include "topology/stats.hpp"
+
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::topology::InternetTopology;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  brokerctl gen <out.topo> [scale]\n"
+         "  brokerctl import-caida <as-rel.txt> <out.topo> [ixp-members.txt]\n"
+         "  brokerctl select <in.topo> <maxsg|mcbg|greedy|db|prb|weighted> <k>\n"
+         "  brokerctl eval <in.topo> <algo> <k>\n"
+         "  brokerctl export-dot <in.topo> <out.dot> [k]\n"
+         "  brokerctl stats <in.topo>\n";
+  return 2;
+}
+
+BrokerSet run_algorithm(const InternetTopology& topo, const std::string& algo,
+                        std::uint32_t k, std::uint64_t seed) {
+  const auto& g = topo.graph;
+  if (algo == "maxsg") return bsr::broker::maxsg(g, k).brokers;
+  if (algo == "mcbg") {
+    bsr::broker::McbgOptions options;
+    options.max_roots = 16;
+    return bsr::broker::mcbg_approx(g, k, options).brokers;
+  }
+  if (algo == "greedy") return bsr::broker::greedy_mcb(g, k).brokers;
+  if (algo == "db") return bsr::broker::db_top_degree(g, k);
+  if (algo == "prb") return bsr::broker::prb_top_pagerank(g, k);
+  if (algo == "weighted") {
+    // Gravity traffic weights, as in ablation_weighted.
+    bsr::graph::Rng rng(seed);
+    std::vector<double> weight(g.num_vertices());
+    for (bsr::graph::NodeId v = 0; v < g.num_vertices(); ++v) {
+      weight[v] = topo.is_ixp(v) ? 0.0 : rng.pareto(1.1, 1.0, 5000.0);
+    }
+    return bsr::broker::weighted_greedy_mcb(g, k, weight).brokers;
+  }
+  throw std::runtime_error("unknown algorithm: " + algo);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto env = bsr::io::experiment_env();
+  const double scale = argc > 3 ? std::stod(argv[3]) : std::min(env.scale, 0.05);
+  auto config = bsr::topology::InternetConfig{}.scaled(scale);
+  config.seed = env.seed;
+  const auto topo = bsr::topology::make_internet(config);
+  bsr::topology::save_topology_file(argv[2], topo);
+  std::cout << "wrote " << argv[2] << ": " << topo.num_ases << " ASes + "
+            << topo.num_ixps << " IXPs, " << topo.graph.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_import_caida(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string ixp_path = argc > 4 ? argv[4] : "";
+  const auto topo = bsr::topology::import_caida_files(argv[2], ixp_path);
+  bsr::topology::save_topology_file(argv[3], topo);
+  std::cout << "imported " << topo.num_ases << " ASes + " << topo.num_ixps
+            << " IXPs, " << topo.graph.num_edges() << " edges -> " << argv[3]
+            << '\n';
+  return 0;
+}
+
+int cmd_select(int argc, char** argv, bool full_eval) {
+  if (argc < 5) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto k = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  const BrokerSet brokers = run_algorithm(topo, argv[3], k, env.seed);
+
+  bsr::io::Table table({"metric", "value"});
+  table.row().cell("brokers").cell(static_cast<std::uint64_t>(brokers.size()));
+  table.row()
+      .cell("coverage f(B)")
+      .cell(std::uint64_t{bsr::broker::coverage(topo.graph, brokers)});
+  table.row()
+      .cell("saturated connectivity")
+      .percent(bsr::broker::saturated_connectivity(topo.graph, brokers));
+  if (full_eval) {
+    bsr::graph::Rng rng(env.seed + 1);
+    const auto cdf = bsr::broker::dominated_distance_cdf(
+        topo.graph, brokers, rng,
+        std::min<std::size_t>(env.bfs_sources, topo.graph.num_vertices()));
+    table.row().cell("4-hop connectivity").percent(cdf.at(4));
+    bsr::graph::Rng rng2(env.seed + 2);
+    const auto diversity =
+        bsr::broker::path_diversity(topo.graph, brokers, rng2, 500);
+    table.row().cell("pairs with backup dominating path").percent(diversity.with_two);
+    const auto share =
+        bsr::broker::broker_only_share(topo.graph, brokers, rng2, 2000);
+    table.row().cell("broker-only connections").percent(share.broker_only);
+  }
+  table.print(std::cout);
+  // Selection order on stdout-adjacent channel: first 20 members.
+  std::cout << "first members:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, brokers.size()); ++i) {
+    std::cout << ' ' << brokers.members()[i];
+  }
+  std::cout << (brokers.size() > 20 ? " ...\n" : "\n");
+  return 0;
+}
+
+int cmd_export_dot(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  BrokerSet brokers(topo.num_vertices());
+  if (argc > 4) {
+    brokers = bsr::broker::maxsg(topo.graph,
+                                 static_cast<std::uint32_t>(std::stoul(argv[4])))
+                  .brokers;
+  }
+  std::ofstream out(argv[3], std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open " << argv[3] << '\n';
+    return 1;
+  }
+  bsr::graph::Rng rng(env.seed);
+  const auto exported = bsr::io::write_dot_sample(
+      out, topo, brokers.empty() ? nullptr : &brokers, 150, 600, rng);
+  std::cout << "wrote " << exported << "-vertex sample to " << argv[3]
+            << " (render: sfdp -Tsvg " << argv[3] << " -o out.svg)\n";
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto summary = bsr::topology::summarize(topo, env.bfs_sources, env.seed);
+  bsr::io::Table table({"statistic", "value"});
+  table.row().cell("ASes").cell(std::uint64_t{summary.num_ases});
+  table.row().cell("IXPs").cell(std::uint64_t{summary.num_ixps});
+  table.row().cell("AS-AS edges").cell(summary.as_as_edges);
+  table.row().cell("IXP memberships").cell(summary.ixp_memberships);
+  table.row().cell("largest component").cell(std::uint64_t{summary.largest_component});
+  table.row().cell("IXP attachment rate").percent(summary.ixp_attachment_rate);
+  table.row().cell("Prob[d <= 4]").percent(summary.alpha_within_beta);
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "import-caida") return cmd_import_caida(argc, argv);
+    if (cmd == "select") return cmd_select(argc, argv, /*full_eval=*/false);
+    if (cmd == "eval") return cmd_select(argc, argv, /*full_eval=*/true);
+    if (cmd == "export-dot") return cmd_export_dot(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "brokerctl: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,66 @@
+#include "broker/baselines.hpp"
+
+#include <numeric>
+
+#include "graph/degree_stats.hpp"
+#include "graph/sampling.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+BrokerSet sc_dominating_set(const CsrGraph& g, Rng& rng) {
+  const NodeId n = g.num_vertices();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  bsr::graph::shuffle(rng, order);
+
+  BrokerSet brokers(n);
+  std::vector<bool> dominated(n, false);
+  for (const NodeId v : order) {
+    if (dominated[v]) continue;
+    brokers.add(v);
+    dominated[v] = true;
+    for (const NodeId w : g.neighbors(v)) dominated[w] = true;
+  }
+  return brokers;
+}
+
+BrokerSet db_top_degree(const CsrGraph& g, std::uint32_t k) {
+  const auto order = bsr::graph::vertices_by_degree_desc(g);
+  BrokerSet brokers(g.num_vertices());
+  for (std::size_t i = 0; i < std::min<std::size_t>(k, order.size()); ++i) {
+    brokers.add(order[i]);
+  }
+  return brokers;
+}
+
+BrokerSet prb_top_pagerank(const CsrGraph& g, std::uint32_t k,
+                           const bsr::graph::PageRankOptions& opts) {
+  const auto order = bsr::graph::vertices_by_pagerank_desc(g, opts);
+  BrokerSet brokers(g.num_vertices());
+  for (std::size_t i = 0; i < std::min<std::size_t>(k, order.size()); ++i) {
+    brokers.add(order[i]);
+  }
+  return brokers;
+}
+
+BrokerSet ixpb(const topology::InternetTopology& topo, std::uint32_t min_degree) {
+  BrokerSet brokers(topo.num_vertices());
+  for (NodeId v = topo.num_ases; v < topo.num_vertices(); ++v) {
+    if (topo.graph.degree(v) >= min_degree) brokers.add(v);
+  }
+  return brokers;
+}
+
+BrokerSet tier1_only(const topology::InternetTopology& topo) {
+  BrokerSet brokers(topo.num_vertices());
+  for (NodeId v = 0; v < topo.num_ases; ++v) {
+    if (topo.meta[v].tier == topology::Tier::kTier1) brokers.add(v);
+  }
+  return brokers;
+}
+
+}  // namespace bsr::broker

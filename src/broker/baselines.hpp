@@ -1,0 +1,43 @@
+// Baseline broker-selection algorithms from §5.1 / §6.1 of the paper.
+//
+//   SC       — the Set-Cover-style sequential dominating set of [31]: scan
+//              vertices in random order, adding any vertex not yet dominated.
+//              Guarantees a dominating set (100 % saturated connectivity) but
+//              a huge one (~76 % of all vertices, Fig. 2a).
+//   DB       — top-k vertices by degree ("Degree-Based").
+//   PRB      — top-k vertices by PageRank ("PageRank-Based").
+//   IXPB     — all IXPs whose degree exceeds a threshold ("IXP-Based");
+//              caps at 15.7 % connectivity (Table 1 / Fig. 2b).
+//   Tier1Only — exactly the tier-1 ISPs.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/pagerank.hpp"
+#include "graph/rng.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::broker {
+
+/// SC: random-order sequential dominating set. Output size depends on the
+/// permutation — Fig. 2a plots its CDF across runs.
+[[nodiscard]] BrokerSet sc_dominating_set(const bsr::graph::CsrGraph& g,
+                                          bsr::graph::Rng& rng);
+
+/// DB: the k highest-degree vertices (deterministic tie-break by id).
+[[nodiscard]] BrokerSet db_top_degree(const bsr::graph::CsrGraph& g, std::uint32_t k);
+
+/// PRB: the k highest-PageRank vertices.
+[[nodiscard]] BrokerSet prb_top_pagerank(const bsr::graph::CsrGraph& g, std::uint32_t k,
+                                         const bsr::graph::PageRankOptions& opts = {});
+
+/// IXPB: every IXP with degree >= min_degree (0 = all IXPs).
+[[nodiscard]] BrokerSet ixpb(const topology::InternetTopology& topo,
+                             std::uint32_t min_degree = 0);
+
+/// Tier1Only: all tier-1 ASes.
+[[nodiscard]] BrokerSet tier1_only(const topology::InternetTopology& topo);
+
+}  // namespace bsr::broker

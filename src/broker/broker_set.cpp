@@ -1,0 +1,44 @@
+#include "broker/broker_set.hpp"
+
+#include <stdexcept>
+
+namespace bsr::broker {
+
+using bsr::graph::NodeId;
+
+BrokerSet::BrokerSet(NodeId num_vertices, std::span<const NodeId> members)
+    : mask_(num_vertices, false) {
+  members_.reserve(members.size());
+  for (const NodeId v : members) {
+    if (v >= num_vertices) throw std::out_of_range("BrokerSet: member out of range");
+    if (mask_[v]) throw std::invalid_argument("BrokerSet: duplicate member");
+    mask_[v] = true;
+    members_.push_back(v);
+  }
+}
+
+bool BrokerSet::add(NodeId v) {
+  if (v >= mask_.size()) throw std::out_of_range("BrokerSet::add: out of range");
+  if (mask_[v]) return false;
+  mask_[v] = true;
+  members_.push_back(v);
+  return true;
+}
+
+BrokerSet BrokerSet::prefix(std::size_t k) const {
+  BrokerSet out(num_vertices());
+  const std::size_t take = std::min(k, members_.size());
+  for (std::size_t i = 0; i < take; ++i) out.add(members_[i]);
+  return out;
+}
+
+BrokerSet BrokerSet::unite(const BrokerSet& other) const {
+  if (other.num_vertices() != num_vertices()) {
+    throw std::invalid_argument("BrokerSet::unite: vertex-count mismatch");
+  }
+  BrokerSet out = *this;
+  for (const NodeId v : other.members_) out.add(v);
+  return out;
+}
+
+}  // namespace bsr::broker

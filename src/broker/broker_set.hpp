@@ -1,0 +1,67 @@
+// BrokerSet — the selected set B of ASes/IXPs acting as routing brokers.
+//
+// Stored as both a membership bitmap (O(1) queries during BFS edge filtering)
+// and an ordered member list (selection order matters for Table 5 rankings
+// and prefix evaluations like Fig. 2b's k sweeps).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+class BrokerSet {
+ public:
+  BrokerSet() = default;
+
+  /// Empty set over a graph of `num_vertices` vertices.
+  explicit BrokerSet(bsr::graph::NodeId num_vertices) : mask_(num_vertices, false) {}
+
+  /// From an explicit member list (selection order preserved).
+  /// Throws std::out_of_range / std::invalid_argument on bad or duplicate ids.
+  BrokerSet(bsr::graph::NodeId num_vertices,
+            std::span<const bsr::graph::NodeId> members);
+
+  [[nodiscard]] bsr::graph::NodeId num_vertices() const noexcept {
+    return static_cast<bsr::graph::NodeId>(mask_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  [[nodiscard]] bool contains(bsr::graph::NodeId v) const noexcept {
+    return v < mask_.size() && mask_[v];
+  }
+
+  /// Members in selection order.
+  [[nodiscard]] std::span<const bsr::graph::NodeId> members() const noexcept {
+    return members_;
+  }
+
+  /// Adds a broker; returns false if already present. Throws std::out_of_range.
+  bool add(bsr::graph::NodeId v);
+
+  /// First `k` members (selection-order prefix) as a new BrokerSet.
+  [[nodiscard]] BrokerSet prefix(std::size_t k) const;
+
+  /// Set union (selection order: this set's members then other's new ones).
+  [[nodiscard]] BrokerSet unite(const BrokerSet& other) const;
+
+  /// True iff edge (u, v) is dominated by this set (>= 1 endpoint in B).
+  [[nodiscard]] bool dominates_edge(bsr::graph::NodeId u,
+                                    bsr::graph::NodeId v) const noexcept {
+    return contains(u) || contains(v);
+  }
+
+  /// Membership bitmap (size num_vertices).
+  [[nodiscard]] const std::vector<bool>& mask() const noexcept { return mask_; }
+
+ private:
+  std::vector<bool> mask_;
+  std::vector<bsr::graph::NodeId> members_;
+};
+
+}  // namespace bsr::broker

@@ -1,0 +1,58 @@
+#include "broker/coverage.hpp"
+
+#include <cassert>
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+
+std::uint32_t coverage(const CsrGraph& g, const BrokerSet& b) {
+  assert(b.num_vertices() == g.num_vertices());
+  std::vector<bool> covered(g.num_vertices(), false);
+  std::uint32_t count = 0;
+  const auto mark = [&](NodeId v) {
+    if (!covered[v]) {
+      covered[v] = true;
+      ++count;
+    }
+  };
+  for (const NodeId v : b.members()) {
+    mark(v);
+    for (const NodeId w : g.neighbors(v)) mark(w);
+  }
+  return count;
+}
+
+CoverageTracker::CoverageTracker(const CsrGraph& g)
+    : graph_(&g),
+      brokers_(g.num_vertices(), false),
+      covered_(g.num_vertices(), false) {}
+
+std::uint32_t CoverageTracker::marginal_gain(NodeId v) const {
+  assert(v < graph_->num_vertices());
+  std::uint32_t gain = covered_[v] ? 0 : 1;
+  for (const NodeId w : graph_->neighbors(v)) {
+    if (!covered_[w]) ++gain;
+  }
+  return gain;
+}
+
+std::uint32_t CoverageTracker::add(NodeId v) {
+  assert(v < graph_->num_vertices());
+  if (brokers_[v]) return 0;
+  brokers_[v] = true;
+  std::uint32_t gain = 0;
+  const auto mark = [&](NodeId w) {
+    if (!covered_[w]) {
+      covered_[w] = true;
+      ++gain;
+    }
+  };
+  mark(v);
+  for (const NodeId w : graph_->neighbors(v)) mark(w);
+  covered_count_ += gain;
+  return gain;
+}
+
+}  // namespace bsr::broker

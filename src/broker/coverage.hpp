@@ -1,0 +1,46 @@
+// The coverage function f(B) = |B ∪ N(B)| and its incremental tracker.
+//
+// f is monotone submodular (Lemma 3 of the paper), which is what makes the
+// greedy Algorithm 1 a (1 - 1/e)-approximation and enables lazy evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+/// One-shot f(B) = |B ∪ N(B)|.
+[[nodiscard]] std::uint32_t coverage(const bsr::graph::CsrGraph& g, const BrokerSet& b);
+
+/// Incremental coverage: O(deg) marginal-gain queries and additions.
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const bsr::graph::CsrGraph& g);
+
+  /// Marginal gain f(B ∪ {v}) - f(B): newly covered vertices in {v} ∪ N(v).
+  [[nodiscard]] std::uint32_t marginal_gain(bsr::graph::NodeId v) const;
+
+  /// Adds v to B, updating coverage. Returns the realized gain.
+  std::uint32_t add(bsr::graph::NodeId v);
+
+  [[nodiscard]] std::uint32_t covered_count() const noexcept { return covered_count_; }
+  [[nodiscard]] bool is_covered(bsr::graph::NodeId v) const noexcept {
+    return covered_[v];
+  }
+  [[nodiscard]] bool is_broker(bsr::graph::NodeId v) const noexcept {
+    return brokers_[v];
+  }
+  [[nodiscard]] bool all_covered() const noexcept {
+    return covered_count_ == graph_->num_vertices();
+  }
+
+ private:
+  const bsr::graph::CsrGraph* graph_;
+  std::vector<bool> brokers_;
+  std::vector<bool> covered_;
+  std::uint32_t covered_count_ = 0;
+};
+
+}  // namespace bsr::broker

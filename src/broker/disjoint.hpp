@@ -1,0 +1,46 @@
+// Disjoint dominating paths — path-level resilience.
+//
+// The PCE line of related work (§2, [15]) selects *disjoint* QoS paths
+// across domains. On the brokered plane the analogous question is: how many
+// edge-disjoint B-dominating paths does a pair have? Two disjoint dominated
+// paths mean a broker-supervised failover exists. Computed greedily:
+// repeatedly extract a shortest dominating path and remove its edges;
+// greedy edge-disjoint extraction is not max-flow-optimal, but it
+// lower-bounds the disjoint-path count and matches how an online mediator
+// would actually provision a backup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::broker {
+
+struct DisjointPathsResult {
+  /// Extracted edge-disjoint dominating paths, shortest-first.
+  std::vector<std::vector<bsr::graph::NodeId>> paths;
+  [[nodiscard]] std::size_t count() const noexcept { return paths.size(); }
+};
+
+/// Up to `max_paths` edge-disjoint B-dominating paths between src and dst.
+/// O(max_paths · (|V| + |E|)).
+[[nodiscard]] DisjointPathsResult disjoint_dominating_paths(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b, bsr::graph::NodeId src,
+    bsr::graph::NodeId dst, std::uint32_t max_paths = 2);
+
+struct PathDiversityStats {
+  double with_one = 0.0;   // share of sampled pairs with >= 1 dominating path
+  double with_two = 0.0;   // ... with >= 2 edge-disjoint dominating paths
+  std::size_t pairs_sampled = 0;
+};
+
+/// Sampled pair survey of dominating-path diversity under B.
+[[nodiscard]] PathDiversityStats path_diversity(const bsr::graph::CsrGraph& g,
+                                                const BrokerSet& b,
+                                                bsr::graph::Rng& rng,
+                                                std::size_t num_pairs);
+
+}  // namespace bsr::broker

@@ -1,0 +1,124 @@
+#include "broker/dominated.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/sampling.hpp"
+#include "graph/union_find.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::graph::UnionFind;
+
+bsr::graph::EdgeFilter dominated_edge_filter(const BrokerSet& b) {
+  return [&b](NodeId u, NodeId v) { return b.dominates_edge(u, v); };
+}
+
+namespace {
+
+UnionFind dominated_union_find(const CsrGraph& g, const BrokerSet& b) {
+  UnionFind uf(g.num_vertices());
+  // Only edges incident to a broker are active; iterating brokers' adjacency
+  // touches each active edge at least once — O(sum of broker degrees).
+  for (const NodeId u : b.members()) {
+    for (const NodeId v : g.neighbors(u)) uf.unite(u, v);
+  }
+  return uf;
+}
+
+}  // namespace
+
+double saturated_connectivity(const CsrGraph& g, const BrokerSet& b) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("saturated_connectivity: size mismatch");
+  }
+  const NodeId n = g.num_vertices();
+  if (n < 2) return 0.0;
+  UnionFind uf = dominated_union_find(g, b);
+  // Sum of (component size choose 2) over component roots.
+  double connected_pairs = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (uf.find(v) == v) {
+      const double s = uf.component_size(v);
+      connected_pairs += s * (s - 1.0) / 2.0;
+    }
+  }
+  const double total_pairs = static_cast<double>(n) * (n - 1.0) / 2.0;
+  return connected_pairs / total_pairs;
+}
+
+bsr::graph::DistanceCdf dominated_distance_cdf(const CsrGraph& g, const BrokerSet& b,
+                                               Rng& rng, std::size_t num_sources) {
+  return bsr::graph::distance_cdf_sampled(g, rng, num_sources,
+                                          dominated_edge_filter(b));
+}
+
+BrokerOnlyShare broker_only_share(const CsrGraph& g, const BrokerSet& b, Rng& rng,
+                                  std::size_t num_pairs) {
+  BrokerOnlyShare out;
+  const NodeId n = g.num_vertices();
+  if (n < 2 || b.empty()) return out;
+
+  // Components of G_B (any dominating path) ...
+  UnionFind dominated_uf = dominated_union_find(g, b);
+  // ... and components of the broker-induced subgraph (edges inside B only).
+  UnionFind broker_uf(n);
+  for (const NodeId u : b.members()) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (b.contains(v)) broker_uf.unite(u, v);
+    }
+  }
+
+  // A pair (u, v) is broker-only connected iff some broker component is
+  // adjacent-or-equal to both endpoints. Most vertices attach to few broker
+  // components, so compare small sorted root lists per endpoint.
+  const auto attached_roots = [&](NodeId v) {
+    std::vector<NodeId> roots;
+    if (b.contains(v)) {
+      roots.push_back(broker_uf.find(v));
+    } else {
+      for (const NodeId w : g.neighbors(v)) {
+        if (b.contains(w)) roots.push_back(broker_uf.find(w));
+      }
+    }
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    return roots;
+  };
+
+  const auto pairs = bsr::graph::sample_pairs(rng, n, num_pairs);
+  out.pairs_sampled = pairs.size();
+  std::size_t broker_only_count = 0;
+  for (const auto& [u, v] : pairs) {
+    if (dominated_uf.find(u) != dominated_uf.find(v)) continue;
+    ++out.pairs_connected;
+    const auto roots_u = attached_roots(u);
+    const auto roots_v = attached_roots(v);
+    const bool shared = std::ranges::any_of(roots_u, [&](NodeId r) {
+      return std::binary_search(roots_v.begin(), roots_v.end(), r);
+    });
+    if (shared) ++broker_only_count;
+  }
+  if (out.pairs_connected > 0) {
+    out.broker_only = static_cast<double>(broker_only_count) /
+                      static_cast<double>(out.pairs_connected);
+  }
+  return out;
+}
+
+std::uint32_t largest_dominated_component(const CsrGraph& g, const BrokerSet& b) {
+  if (g.num_vertices() == 0) return 0;
+  UnionFind uf = dominated_union_find(g, b);
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (uf.find(v) == v) best = std::max(best, uf.component_size(v));
+  }
+  return best;
+}
+
+}  // namespace bsr::broker

@@ -1,0 +1,58 @@
+// The dominated subgraph G_B and its connectivity metrics.
+//
+// A path is B-dominating iff every hop has at least one endpoint in B —
+// equivalently, iff it is a path of the subgraph G_B = (V, E_B) where
+// E_B = { (u,v) ∈ E : u ∈ B or v ∈ B }. All of the paper's evaluation
+// metrics reduce to reachability/distances in G_B:
+//   * saturated E2E connectivity — fraction of vertex pairs connected in G_B
+//     (exact, via union-find over active edges);
+//   * l-hop E2E connectivity — fraction of pairs within l hops in G_B
+//     (sampled BFS, see graph/distance_histogram.hpp);
+//   * broker-only connectivity (Fig. 5a) — pairs connected using no
+//     non-broker intermediate node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/distance_histogram.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::broker {
+
+/// Edge filter selecting exactly the dominated edges of B. Bind-by-reference:
+/// the BrokerSet must outlive the returned filter.
+[[nodiscard]] bsr::graph::EdgeFilter dominated_edge_filter(const BrokerSet& b);
+
+/// Exact saturated E2E connectivity: fraction of unordered vertex pairs
+/// (over all |V| choose 2 pairs) connected in G_B. O(|V| + |E|).
+[[nodiscard]] double saturated_connectivity(const bsr::graph::CsrGraph& g,
+                                            const BrokerSet& b);
+
+/// l-hop connectivity curve in G_B from sampled BFS sources.
+[[nodiscard]] bsr::graph::DistanceCdf dominated_distance_cdf(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b, bsr::graph::Rng& rng,
+    std::size_t num_sources);
+
+/// Statistics for Fig. 5a: among reachable-in-G_B sampled pairs, the share
+/// whose shortest dominating path uses only broker intermediate nodes.
+struct BrokerOnlyShare {
+  double broker_only = 0.0;   // fraction of connected pairs served by B alone
+  std::size_t pairs_connected = 0;
+  std::size_t pairs_sampled = 0;
+};
+
+[[nodiscard]] BrokerOnlyShare broker_only_share(const bsr::graph::CsrGraph& g,
+                                                const BrokerSet& b,
+                                                bsr::graph::Rng& rng,
+                                                std::size_t num_pairs);
+
+/// Size of the largest connected component of G_B. Used by MaxSG's stopping
+/// analysis and the "3,540-alliance dominates the maximum connected
+/// subgraph" claim.
+[[nodiscard]] std::uint32_t largest_dominated_component(const bsr::graph::CsrGraph& g,
+                                                        const BrokerSet& b);
+
+}  // namespace bsr::broker

@@ -1,0 +1,61 @@
+#include "broker/greedy_mcb.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "broker/coverage.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+
+GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
+  const NodeId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("greedy_mcb: empty graph");
+
+  GreedyMcbResult result;
+  result.brokers = BrokerSet(n);
+  if (k == 0) return result;
+
+  CoverageTracker tracker(g);
+
+  // Lazy greedy: heap entries carry the iteration at which the gain was
+  // computed; submodularity guarantees gains only shrink, so a stale top
+  // entry is an upper bound and can be refreshed in place.
+  struct Entry {
+    std::uint32_t gain;
+    NodeId vertex;
+    std::uint32_t stamp;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return vertex > other.vertex;  // deterministic tie-break: lowest id wins
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    heap.push(Entry{tracker.marginal_gain(v), v, 0});
+  }
+
+  std::uint32_t round = 0;
+  while (result.brokers.size() < k && !heap.empty() && !tracker.all_covered()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (tracker.is_broker(top.vertex)) continue;
+    if (top.stamp != round) {
+      top.gain = tracker.marginal_gain(top.vertex);
+      top.stamp = round;
+      if (top.gain == 0) continue;  // nothing new to cover from this vertex
+      heap.push(top);
+      continue;
+    }
+    tracker.add(top.vertex);
+    result.brokers.add(top.vertex);
+    result.coverage_curve.push_back(tracker.covered_count());
+    ++round;
+  }
+  result.coverage = tracker.covered_count();
+  return result;
+}
+
+}  // namespace bsr::broker

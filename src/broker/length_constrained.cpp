@@ -1,0 +1,92 @@
+#include "broker/length_constrained.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "broker/dominated.hpp"
+#include "broker/path_length.hpp"
+#include "graph/bfs.hpp"
+#include "graph/sampling.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::kUnreachable;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+LengthRepairResult repair_path_lengths(const CsrGraph& g, const BrokerSet& b,
+                                       Rng& rng, const LengthRepairOptions& options) {
+  if (options.epsilon <= 0.0 || options.sources == 0 || options.max_rounds == 0) {
+    throw std::invalid_argument("repair_path_lengths: bad options");
+  }
+
+  LengthRepairResult result;
+  result.brokers = b;
+
+  // Pin one evaluation source set for the whole repair: the deviation is a
+  // sampled statistic, and re-sampling each round would let noise mask (or
+  // fake) progress. With pinned sources the true deviation is monotone
+  // non-increasing as brokers are added.
+  const auto eval_sources = bsr::graph::sample_distinct(
+      rng, g.num_vertices(),
+      static_cast<NodeId>(std::min<std::size_t>(options.sources, g.num_vertices())));
+  const auto evaluate = [&]() {
+    return compare_path_lengths(g, result.brokers, eval_sources).max_deviation;
+  };
+  result.initial_deviation = evaluate();
+  result.final_deviation = result.initial_deviation;
+
+  bsr::graph::BfsRunner free_runner(g.num_vertices());
+  bsr::graph::BfsRunner dom_runner(g.num_vertices());
+
+  for (std::uint32_t round = 0;
+       round < options.max_rounds && result.final_deviation > options.epsilon &&
+       result.added < options.max_added;
+       ++round) {
+    ++result.rounds;
+    // Find inflated pairs: free distance finite, dominating distance larger
+    // (or absent). Sample sources; for each, pick the worst-inflated target.
+    const auto filter = dominated_edge_filter(result.brokers);
+    const auto sources = bsr::graph::sample_distinct(
+        rng, g.num_vertices(),
+        static_cast<NodeId>(std::min<std::size_t>(options.pairs_per_round,
+                                                  g.num_vertices())));
+    for (const NodeId src : sources) {
+      if (result.added >= options.max_added) break;
+      const auto free_dist = free_runner.run(g, src);
+      std::vector<std::uint32_t> free_copy(free_dist.begin(), free_dist.end());
+      const auto dom_dist = dom_runner.run_filtered(g, src, filter);
+
+      NodeId worst = kUnreachable;
+      std::int64_t worst_inflation = 0;
+      for (NodeId v = 0; v < g.num_vertices(); ++v) {
+        if (v == src || free_copy[v] == kUnreachable) continue;
+        const std::int64_t dominated =
+            dom_dist[v] == kUnreachable ? g.num_vertices() : dom_dist[v];
+        const std::int64_t inflation = dominated - static_cast<std::int64_t>(free_copy[v]);
+        if (inflation > worst_inflation) {
+          worst_inflation = inflation;
+          worst = v;
+        }
+      }
+      if (worst == kUnreachable) continue;
+
+      // Promote alternate interior vertices of the free shortest path so the
+      // whole path becomes dominating.
+      const auto path = bsr::graph::bfs_shortest_path(g, src, worst);
+      for (std::size_t i = 0; i + 1 < path.size() && result.added < options.max_added;
+           ++i) {
+        if (!result.brokers.dominates_edge(path[i], path[i + 1])) {
+          if (result.brokers.add(path[i + 1])) ++result.added;
+        }
+      }
+    }
+    result.final_deviation = evaluate();
+  }
+
+  result.feasible = result.final_deviation <= options.epsilon;
+  return result;
+}
+
+}  // namespace bsr::broker

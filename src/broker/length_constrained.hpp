@@ -1,0 +1,44 @@
+// Problem 4 — MCBG with path-length constraints (§5.2), as a repair loop.
+//
+// The paper evaluates a candidate set by |F_B(l) − F(l)| ≤ ε (Eq. 4) but
+// gives no algorithm to *achieve* ε-feasibility. This module closes that
+// loop: while the deviation exceeds ε, find pairs whose free shortest path
+// fits within l hops but whose dominating path does not, and promote
+// alternate interior vertices of the free path to brokers — each promotion
+// makes that exact path dominating, directly moving mass from F to F_B at
+// its length. Iterate until feasible or the broker budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::broker {
+
+struct LengthRepairOptions {
+  double epsilon = 0.02;        // Eq. (4) tolerance
+  std::uint32_t max_added = 64; // broker budget for the repair
+  std::size_t sources = 96;     // BFS sources per evaluation round
+  std::size_t pairs_per_round = 32;  // inflated pairs repaired per round
+  std::uint32_t max_rounds = 16;
+};
+
+struct LengthRepairResult {
+  BrokerSet brokers;            // input set plus promotions
+  double initial_deviation = 0.0;
+  double final_deviation = 0.0;
+  std::uint32_t added = 0;
+  std::uint32_t rounds = 0;
+  bool feasible = false;        // final_deviation <= epsilon
+};
+
+/// Repairs `b` toward ε-feasibility of the path-length distribution.
+/// Deterministic in rng. Throws std::invalid_argument on bad options.
+[[nodiscard]] LengthRepairResult repair_path_lengths(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b, bsr::graph::Rng& rng,
+    const LengthRepairOptions& options = {});
+
+}  // namespace bsr::broker

@@ -1,0 +1,88 @@
+#include "broker/local_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "broker/dominated.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+
+LocalSearchResult improve_by_swaps(const CsrGraph& g, const BrokerSet& b,
+                                   const LocalSearchOptions& options) {
+  LocalSearchResult result;
+  result.brokers = b;
+  result.initial_connectivity = saturated_connectivity(g, b);
+  result.final_connectivity = result.initial_connectivity;
+  if (b.empty() || b.size() >= g.num_vertices()) return result;
+
+  // Global replacement candidates: highest-degree non-brokers.
+  const auto degree_order = bsr::graph::vertices_by_degree_desc(g);
+
+  const auto rebuild = [&g](const std::vector<NodeId>& members) {
+    BrokerSet next(g.num_vertices());
+    for (const NodeId v : members) next.add(v);
+    return next;
+  };
+
+  std::vector<NodeId> members(result.brokers.members().begin(),
+                              result.brokers.members().end());
+  bool improved = true;
+  while (improved && result.swaps_applied < options.max_swaps) {
+    improved = false;
+    // One pass applies every first-improvement swap it finds (no restart —
+    // a clean pass, not a clean restart, certifies local optimality).
+    for (std::size_t out_idx = 0;
+         out_idx < members.size() && result.swaps_applied < options.max_swaps;
+         ++out_idx) {
+      const NodeId removed = members[out_idx];
+
+      // Candidate pool: half top-degree non-brokers, half the removed
+      // broker's highest-degree neighbors (they can re-dominate its edges).
+      // Hard-capped at candidate_pool — hub brokers have thousands of
+      // neighbors and a full scan would make each pass quadratic.
+      std::vector<NodeId> candidates;
+      candidates.reserve(options.candidate_pool);
+      const std::size_t global_quota = options.candidate_pool / 2;
+      for (const NodeId v : degree_order) {
+        if (candidates.size() >= global_quota) break;
+        if (!result.brokers.contains(v)) candidates.push_back(v);
+      }
+      std::vector<NodeId> neighbor_pool;
+      for (const NodeId v : g.neighbors(removed)) {
+        if (!result.brokers.contains(v)) neighbor_pool.push_back(v);
+      }
+      std::sort(neighbor_pool.begin(), neighbor_pool.end(),
+                [&g](NodeId a, NodeId b2) {
+                  if (g.degree(a) != g.degree(b2)) return g.degree(a) > g.degree(b2);
+                  return a < b2;
+                });
+      for (const NodeId v : neighbor_pool) {
+        if (candidates.size() >= options.candidate_pool) break;
+        candidates.push_back(v);
+      }
+
+      for (const NodeId in : candidates) {
+        if (in == removed) continue;
+        std::vector<NodeId> trial = members;
+        trial[out_idx] = in;
+        const BrokerSet trial_set = rebuild(trial);
+        const double connectivity = saturated_connectivity(g, trial_set);
+        if (connectivity > result.final_connectivity + options.min_gain) {
+          members = std::move(trial);
+          result.brokers = trial_set;
+          result.final_connectivity = connectivity;
+          ++result.swaps_applied;
+          improved = true;
+          break;  // next out_idx; the pass continues with the updated set
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bsr::broker

@@ -1,0 +1,42 @@
+// Swap-based local search on top of a selected broker set.
+//
+// The paper's remark after Theorem 4 leaves "tighter" algorithms as future
+// work. The cheapest practical step in that direction is 1-swap local
+// search: repeatedly try to replace one broker with one non-broker so the
+// saturated connectivity strictly improves, until no improving swap exists
+// (a 1-swap local optimum). The ablation bench quantifies how much (or how
+// little) this buys over plain MaxSG — a useful negative result if the
+// greedy is already near-locally-optimal.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+struct LocalSearchOptions {
+  /// Cap on improving swaps applied (the loop is O(|B|·|V|) per pass).
+  std::uint32_t max_swaps = 32;
+  /// Minimum connectivity improvement for a swap to count (absolute).
+  double min_gain = 1e-9;
+  /// Candidate replacements per removed broker: the top-degree non-brokers
+  /// plus the removed broker's neighbors (full |V| sweep is too slow).
+  std::uint32_t candidate_pool = 64;
+};
+
+struct LocalSearchResult {
+  BrokerSet brokers;
+  double initial_connectivity = 0.0;
+  double final_connectivity = 0.0;
+  std::uint32_t swaps_applied = 0;
+};
+
+/// Improves `b` by 1-swaps until locally optimal (within the options'
+/// limits). The returned set has the same size as the input.
+[[nodiscard]] LocalSearchResult improve_by_swaps(const bsr::graph::CsrGraph& g,
+                                                 const BrokerSet& b,
+                                                 const LocalSearchOptions& options = {});
+
+}  // namespace bsr::broker

@@ -1,0 +1,42 @@
+// Algorithm 3 — MaxSubGraph-Greedy (MaxSG), the paper's linear-time heuristic.
+//
+// Each iteration adds the vertex w maximizing the size of the largest
+// connected component of the dominated subgraph G_{B ∪ {w}}. Implementation:
+// a union-find over active (broker-incident) edges is maintained
+// incrementally; the candidate gain — the size of the component that would
+// form around w — is the sum of the distinct component sizes of w and its
+// neighbors, computed in O(deg(w)). One pass over all candidates per
+// iteration gives the paper's O(k(|V| + |E|)) bound.
+//
+// Unlike coverage f, the component-size objective is NOT submodular (merging
+// grows future gains), so lazy evaluation is unsound here and a full
+// candidate sweep per round is required.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+struct MaxSgOptions {
+  /// Stop early once the dominated component covers every vertex reachable
+  /// in the underlying graph (paper: MaxSG "totally dominates the maximum
+  /// connected subgraph" and stops at 3,540 brokers).
+  bool stop_when_dominating = true;
+};
+
+struct MaxSgResult {
+  BrokerSet brokers;  // selection order preserved
+  /// largest dominated-component size after each pick.
+  std::vector<std::uint32_t> component_curve;
+  std::uint32_t final_component = 0;
+  std::uint32_t coverage = 0;  // f(B) for the final set
+};
+
+/// Runs MaxSG with budget k. Throws std::invalid_argument for an empty graph.
+[[nodiscard]] MaxSgResult maxsg(const bsr::graph::CsrGraph& g, std::uint32_t k,
+                                const MaxSgOptions& options = {});
+
+}  // namespace bsr::broker

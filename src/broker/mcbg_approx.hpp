@@ -1,0 +1,58 @@
+// Algorithm 2 — approximation algorithm for MCBG on an (α, β)-graph.
+//
+// Splits the budget k into x* pre-selected brokers B' (chosen by the greedy
+// Algorithm 1 to approximate optimal coverage) and a stitching set B″ that
+// restores the B-dominating-path guarantee among the pre-selected brokers:
+// every broker is connected to a chosen root r along its shortest path, with
+// alternate path nodes promoted to brokers so every hop is dominated. The
+// root is chosen to minimize |B″| (lines 2-11 of the paper's listing).
+//
+// On an (α, β)-graph each non-root broker costs at most ⌈β/2⌉ - 1 extra
+// brokers, giving x* = the largest x with x + (x-1)(⌈β/2⌉-1) <= k and an
+// overall (1 - 1/e)/θ approximation ratio (Theorem 3; θ = 2⌈β/2⌉... see
+// paper). If a rare long path overruns the budget, we back off x* and retry,
+// so the returned set always satisfies |B| <= k.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+struct McbgOptions {
+  /// β of the (α, β)-graph assumption (the AS graph is a (0.99, 4)-graph).
+  std::uint32_t beta = 4;
+  /// Number of candidate roots to evaluate in the |B″| minimization.
+  /// 0 = all of B' (the paper's exact loop, O(x*²) path extractions);
+  /// smaller values trade the constant for speed and rarely change |B″|.
+  std::uint32_t max_roots = 0;
+  /// The worst-case stitching reservation (⌈β/2⌉-1 per broker) is rarely
+  /// consumed on a hub-dense graph. When true, binary-search the largest
+  /// pre-selection x ∈ [x*, k] whose stitched total still fits the budget —
+  /// this matches the paper's reported set sizes (e.g. 1,064 brokers for a
+  /// ~1,000 budget) instead of leaving half the budget idle.
+  bool use_full_budget = true;
+};
+
+struct McbgResult {
+  BrokerSet brokers;                // B = B' ∪ B″, |B| <= k
+  std::uint32_t preselected = 0;    // |B'| actually used (x* after back-off)
+  std::uint32_t stitching = 0;      // |B″|
+  std::uint32_t coverage = 0;       // f(B)
+  /// Brokers of B' that are unreachable from the chosen root (possible on a
+  /// disconnected graph); their dominating-path guarantee is void.
+  std::uint32_t unreachable_preselected = 0;
+};
+
+/// x* for budget k and path bound beta (largest x with
+/// x + (x-1)(⌈β/2⌉-1) <= k). Exposed for tests.
+[[nodiscard]] std::uint32_t mcbg_preselect_budget(std::uint32_t k, std::uint32_t beta);
+
+/// Runs Algorithm 2. Throws std::invalid_argument for empty graph / beta = 0.
+[[nodiscard]] McbgResult mcbg_approx(const bsr::graph::CsrGraph& g, std::uint32_t k,
+                                     const McbgOptions& options = {});
+
+}  // namespace bsr::broker

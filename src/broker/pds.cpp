@@ -1,0 +1,52 @@
+#include "broker/pds.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "broker/coverage.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/verify.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+
+bool is_path_dominating_set(const CsrGraph& g, const BrokerSet& b) {
+  if (g.num_vertices() == 0) return true;
+  if (b.empty()) return g.num_vertices() <= 1;
+  if (coverage(g, b) != g.num_vertices()) return false;
+  return has_pairwise_guarantee(g, b);
+}
+
+std::optional<BrokerSet> solve_pds_exact(const CsrGraph& g, std::uint32_t k) {
+  const NodeId n = g.num_vertices();
+  if (n > 22) throw std::invalid_argument("solve_pds_exact: graph too large");
+  if (n <= 1) return BrokerSet(n);
+
+  // Enumerate subsets in increasing popcount order by looping sizes; the
+  // first hit is a minimum witness.
+  const std::uint64_t limit = 1ull << n;
+  for (std::uint32_t size = 1; size <= std::min<std::uint32_t>(k, n); ++size) {
+    for (std::uint64_t bits = 0; bits < limit; ++bits) {
+      if (static_cast<std::uint32_t>(std::popcount(bits)) != size) continue;
+      BrokerSet candidate(n);
+      for (NodeId v = 0; v < n; ++v) {
+        if (bits & (1ull << v)) candidate.add(v);
+      }
+      if (is_path_dominating_set(g, candidate)) return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BrokerSet> solve_pds_greedy(const CsrGraph& g, std::uint32_t k) {
+  if (g.num_vertices() <= 1) return BrokerSet(g.num_vertices());
+  MaxSgOptions options;
+  options.stop_when_dominating = true;
+  const auto result = maxsg(g, k, options);
+  if (is_path_dominating_set(g, result.brokers)) return result.brokers;
+  return std::nullopt;
+}
+
+}  // namespace bsr::broker

@@ -1,0 +1,39 @@
+// The Path-Dominating Set decision problem (Problem 1, §4.1).
+//
+// PDS asks: is there a B ⊆ V with |B| <= k giving a B-dominating path
+// between EVERY pair u, v ∈ V? It is NP-complete (Lemma 1, by reduction
+// from vertex cover), and Theorem 1 connects it to the MCBG optimization:
+// a PDS solution is an MCBG solution with full coverage.
+//
+// We provide: an exact exponential decider for small graphs, a fast
+// sufficient check for a candidate set, and a greedy upper bound whose
+// success proves YES instances constructively (failure is inconclusive —
+// the problem is NP-complete, after all).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+/// True iff B gives a dominating path between every pair of vertices of g:
+/// B must cover all of V (f(B) = |V|) and keep one dominated component.
+[[nodiscard]] bool is_path_dominating_set(const bsr::graph::CsrGraph& g,
+                                          const BrokerSet& b);
+
+/// Exact decision for |V| <= 22: returns a witness set if one of size <= k
+/// exists, std::nullopt otherwise. Exponential — tests/small graphs only.
+[[nodiscard]] std::optional<BrokerSet> solve_pds_exact(const bsr::graph::CsrGraph& g,
+                                                       std::uint32_t k);
+
+/// Constructive upper bound: runs the MaxSG greedy until the whole graph is
+/// path-dominated (or the budget k is exhausted). Returns the witness on
+/// success. A YES answer is definitive; nullopt only means "greedy needed
+/// more than k".
+[[nodiscard]] std::optional<BrokerSet> solve_pds_greedy(const bsr::graph::CsrGraph& g,
+                                                        std::uint32_t k);
+
+}  // namespace bsr::broker

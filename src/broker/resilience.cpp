@@ -1,0 +1,114 @@
+#include "broker/resilience.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "broker/dominated.hpp"
+#include "graph/bfs.hpp"
+#include "graph/union_find.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::graph::UnionFind;
+
+BrokerSet fail_brokers(const CsrGraph& g, const BrokerSet& b, std::size_t failures,
+                       FailureMode mode, Rng& rng) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("fail_brokers: size mismatch");
+  }
+  std::vector<NodeId> members(b.members().begin(), b.members().end());
+  std::vector<NodeId> doomed;
+  if (failures >= members.size()) {
+    doomed = members;
+  } else if (mode == FailureMode::kRandom) {
+    // Partial Fisher-Yates over a copy.
+    std::vector<NodeId> pool = members;
+    for (std::size_t i = 0; i < failures; ++i) {
+      const std::size_t j = i + rng.uniform(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      doomed.push_back(pool[i]);
+    }
+  } else {
+    std::vector<NodeId> sorted = members;
+    std::stable_sort(sorted.begin(), sorted.end(), [&g](NodeId a, NodeId b2) {
+      if (g.degree(a) != g.degree(b2)) return g.degree(a) > g.degree(b2);
+      return a < b2;
+    });
+    doomed.assign(sorted.begin(),
+                  sorted.begin() + static_cast<std::ptrdiff_t>(failures));
+  }
+
+  std::vector<bool> dead(g.num_vertices(), false);
+  for (const NodeId v : doomed) dead[v] = true;
+  BrokerSet survivors(g.num_vertices());
+  for (const NodeId v : members) {
+    if (!dead[v]) survivors.add(v);
+  }
+  return survivors;
+}
+
+ResilienceCurve resilience_curve(const CsrGraph& g, const BrokerSet& b,
+                                 std::span<const std::size_t> failure_steps,
+                                 FailureMode mode, Rng& rng) {
+  ResilienceCurve curve;
+  for (const std::size_t failures : failure_steps) {
+    const BrokerSet survivors = fail_brokers(g, b, failures, mode, rng);
+    curve.failures.push_back(failures);
+    curve.connectivity.push_back(saturated_connectivity(g, survivors));
+  }
+  return curve;
+}
+
+BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
+                         std::uint32_t budget) {
+  const NodeId n = g.num_vertices();
+  BrokerSet repaired = survivors;
+
+  // Same incremental machinery as MaxSG, seeded with the survivors.
+  UnionFind uf(n);
+  std::vector<bool> is_broker(n, false);
+  for (const NodeId b : survivors.members()) {
+    is_broker[b] = true;
+    for (const NodeId v : g.neighbors(b)) uf.unite(b, v);
+  }
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t epoch = 0;
+  const auto gain_of = [&](NodeId w) {
+    ++epoch;
+    std::uint32_t merged = 0;
+    const NodeId rw = uf.find(w);
+    stamp[rw] = epoch;
+    merged += uf.component_size(rw);
+    for (const NodeId v : g.neighbors(w)) {
+      const NodeId r = uf.find(v);
+      if (stamp[r] != epoch) {
+        stamp[r] = epoch;
+        merged += uf.component_size(r);
+      }
+    }
+    return merged;
+  };
+
+  for (std::uint32_t round = 0; round < budget; ++round) {
+    NodeId best = bsr::graph::kUnreachable;
+    std::uint32_t best_gain = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (is_broker[w]) continue;
+      const auto gain = gain_of(w);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = w;
+      }
+    }
+    if (best == bsr::graph::kUnreachable) break;
+    is_broker[best] = true;
+    repaired.add(best);
+    for (const NodeId v : g.neighbors(best)) uf.unite(best, v);
+  }
+  return repaired;
+}
+
+}  // namespace bsr::broker

@@ -1,0 +1,47 @@
+// Failure injection and repair for broker sets (systems extension).
+//
+// A deployed brokerage coalition must survive churn: brokers de-peer, fail,
+// or leave the coalition. This module measures how connectivity degrades
+// under random and targeted broker failures and how well a greedy repair
+// (re-running selection over the survivors' gaps) restores it. The paper
+// leaves deployment dynamics as future work; these are the experiments a
+// production operator would ask for first.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::broker {
+
+enum class FailureMode : std::uint8_t {
+  kRandom,       // uniformly random broker failures
+  kTargetedTop,  // adversarial: fail the highest-degree brokers first
+};
+
+/// Removes `failures` brokers from `b` per the mode; returns the survivors
+/// (selection order preserved). failures >= |b| yields an empty set.
+[[nodiscard]] BrokerSet fail_brokers(const bsr::graph::CsrGraph& g, const BrokerSet& b,
+                                     std::size_t failures, FailureMode mode,
+                                     bsr::graph::Rng& rng);
+
+struct ResilienceCurve {
+  std::vector<std::size_t> failures;     // x axis
+  std::vector<double> connectivity;      // saturated connectivity after failure
+};
+
+/// Sweeps failure counts and records the post-failure connectivity.
+[[nodiscard]] ResilienceCurve resilience_curve(const bsr::graph::CsrGraph& g,
+                                               const BrokerSet& b,
+                                               std::span<const std::size_t> failure_steps,
+                                               FailureMode mode, bsr::graph::Rng& rng);
+
+/// Greedy repair: adds up to `budget` replacement brokers (chosen by the
+/// MaxSG criterion over the survivors) and returns the repaired set.
+[[nodiscard]] BrokerSet repair_brokers(const bsr::graph::CsrGraph& g,
+                                       const BrokerSet& survivors,
+                                       std::uint32_t budget);
+
+}  // namespace bsr::broker

@@ -1,0 +1,92 @@
+#include "broker/verify.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "broker/coverage.hpp"
+#include "graph/bfs.hpp"
+#include "graph/union_find.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::UnionFind;
+
+bool is_dominating_path(const CsrGraph& g, const BrokerSet& b,
+                        std::span<const NodeId> path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId u = path[i];
+    const NodeId v = path[i + 1];
+    if (u >= g.num_vertices() || v >= g.num_vertices()) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (!b.dominates_edge(u, v)) return false;
+  }
+  return true;
+}
+
+bool has_pairwise_guarantee(const CsrGraph& g, const BrokerSet& b) {
+  if (b.empty()) return true;  // vacuous: B ∪ N(B) pairs need B non-empty
+  UnionFind uf(g.num_vertices());
+  std::vector<bool> covered(g.num_vertices(), false);
+  for (const NodeId u : b.members()) {
+    covered[u] = true;
+    for (const NodeId v : g.neighbors(u)) {
+      covered[v] = true;
+      uf.unite(u, v);
+    }
+  }
+  // Guarantee holds iff all covered vertices share one dominated component.
+  NodeId reference = bsr::graph::kUnreachable;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (!covered[v]) continue;
+    const NodeId root = uf.find(v);
+    if (reference == bsr::graph::kUnreachable) {
+      reference = root;
+    } else if (root != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+constexpr std::uint32_t kBruteForceLimit = 22;
+
+template <typename Admissible>
+std::uint32_t brute_force_best(const CsrGraph& g, std::uint32_t k,
+                               Admissible&& admissible) {
+  const NodeId n = g.num_vertices();
+  if (n > kBruteForceLimit) {
+    throw std::invalid_argument("brute force: graph too large (> 22 vertices)");
+  }
+  std::uint32_t best = 0;
+  const std::uint64_t limit = 1ull << n;
+  std::vector<NodeId> members;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    if (static_cast<std::uint32_t>(std::popcount(bits)) > k) continue;
+    members.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (bits & (1ull << v)) members.push_back(v);
+    }
+    const BrokerSet candidate(n, members);
+    if (!admissible(candidate)) continue;
+    best = std::max(best, coverage(g, candidate));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t brute_force_mcb_optimum(const CsrGraph& g, std::uint32_t k) {
+  return brute_force_best(g, k, [](const BrokerSet&) { return true; });
+}
+
+std::uint32_t brute_force_mcbg_optimum(const CsrGraph& g, std::uint32_t k) {
+  return brute_force_best(
+      g, k, [&g](const BrokerSet& b) { return has_pairwise_guarantee(g, b); });
+}
+
+}  // namespace bsr::broker

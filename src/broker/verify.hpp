@@ -1,0 +1,38 @@
+// Independent invariant checkers and brute-force references.
+//
+// Every selection algorithm is validated in tests against these: they are
+// written for clarity, not speed, and share no code with the optimized
+// implementations they check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::broker {
+
+/// True iff `path` is a valid path in g and every hop has an endpoint in B
+/// (Definition 1 of the paper). An empty/1-vertex path is trivially valid.
+[[nodiscard]] bool is_dominating_path(const bsr::graph::CsrGraph& g, const BrokerSet& b,
+                                      std::span<const bsr::graph::NodeId> path);
+
+/// True iff every pair u, v ∈ B ∪ N(B) has at least one B-dominating path —
+/// the MCBG feasibility constraint (Problem 2). O(|V| + |E|) via components
+/// of the dominated subgraph: the constraint holds iff all covered vertices
+/// lie in one dominated component.
+[[nodiscard]] bool has_pairwise_guarantee(const bsr::graph::CsrGraph& g,
+                                          const BrokerSet& b);
+
+/// Exhaustive MCB optimum: max f(B) over all subsets of size <= k.
+/// Exponential — graphs of <= ~20 vertices only (tests).
+[[nodiscard]] std::uint32_t brute_force_mcb_optimum(const bsr::graph::CsrGraph& g,
+                                                    std::uint32_t k);
+
+/// Exhaustive MCBG optimum: max f(B) over subsets of size <= k that satisfy
+/// the pairwise dominating-path guarantee. Exponential — tests only.
+[[nodiscard]] std::uint32_t brute_force_mcbg_optimum(const bsr::graph::CsrGraph& g,
+                                                     std::uint32_t k);
+
+}  // namespace bsr::broker

@@ -1,0 +1,60 @@
+#include "econ/bargaining.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bsr::econ {
+
+double golden_section_max(const std::function<double(double)>& f, double lo, double hi,
+                          double tol) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden_section_max: lo > hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+BargainingSolution solve_bargaining(const BargainingConfig& config) {
+  if (config.broker_price <= 0.0 || config.transit_cost <= 0.0) {
+    throw std::invalid_argument("solve_bargaining: prices/costs must be positive");
+  }
+  if (config.beta == 0) throw std::invalid_argument("solve_bargaining: beta = 0");
+
+  const double h = config.employees();
+  const double p_b = config.broker_price;
+  const double c = config.transit_cost;
+
+  BargainingSolution out;
+  // Both sides need positive surplus: p_j > c and 2 p_B - h p_j - h c > 0.
+  // The range is non-empty iff 2 p_B > 2 h c, i.e. p_B > h c.
+  if (p_b <= h * c) return out;
+
+  const double price = p_b / h;  // closed form (see header)
+  // Clamp into the feasible open interval in degenerate float cases.
+  const double upper = (2.0 * p_b - h * c) / h;
+  out.price = std::min(std::max(price, std::nextafter(c, upper)), upper);
+  out.u_employee = out.price - c;
+  out.u_broker = 2.0 * p_b - h * out.price - h * c;
+  out.nash_product = out.u_employee * out.u_broker;
+  out.feasible = out.u_employee > 0.0 && out.u_broker > 0.0;
+  return out;
+}
+
+}  // namespace bsr::econ

@@ -1,0 +1,44 @@
+// Nash bargaining between the broker coalition B and an employee AS (§7.1).
+//
+// When no direct broker-broker hop exists, B hires a non-broker AS j to
+// transit traffic at price p_j. Utilities per unit volume (Eqs. 5-6):
+//   u_j(p_j) = p_j - c                       (employee margin)
+//   u_B(p_j) = 2 p_B - h p_j - h c           (B's worst-case margin,
+//                                             h = ⌈β/2⌉ hired employees)
+// The Nash bargaining solution maximizes the product u_j · u_B over the
+// feasible price range; it has the closed form p* = p_B / h (derived by
+// setting d/dp[(p-c)(2p_B - h p - h c)] = 0), which the solver cross-checks
+// numerically via golden-section search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bsr::econ {
+
+struct BargainingConfig {
+  double broker_price = 1.0;   // p_B: price B charges per unit volume
+  double transit_cost = 0.05;  // c: an AS's cost to route one unit
+  std::uint32_t beta = 4;      // (α, β)-graph bound => h = ⌈β/2⌉ employees
+
+  [[nodiscard]] std::uint32_t employees() const noexcept { return (beta + 1) / 2; }
+};
+
+struct BargainingSolution {
+  bool feasible = false;   // bargaining set non-empty (p_B > h·c)
+  double price = 0.0;      // agreed p_j
+  double u_employee = 0.0; // u_j at the solution
+  double u_broker = 0.0;   // u_B at the solution
+  double nash_product = 0.0;
+};
+
+/// Closed-form Nash bargaining solution. Throws std::invalid_argument for
+/// non-positive prices/costs or beta = 0.
+[[nodiscard]] BargainingSolution solve_bargaining(const BargainingConfig& config);
+
+/// Generic golden-section maximizer of a unimodal function on [lo, hi]
+/// (used to cross-check closed forms and by the Stackelberg outer stage).
+[[nodiscard]] double golden_section_max(const std::function<double(double)>& f,
+                                        double lo, double hi, double tol = 1e-9);
+
+}  // namespace bsr::econ

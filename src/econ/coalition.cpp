@@ -1,0 +1,40 @@
+#include "econ/coalition.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "broker/dominated.hpp"
+
+namespace bsr::econ {
+
+using bsr::graph::NodeId;
+
+CoalitionGame::CoalitionGame(const bsr::graph::CsrGraph& g,
+                             std::span<const NodeId> players, CoalitionParams params)
+    : graph_(&g), players_(players.begin(), players.end()), params_(params) {
+  if (players_.empty() || players_.size() > 63) {
+    throw std::invalid_argument("CoalitionGame: need 1..63 players");
+  }
+  for (const NodeId v : players_) {
+    if (v >= g.num_vertices()) {
+      throw std::invalid_argument("CoalitionGame: player vertex out of range");
+    }
+  }
+}
+
+double CoalitionGame::value(std::uint64_t mask) const {
+  if (mask == 0) return 0.0;
+  bsr::broker::BrokerSet coalition(graph_->num_vertices());
+  for (std::size_t j = 0; j < players_.size(); ++j) {
+    if (mask & (1ull << j)) coalition.add(players_[j]);
+  }
+  const double connectivity = bsr::broker::saturated_connectivity(*graph_, coalition);
+  return params_.revenue_per_connectivity * connectivity -
+         params_.operating_cost * static_cast<double>(std::popcount(mask));
+}
+
+CharacteristicFn CoalitionGame::characteristic() const {
+  return [this](std::uint64_t mask) { return value(mask); };
+}
+
+}  // namespace bsr::econ

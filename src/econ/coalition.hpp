@@ -1,0 +1,48 @@
+// Coalition characteristic functions grounded in the topology (§7.2).
+//
+// The value of a broker coalition K is driven by the E2E connectivity it can
+// sell: U(K) = revenue_per_connectivity · saturated_connectivity(G, K)
+//            - operating_cost · |K|.
+// Saturated connectivity is supermodular-ish while the coalition is small
+// (merging components multiplies reachable pairs — "network externality")
+// and flattens once the giant dominated component is assembled, which is
+// exactly the paper's argument for when coalition growth should stop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "broker/broker_set.hpp"
+#include "econ/shapley.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::econ {
+
+struct CoalitionParams {
+  double revenue_per_connectivity = 100.0;  // scales the connectivity term
+  double operating_cost = 0.05;             // per-member running cost
+};
+
+/// A cooperative game whose players are candidate brokers on a graph.
+class CoalitionGame {
+ public:
+  /// `players` are vertex ids; at most 63 players (bitmask-encoded
+  /// coalitions). Throws std::invalid_argument on bad input.
+  CoalitionGame(const bsr::graph::CsrGraph& g,
+                std::span<const bsr::graph::NodeId> players, CoalitionParams params);
+
+  [[nodiscard]] std::size_t num_players() const noexcept { return players_.size(); }
+
+  /// U(mask): coalition value. U(0) = 0 by construction.
+  [[nodiscard]] double value(std::uint64_t mask) const;
+
+  /// Adapter for the Shapley solvers.
+  [[nodiscard]] CharacteristicFn characteristic() const;
+
+ private:
+  const bsr::graph::CsrGraph* graph_;
+  std::vector<bsr::graph::NodeId> players_;
+  CoalitionParams params_;
+};
+
+}  // namespace bsr::econ

@@ -1,0 +1,118 @@
+#include "econ/competition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "econ/bargaining.hpp"
+
+namespace bsr::econ {
+
+double customer_best_utility(const CustomerParams& customer, double coverage,
+                             double price, double* best_adoption) {
+  // Coverage scales the realizable QoS income: only the covered share of a
+  // customer's connections can be sold as premium.
+  CustomerParams scaled = customer;
+  scaled.v_scale = customer.v_scale * coverage;
+  const double a = best_response(scaled, price);
+  if (best_adoption != nullptr) *best_adoption = a;
+  return customer_utility(scaled, a, price);
+}
+
+namespace {
+
+struct Demand {
+  double adoption = 0.0;
+  double revenue = 0.0;
+  std::size_t customers = 0;
+};
+
+/// Demand coalition X attracts at prices (px, py): each customer joins the
+/// coalition offering higher utility (status quo a0-utility if both lose).
+Demand demand_for(const Duopoly& game, bool for_a, double pa, double pb) {
+  Demand demand;
+  for (const auto& customer : game.customers) {
+    double adoption_a = 0.0, adoption_b = 0.0;
+    const double ua = customer_best_utility(customer, game.coverage_a, pa, &adoption_a);
+    const double ub = customer_best_utility(customer, game.coverage_b, pb, &adoption_b);
+    // Outside option: stay at a0 with no premium income (coverage 0) and
+    // no brokerage payment — just the legacy routing payment curve.
+    const double u0 = customer_legacy_payment(customer, customer.a0);
+    const bool picks_a = ua >= ub && ua > u0;
+    const bool picks_b = ub > ua && ub > u0;
+    if (for_a && picks_a) {
+      demand.adoption += adoption_a;
+      demand.revenue += 2.0 * pa * adoption_a;
+      ++demand.customers;
+    } else if (!for_a && picks_b) {
+      demand.adoption += adoption_b;
+      demand.revenue += 2.0 * pb * adoption_b;
+      ++demand.customers;
+    }
+  }
+  return demand;
+}
+
+double best_price(const Duopoly& game, bool for_a, double rival_price) {
+  const auto profit = [&](double price) {
+    return demand_for(game, for_a, for_a ? price : rival_price,
+                      for_a ? rival_price : price)
+        .revenue;
+  };
+  constexpr int kGrid = 40;
+  double best = 0.0, best_profit = 0.0;
+  for (int i = 1; i <= kGrid; ++i) {
+    const double price = game.max_price * i / kGrid;
+    const double value = profit(price);
+    if (value > best_profit) {
+      best_profit = value;
+      best = price;
+    }
+  }
+  const double cell = game.max_price / kGrid;
+  return golden_section_max(profit, std::max(0.0, best - cell),
+                            std::min(game.max_price, best + cell), 1e-5);
+}
+
+}  // namespace
+
+DuopolyOutcome compete(const Duopoly& game, std::size_t max_rounds, double tolerance) {
+  if (game.customers.empty()) throw std::invalid_argument("compete: no customers");
+  if (game.coverage_a < 0 || game.coverage_a > 1 || game.coverage_b < 0 ||
+      game.coverage_b > 1) {
+    throw std::invalid_argument("compete: coverage outside [0, 1]");
+  }
+
+  DuopolyOutcome outcome;
+  double pa = game.max_price / 2, pb = game.max_price / 2;
+  // Damped alternating best responses: undamped Bertrand updates cycle on
+  // discrete demand (customers switch coalitions at price thresholds).
+  constexpr double kDamping = 0.5;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++outcome.rounds;
+    const double next_a = pa + kDamping * (best_price(game, true, pb) - pa);
+    const double next_b = pb + kDamping * (best_price(game, false, next_a) - pb);
+    const bool stable =
+        std::abs(next_a - pa) < tolerance && std::abs(next_b - pb) < tolerance;
+    pa = next_a;
+    pb = next_b;
+    if (stable) {
+      outcome.converged = true;
+      break;
+    }
+  }
+  outcome.price_a = pa;
+  outcome.price_b = pb;
+  const Demand da = demand_for(game, true, pa, pb);
+  const Demand db = demand_for(game, false, pa, pb);
+  outcome.adoption_a = da.adoption;
+  outcome.adoption_b = db.adoption;
+  outcome.profit_a = da.revenue;
+  outcome.profit_b = db.revenue;
+  outcome.customers_a = da.customers;
+  outcome.customers_b = db.customers;
+  outcome.customers_none =
+      game.customers.size() - da.customers - db.customers;
+  return outcome;
+}
+
+}  // namespace bsr::econ

@@ -1,0 +1,58 @@
+// Duopoly competition between two broker coalitions (extension of §7.2).
+//
+// Theorem 8's supermodularity argument explains why ONE coalition is
+// internally stable; it does not ask what happens if a rival coalition
+// forms. This module models Bertrand-style price competition between two
+// coalitions with different QoS coverage: each customer AS picks the
+// coalition maximizing its utility (coverage-weighted QoS income minus
+// price), coalitions alternate best-response price moves, and the module
+// reports the equilibrium split. The finding the bench demonstrates: the
+// coverage leader keeps both the price premium and most of the market —
+// coverage, not price, is the moat, which is why joining the incumbent
+// beats founding a rival (the paper's single-coalition assumption).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "econ/stackelberg.hpp"
+
+namespace bsr::econ {
+
+struct Duopoly {
+  /// Saturated-connectivity coverage of each coalition in [0, 1]: scales
+  /// the QoS income a customer can realize through it.
+  double coverage_a = 0.9;
+  double coverage_b = 0.5;
+  double max_price = 5.0;
+  std::vector<CustomerParams> customers;
+};
+
+struct DuopolyOutcome {
+  double price_a = 0.0;
+  double price_b = 0.0;
+  double adoption_a = 0.0;  // Σ a_i routed via coalition A
+  double adoption_b = 0.0;
+  double profit_a = 0.0;
+  double profit_b = 0.0;
+  std::size_t customers_a = 0;  // customers whose best option is A
+  std::size_t customers_b = 0;
+  std::size_t customers_none = 0;
+  bool converged = false;
+  std::size_t rounds = 0;
+};
+
+/// A customer's utility when buying from a coalition with `coverage` at
+/// `price`: coverage-scaled QoS income minus payment, maximized over its
+/// adoption fraction (same concave machinery as §7.1).
+[[nodiscard]] double customer_best_utility(const CustomerParams& customer,
+                                           double coverage, double price,
+                                           double* best_adoption = nullptr);
+
+/// Alternating best-response price dynamics until prices stabilize.
+/// Throws std::invalid_argument for empty customers or bad coverages.
+[[nodiscard]] DuopolyOutcome compete(const Duopoly& game,
+                                     std::size_t max_rounds = 64,
+                                     double tolerance = 1e-4);
+
+}  // namespace bsr::econ

@@ -1,0 +1,71 @@
+#include "econ/dynamics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "econ/bargaining.hpp"
+
+namespace bsr::econ {
+
+DynamicsResult best_response_dynamics(const StackelbergConfig& game,
+                                      const DynamicsConfig& config) {
+  if (game.customers.empty()) {
+    throw std::invalid_argument("best_response_dynamics: no customers");
+  }
+  if (config.step <= 0.0 || config.step > 1.0) {
+    throw std::invalid_argument("best_response_dynamics: step outside (0, 1]");
+  }
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument("best_response_dynamics: zero rounds");
+  }
+
+  const auto adoption_at = [&game](double price) {
+    double alpha = 0.0;
+    for (const auto& customer : game.customers) {
+      alpha += best_response(customer, price);
+    }
+    return alpha;
+  };
+  const auto utility_at = [&](double price) {
+    const double alpha = adoption_at(price);
+    return 2.0 * price * alpha - broker_cost(game.cost, alpha);
+  };
+  // Myopic best response: maximize utility over the price range given that
+  // followers re-equilibrate instantly (they always do in this model).
+  const auto myopic_best = [&]() {
+    constexpr int kGrid = 48;
+    double best_price = 0.0, best_utility = utility_at(0.0);
+    for (int i = 1; i <= kGrid; ++i) {
+      const double p = game.max_price * i / kGrid;
+      const double u = utility_at(p);
+      if (u > best_utility) {
+        best_utility = u;
+        best_price = p;
+      }
+    }
+    const double cell = game.max_price / kGrid;
+    return golden_section_max(utility_at, std::max(0.0, best_price - cell),
+                              std::min(game.max_price, best_price + cell), 1e-8);
+  };
+
+  DynamicsResult result;
+  double price = config.initial_price;
+  const double target = myopic_best();  // constant: followers are memoryless
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    result.price_path.push_back(price);
+    result.adoption_path.push_back(adoption_at(price));
+    const double next = price + config.step * (target - price);
+    ++result.rounds;
+    if (std::abs(next - price) < config.tolerance) {
+      price = next;
+      result.converged = true;
+      break;
+    }
+    price = next;
+  }
+  result.final_price = price;
+  result.final_adoption = adoption_at(price);
+  return result;
+}
+
+}  // namespace bsr::econ

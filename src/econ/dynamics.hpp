@@ -1,0 +1,42 @@
+// Best-response price dynamics (stability extension of §7.1).
+//
+// Theorem 6 proves a Stackelberg equilibrium *exists*; a deployed coalition
+// would reach it by iteration, not by solving the bilevel program: post a
+// price, observe adoption, adjust. This module runs damped best-response
+// dynamics — the broker moves its price a step toward the myopic best
+// response to the observed aggregate adoption — and reports whether/ how
+// fast the play converges to the equilibrium of solve_stackelberg().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "econ/stackelberg.hpp"
+
+namespace bsr::econ {
+
+struct DynamicsConfig {
+  double initial_price = 0.1;
+  /// Damping in (0, 1]: 1 = jump straight to the myopic best response.
+  double step = 0.4;
+  std::size_t max_rounds = 200;
+  /// Convergence threshold on the price change per round.
+  double tolerance = 1e-6;
+};
+
+struct DynamicsResult {
+  std::vector<double> price_path;     // posted price per round
+  std::vector<double> adoption_path;  // aggregate adoption per round
+  bool converged = false;
+  std::size_t rounds = 0;
+  double final_price = 0.0;
+  double final_adoption = 0.0;
+};
+
+/// Runs damped best-response dynamics for the leader's price against
+/// followers who always play their exact best responses.
+/// Throws std::invalid_argument on bad config.
+[[nodiscard]] DynamicsResult best_response_dynamics(const StackelbergConfig& game,
+                                                    const DynamicsConfig& config = {});
+
+}  // namespace bsr::econ

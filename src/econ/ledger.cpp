@@ -1,0 +1,71 @@
+#include "econ/ledger.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/router.hpp"
+
+namespace bsr::econ {
+
+using bsr::graph::NodeId;
+
+bool Ledger::balanced(double tolerance) const {
+  const double outflow = employee_payouts + broker_transit_cost + coalition_profit;
+  return std::abs(customer_payments - outflow) <= tolerance;
+}
+
+Ledger settle_flows(const bsr::graph::CsrGraph& g,
+                    const bsr::broker::BrokerSet& brokers,
+                    std::span<const sim::Flow> flows, const LedgerConfig& config) {
+  if (config.customer_price <= 0.0 || config.employee_price < 0.0 ||
+      config.transit_cost < 0.0) {
+    throw std::invalid_argument("settle_flows: bad prices");
+  }
+
+  Ledger ledger;
+  ledger.broker_revenue.assign(g.num_vertices(), 0.0);
+  sim::Router router(g, brokers);
+
+  std::vector<double> broker_transit_volume(g.num_vertices(), 0.0);
+  double total_broker_volume = 0.0;
+
+  for (const sim::Flow& flow : flows) {
+    const auto route = router.route_dominated(flow.src, flow.dst);
+    if (!route.reachable() || route.path.size() < 2) {
+      ++ledger.flows_unroutable;
+      continue;
+    }
+    ++ledger.flows_routed;
+    // Both endpoints pay p_B per unit (Fig. 6 / Eq. 9's 2 p_B a).
+    ledger.customer_payments += 2.0 * config.customer_price * flow.volume;
+
+    for (std::size_t i = 1; i + 1 < route.path.size(); ++i) {
+      const NodeId transit = route.path[i];
+      if (brokers.contains(transit)) {
+        ledger.broker_transit_cost += config.transit_cost * flow.volume;
+        broker_transit_volume[transit] += flow.volume;
+        total_broker_volume += flow.volume;
+      } else {
+        // A hired employee AS (the AS-5 role): gets p_j, bears its own c.
+        ledger.employee_payouts += config.employee_price * flow.volume;
+        ++ledger.employee_hops;
+      }
+    }
+  }
+
+  ledger.coalition_profit = ledger.customer_payments - ledger.employee_payouts -
+                            ledger.broker_transit_cost;
+  // Profit split proportional to carried transit volume (a cheap,
+  // incentive-compatible proxy for the Shapley split at this granularity).
+  if (total_broker_volume > 0.0) {
+    for (NodeId v = 0; v < g.num_vertices(); ++v) {
+      if (broker_transit_volume[v] > 0.0) {
+        ledger.broker_revenue[v] =
+            ledger.coalition_profit * broker_transit_volume[v] / total_broker_volume;
+      }
+    }
+  }
+  return ledger;
+}
+
+}  // namespace bsr::econ

@@ -1,0 +1,51 @@
+// The Fig. 6 business model as an executable ledger.
+//
+// The paper's Fig. 6 illustrates the payment flow: customer ASes pay the
+// coalition B for routed traffic (both the source and the destination side
+// pay, hence the 2·p_B in Eq. 9); B pays hired non-broker "employee" ASes
+// the bargained price p_j for transit they provide; brokers split the
+// residual profit. This module executes that flow for a batch of routed
+// flows and checks the books balance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "sim/demand.hpp"
+
+namespace bsr::econ {
+
+struct LedgerConfig {
+  double customer_price = 1.0;   // p_B per unit volume, charged at BOTH ends
+  double employee_price = 0.5;   // p_j per unit volume per hired transit AS
+  double transit_cost = 0.05;    // c: every transit node's own routing cost
+};
+
+struct Ledger {
+  double customer_payments = 0.0;   // inflow: 2 p_B Σ volume
+  double employee_payouts = 0.0;    // outflow to hired non-broker transits
+  double broker_transit_cost = 0.0; // brokers' own cost of carried traffic
+  double coalition_profit = 0.0;    // inflow - outflows
+  std::vector<double> broker_revenue;  // per-vertex share of the profit,
+                                       // proportional to transit volume
+  std::size_t flows_routed = 0;
+  std::size_t flows_unroutable = 0;
+  std::size_t employee_hops = 0;    // hops carried by hired non-brokers
+
+  /// Books must balance: inflow = payouts + costs + profit.
+  [[nodiscard]] bool balanced(double tolerance = 1e-6) const;
+};
+
+/// Routes every flow on the dominated plane (shortest dominating path) and
+/// accounts the money. Non-broker transit vertices on a dominating path are
+/// the hired employees (the AS-5 role in Fig. 6). Unroutable flows are
+/// skipped and counted. Throws std::invalid_argument on bad prices.
+[[nodiscard]] Ledger settle_flows(const bsr::graph::CsrGraph& g,
+                                  const bsr::broker::BrokerSet& brokers,
+                                  std::span<const sim::Flow> flows,
+                                  const LedgerConfig& config = {});
+
+}  // namespace bsr::econ

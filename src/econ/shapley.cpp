@@ -1,0 +1,144 @@
+#include "econ/shapley.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bsr::econ {
+
+using bsr::graph::Rng;
+
+std::vector<double> shapley_exact(std::size_t n, const CharacteristicFn& value) {
+  if (n == 0 || n > 20) throw std::invalid_argument("shapley_exact: need 1 <= n <= 20");
+  const std::uint64_t full = (n == 64) ? ~0ull : ((1ull << n) - 1);
+
+  // Memoize U over all subsets.
+  std::vector<double> u(full + 1);
+  for (std::uint64_t mask = 0; mask <= full; ++mask) u[mask] = value(mask);
+
+  // Precompute w(s) = s! (n-s-1)! / n! via logs to avoid overflow.
+  std::vector<double> log_fact(n + 1, 0.0);
+  for (std::size_t i = 2; i <= n; ++i) {
+    log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+  }
+  std::vector<double> weight(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    weight[s] = std::exp(log_fact[s] + log_fact[n - s - 1] - log_fact[n]);
+  }
+
+  std::vector<double> phi(n, 0.0);
+  for (std::uint64_t mask = 0; mask <= full; ++mask) {
+    const auto s = static_cast<std::size_t>(std::popcount(mask));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (1ull << j)) continue;
+      phi[j] += weight[s] * (u[mask | (1ull << j)] - u[mask]);
+    }
+  }
+  return phi;
+}
+
+ShapleyEstimate shapley_monte_carlo(std::size_t n, const CharacteristicFn& value,
+                                    std::size_t permutations, Rng& rng) {
+  if (n == 0 || n > 63) {
+    throw std::invalid_argument("shapley_monte_carlo: need 1 <= n <= 63");
+  }
+  if (permutations == 0) {
+    throw std::invalid_argument("shapley_monte_carlo: need >= 1 permutation");
+  }
+
+  std::vector<double> sum(n, 0.0), sum_sq(n, 0.0);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t p = 0; p < permutations; ++p) {
+    for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+      const std::size_t j = rng.uniform(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    std::uint64_t mask = 0;
+    double prev = value(0);
+    for (const std::size_t j : order) {
+      mask |= (1ull << j);
+      const double curr = value(mask);
+      const double marginal = curr - prev;
+      sum[j] += marginal;
+      sum_sq[j] += marginal * marginal;
+      prev = curr;
+    }
+  }
+
+  ShapleyEstimate out;
+  out.permutations = permutations;
+  out.value.resize(n);
+  out.std_error.resize(n);
+  const auto m = static_cast<double>(permutations);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.value[j] = sum[j] / m;
+    const double variance =
+        permutations > 1 ? (sum_sq[j] - sum[j] * sum[j] / m) / (m - 1.0) : 0.0;
+    out.std_error[j] = std::sqrt(std::max(0.0, variance) / m);
+  }
+  return out;
+}
+
+namespace {
+
+/// Uniform subset of `pool` with exactly `size` bits (reservoir over bits).
+std::uint64_t random_subset_of_size(std::uint64_t pool, std::size_t size, Rng& rng) {
+  std::vector<int> bits;
+  for (int b = 0; b < 64; ++b) {
+    if (pool & (1ull << b)) bits.push_back(b);
+  }
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < size && i < bits.size(); ++i) {
+    const std::size_t j = i + rng.uniform(bits.size() - i);
+    std::swap(bits[i], bits[j]);
+    out |= 1ull << bits[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+double superadditivity_rate(std::size_t n, const CharacteristicFn& value,
+                            std::size_t trials, Rng& rng) {
+  if (n < 2 || n > 63) throw std::invalid_argument("superadditivity_rate: bad n");
+  std::size_t held = 0;
+  const std::uint64_t full = (1ull << n) - 1;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Stratify by size so small-vs-large splits are exercised too.
+    const auto size_k = static_cast<std::size_t>(rng.uniform(n + 1));
+    const std::uint64_t k = random_subset_of_size(full, size_k, rng);
+    const std::uint64_t rest = full & ~k;
+    const auto rest_count = static_cast<std::size_t>(std::popcount(rest));
+    const auto size_l = static_cast<std::size_t>(rng.uniform(rest_count + 1));
+    const std::uint64_t l = random_subset_of_size(rest, size_l, rng);
+    if (value(k | l) >= value(k) + value(l) - 1e-12) ++held;
+  }
+  return trials == 0 ? 1.0 : static_cast<double>(held) / static_cast<double>(trials);
+}
+
+double supermodularity_rate(std::size_t n, const CharacteristicFn& value,
+                            std::size_t trials, Rng& rng) {
+  if (n < 2 || n > 63) throw std::invalid_argument("supermodularity_rate: bad n");
+  std::size_t held = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto j = static_cast<std::size_t>(rng.uniform(n));
+    const std::uint64_t jbit = 1ull << j;
+    const std::uint64_t others = ((1ull << n) - 1) & ~jbit;
+    // Stratified sizes: |L| uniform in [0, n-1], |K| uniform in [0, |L|] —
+    // uniform subset draws almost never produce the (tiny K, huge L) pairs
+    // where redundancy-driven violations live.
+    const auto size_l = static_cast<std::size_t>(rng.uniform(n));
+    const std::uint64_t l = random_subset_of_size(others, size_l, rng);
+    const auto size_k = static_cast<std::size_t>(rng.uniform(size_l + 1));
+    const std::uint64_t k = random_subset_of_size(l, size_k, rng);
+    const double delta_k = value(k | jbit) - value(k);
+    const double delta_l = value(l | jbit) - value(l);
+    if (delta_k <= delta_l + 1e-12) ++held;
+  }
+  return trials == 0 ? 1.0 : static_cast<double>(held) / static_cast<double>(trials);
+}
+
+}  // namespace bsr::econ

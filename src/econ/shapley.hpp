@@ -1,0 +1,56 @@
+// Shapley-value revenue distribution inside the broker coalition (§7.2).
+//
+// φ_j(B) = (1/|B|!) Σ_π Δ_j(B(π, j)) — the permutation-averaged marginal
+// contribution (Eq. 13). We provide:
+//   * exact computation by subset enumeration (O(2^n · n), n <= 20), using
+//     the equivalent weighted-subset formula;
+//   * Monte-Carlo permutation sampling for larger coalitions (the paper
+//     cites [35], [37] for exactly this approximation);
+//   * property probes: efficiency, symmetry, superadditivity (Theorem 7's
+//     individual-rationality precondition) and supermodularity (Theorem 8's
+//     strong-stability precondition, which fails beyond a size threshold —
+//     the paper's stopping signal for coalition growth).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace bsr::econ {
+
+/// Characteristic function over player subsets encoded as bitmasks
+/// (bit j set = player j in the coalition). Must satisfy U(∅) = 0.
+using CharacteristicFn = std::function<double(std::uint64_t mask)>;
+
+/// Exact Shapley values for n players (n <= 20). The characteristic
+/// function is evaluated once per subset (2^n calls, memoized internally).
+/// Throws std::invalid_argument for n = 0 or n > 20.
+[[nodiscard]] std::vector<double> shapley_exact(std::size_t n,
+                                                const CharacteristicFn& value);
+
+struct ShapleyEstimate {
+  std::vector<double> value;       // estimated φ_j
+  std::vector<double> std_error;   // per-player standard error of the mean
+  std::size_t permutations = 0;
+};
+
+/// Monte-Carlo Shapley via uniformly sampled permutations; n·permutations
+/// characteristic evaluations.
+[[nodiscard]] ShapleyEstimate shapley_monte_carlo(std::size_t n,
+                                                  const CharacteristicFn& value,
+                                                  std::size_t permutations,
+                                                  bsr::graph::Rng& rng);
+
+/// Checks U(K ∪ L) >= U(K) + U(L) over `trials` random disjoint pairs.
+/// Returns the fraction of trials where superadditivity held.
+[[nodiscard]] double superadditivity_rate(std::size_t n, const CharacteristicFn& value,
+                                          std::size_t trials, bsr::graph::Rng& rng);
+
+/// Checks Δ_j(K) <= Δ_j(L) for random K ⊆ L ⊆ N\{j} over `trials` draws.
+/// Returns the fraction of trials where supermodularity held.
+[[nodiscard]] double supermodularity_rate(std::size_t n, const CharacteristicFn& value,
+                                          std::size_t trials, bsr::graph::Rng& rng);
+
+}  // namespace bsr::econ

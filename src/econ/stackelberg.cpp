@@ -1,0 +1,107 @@
+#include "econ/stackelberg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "econ/bargaining.hpp"
+
+namespace bsr::econ {
+
+double customer_income(const CustomerParams& p, double a) {
+  return p.v_scale * std::log1p(p.v_curvature * a) / std::log1p(p.v_curvature);
+}
+
+double customer_legacy_payment(const CustomerParams& p, double a) {
+  // Concave parabola with apex at (â, p_peak), zero at a = 1:
+  //   P(a) = p_peak · (1 - ((a - â)/(1 - â))²)
+  // Increasing for a < â, decreasing for â < a <= 1, P(1) = 0.
+  const double width = 1.0 - p.a_hat;
+  if (width <= 0.0) return 0.0;  // â = 1: legacy payment already maximal at 1
+  const double t = (a - p.a_hat) / width;
+  return p.p_peak * (1.0 - t * t);
+}
+
+double customer_utility(const CustomerParams& p, double a, double price) {
+  return customer_income(p, a) + customer_legacy_payment(p, a) - price * a;
+}
+
+double best_response(const CustomerParams& p, double price) {
+  if (p.a0 < 0.0 || p.a0 > 1.0) {
+    throw std::invalid_argument("best_response: a0 outside [0, 1]");
+  }
+  // u_i is strictly concave in a (log income + concave parabola - linear),
+  // so ternary search over [a0, 1] converges to the unique maximizer.
+  double lo = p.a0, hi = 1.0;
+  while (hi - lo > 1e-10) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (customer_utility(p, m1, price) < customer_utility(p, m2, price)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double broker_cost(const BrokerCostParams& c, double alpha) {
+  return c.linear * alpha + c.hire * c.employee_price * std::sqrt(alpha);
+}
+
+StackelbergEquilibrium solve_stackelberg(const StackelbergConfig& config) {
+  if (config.customers.empty()) {
+    throw std::invalid_argument("solve_stackelberg: no customers");
+  }
+  if (config.max_price <= 0.0) {
+    throw std::invalid_argument("solve_stackelberg: max_price must be positive");
+  }
+
+  const auto total_adoption_at = [&config](double price) {
+    double alpha = 0.0;
+    for (const auto& customer : config.customers) {
+      alpha += best_response(customer, price);
+    }
+    return alpha;
+  };
+  const auto broker_utility_at = [&](double price) {
+    const double alpha = total_adoption_at(price);
+    return 2.0 * price * alpha - broker_cost(config.cost, alpha);
+  };
+
+  // u_B(p) need not be unimodal across the full range (customers hit the
+  // a = 1 and a = a0 corners at different prices), so scan a coarse grid
+  // and refine the best cell with golden section.
+  constexpr int kGrid = 64;
+  double best_price = 0.0, best_utility = broker_utility_at(0.0);
+  for (int i = 1; i <= kGrid; ++i) {
+    const double price = config.max_price * i / kGrid;
+    const double utility = broker_utility_at(price);
+    if (utility > best_utility) {
+      best_utility = utility;
+      best_price = price;
+    }
+  }
+  const double cell = config.max_price / kGrid;
+  const double lo = std::max(0.0, best_price - cell);
+  const double hi = std::min(config.max_price, best_price + cell);
+  const double refined = golden_section_max(broker_utility_at, lo, hi, 1e-7);
+  if (broker_utility_at(refined) > best_utility) best_price = refined;
+
+  StackelbergEquilibrium eq;
+  eq.price = best_price;
+  eq.adoption.reserve(config.customers.size());
+  eq.customer_utility.reserve(config.customers.size());
+  for (const auto& customer : config.customers) {
+    const double a = best_response(customer, best_price);
+    eq.adoption.push_back(a);
+    eq.customer_utility.push_back(customer_utility(customer, a, best_price));
+    eq.total_adoption += a;
+    if (a >= 1.0 - 1e-6) ++eq.full_adopters;
+  }
+  eq.mean_adoption = eq.total_adoption / static_cast<double>(config.customers.size());
+  eq.broker_utility =
+      2.0 * best_price * eq.total_adoption - broker_cost(config.cost, eq.total_adoption);
+  return eq;
+}
+
+}  // namespace bsr::econ

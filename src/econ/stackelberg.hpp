@@ -1,0 +1,70 @@
+// Stackelberg game between the broker coalition B and non-broker ASes (§7.1).
+//
+// B moves first, posting a routing price p_B; each customer AS i then picks
+// the traffic fraction a_i ∈ [a_i0, 1] it routes through B to maximize
+//   u_i(a_i) = V_i(a_i) + P_i(a_i) - p_B a_i                         (Eq. 8)
+// where V_i is concave increasing (QoS-driven user income, diminishing
+// returns) and P_i is concave, peaking at â_i with P_i(1) = 0 (the net
+// payment/charge of legacy routing: high-paid traffic is offloaded first).
+// B anticipates the responses and maximizes
+//   u_B(p_B) = 2 p_B α(p_B) - C(α, p_e),   α = Σ_i a_i               (Eq. 9)
+// Backward induction: the inner argmax is unique (strict concavity,
+// Theorem 6) and found by ternary search; the outer price by golden section.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bsr::econ {
+
+/// One customer AS's utility parameters.
+struct CustomerParams {
+  double v_scale = 1.0;    // V_i(1): income at full adoption
+  double v_curvature = 4.0;// γ in V(a) = v_scale·log(1+γa)/log(1+γ)
+  double a0 = 0.0;         // legacy fraction already routed via B members
+  double a_hat = 0.5;      // â_i: peak of the legacy payment curve P_i
+  double p_peak = 0.2;     // P_i(â_i); P_i(1) = 0 by construction
+};
+
+/// V_i(a): concave, increasing, V(0) = 0, V(1) = v_scale.
+[[nodiscard]] double customer_income(const CustomerParams& p, double a);
+
+/// P_i(a): concave parabola through (â, p_peak) and (1, 0).
+[[nodiscard]] double customer_legacy_payment(const CustomerParams& p, double a);
+
+/// u_i(a) for a posted price.
+[[nodiscard]] double customer_utility(const CustomerParams& p, double a, double price);
+
+/// argmax_{a ∈ [a0, 1]} u_i(a): unique by strict concavity. Ternary search.
+[[nodiscard]] double best_response(const CustomerParams& p, double price);
+
+/// Broker-side cost C(α, p_e): concave increasing in both arguments.
+struct BrokerCostParams {
+  double linear = 0.05;    // per-unit transit cost component
+  double hire = 0.1;       // employee-hire component multiplying p_e·sqrt(α)
+  double employee_price = 0.5;  // p_e from the Nash bargaining stage
+};
+
+[[nodiscard]] double broker_cost(const BrokerCostParams& c, double alpha);
+
+struct StackelbergConfig {
+  std::vector<CustomerParams> customers;
+  BrokerCostParams cost;
+  double max_price = 5.0;  // p̄_B: regulatory / competitive price cap
+};
+
+struct StackelbergEquilibrium {
+  double price = 0.0;               // p_B* (leader's move)
+  double total_adoption = 0.0;      // α* = Σ a_i(p*)
+  double mean_adoption = 0.0;       // α* / #customers
+  double broker_utility = 0.0;      // u_B at equilibrium
+  std::vector<double> adoption;     // a_i(p*) per customer
+  std::vector<double> customer_utility;  // u_i at equilibrium
+  std::size_t full_adopters = 0;    // customers with a_i* ≈ 1
+};
+
+/// Solves the two-stage game by backward induction.
+/// Throws std::invalid_argument for an empty customer list or bad bounds.
+[[nodiscard]] StackelbergEquilibrium solve_stackelberg(const StackelbergConfig& config);
+
+}  // namespace bsr::econ

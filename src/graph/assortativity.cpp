@@ -1,0 +1,33 @@
+#include "graph/assortativity.hpp"
+
+#include <cmath>
+
+namespace bsr::graph {
+
+double degree_assortativity(const CsrGraph& g) {
+  // Newman (2002): Pearson correlation over edges of the *remaining*
+  // degrees (degree - 1) of the two endpoints; each undirected edge
+  // contributes both orientations, which symmetrizes the sums.
+  if (g.num_edges() < 2) return 0.0;
+
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  std::uint64_t m2 = 0;  // number of ordered endpoint pairs = 2|E|
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    const double du = g.degree(u);
+    for (const NodeId v : g.neighbors(u)) {
+      const double dv = g.degree(v);
+      sum_xy += du * dv;
+      sum_x += du;
+      sum_x2 += du * du;
+      ++m2;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(m2);
+  const double mean = sum_x * inv;
+  const double numerator = sum_xy * inv - mean * mean;
+  const double denominator = sum_x2 * inv - mean * mean;
+  if (std::abs(denominator) < 1e-15) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace bsr::graph

@@ -1,0 +1,20 @@
+// Degree assortativity — the Internet's "rich club talks to the poor"
+// signature.
+//
+// The AS graph is famously disassortative (Pearson correlation of endpoint
+// degrees ≈ -0.2): hubs attach to low-degree customers, not to each other.
+// ER is neutral (~0) and social-style graphs are positive. This is a
+// one-number check that the synthetic topology reproduces the real
+// Internet's mixing pattern, complementing the degree and clustering
+// fingerprints (Fig. 1).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+/// Newman's degree assortativity coefficient r ∈ [-1, 1].
+/// Returns 0 for graphs with < 2 edges or zero degree variance.
+[[nodiscard]] double degree_assortativity(const CsrGraph& g);
+
+}  // namespace bsr::graph

@@ -1,0 +1,105 @@
+#include "graph/betweenness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "graph/sampling.hpp"
+
+namespace bsr::graph {
+
+namespace {
+
+/// One Brandes pivot: accumulates pair dependencies of `source` into
+/// `score`. Scratch buffers are caller-owned to avoid reallocation.
+struct BrandesScratch {
+  std::vector<NodeId> order;            // vertices in BFS visit order
+  std::vector<std::uint32_t> distance;  // hop distance
+  std::vector<double> sigma;            // # shortest paths from source
+  std::vector<double> delta;            // dependency accumulator
+
+  explicit BrandesScratch(NodeId n)
+      : distance(n), sigma(n), delta(n) {
+    order.reserve(n);
+  }
+};
+
+void brandes_pivot(const CsrGraph& g, NodeId source, BrandesScratch& scratch,
+                   std::vector<double>& score) {
+  constexpr auto kInf = kUnreachable;
+  auto& [order, distance, sigma, delta] = scratch;
+  order.clear();
+  std::fill(distance.begin(), distance.end(), kInf);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+
+  distance[source] = 0;
+  sigma[source] = 1.0;
+  order.push_back(source);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const NodeId u = order[head];
+    for (const NodeId v : g.neighbors(u)) {
+      if (distance[v] == kInf) {
+        distance[v] = distance[u] + 1;
+        order.push_back(v);
+      }
+      if (distance[v] == distance[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  // Reverse order: accumulate dependencies.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId w = *it;
+    for (const NodeId v : g.neighbors(w)) {
+      if (distance[v] + 1 == distance[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+    if (w != source) score[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> betweenness(const CsrGraph& g, Rng& rng,
+                                std::size_t num_sources) {
+  const NodeId n = g.num_vertices();
+  std::vector<double> score(n, 0.0);
+  if (n < 3) return score;
+
+  std::vector<NodeId> sources;
+  if (num_sources >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), NodeId{0});
+  } else {
+    sources = sample_distinct(rng, n, static_cast<NodeId>(num_sources));
+  }
+
+  BrandesScratch scratch(n);
+  for (const NodeId s : sources) brandes_pivot(g, s, scratch, score);
+
+  // Scale to full-pivot expectation; halve because each undirected pair is
+  // counted from both endpoints under full pivoting.
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sources.size()) / 2.0;
+  for (double& value : score) value *= scale;
+  return score;
+}
+
+std::vector<double> betweenness_exact(const CsrGraph& g) {
+  Rng unused(0);
+  return betweenness(g, unused, g.num_vertices());
+}
+
+std::vector<NodeId> vertices_by_betweenness_desc(const CsrGraph& g, Rng& rng,
+                                                 std::size_t num_sources) {
+  const auto score = betweenness(g, rng, num_sources);
+  std::vector<NodeId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&score](NodeId a, NodeId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace bsr::graph

@@ -1,0 +1,33 @@
+// Approximate betweenness centrality (Brandes' algorithm over sampled
+// sources).
+//
+// Betweenness is the natural "who carries the paths" centrality and a
+// stronger baseline than degree or PageRank for broker selection: a vertex
+// with high betweenness sits on many shortest paths, which is close to what
+// domination needs. The ablation bench contrasts a betweenness-based
+// selection (BB) with the paper's DB/PRB baselines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::graph {
+
+/// Betweenness scores estimated from `num_sources` sampled source pivots
+/// (exact if num_sources >= |V|). Unnormalized (scaled by the sampling
+/// ratio so relative order matches the exact values in expectation).
+/// O(num_sources * (|V| + |E|)).
+[[nodiscard]] std::vector<double> betweenness(const CsrGraph& g, Rng& rng,
+                                              std::size_t num_sources);
+
+/// Exact betweenness (every vertex a pivot). Small graphs / tests.
+[[nodiscard]] std::vector<double> betweenness_exact(const CsrGraph& g);
+
+/// Vertices sorted by descending betweenness (deterministic tie-break).
+[[nodiscard]] std::vector<NodeId> vertices_by_betweenness_desc(
+    const CsrGraph& g, Rng& rng, std::size_t num_sources);
+
+}  // namespace bsr::graph

@@ -1,0 +1,62 @@
+// Breadth-first search primitives on CsrGraph.
+//
+// The AS graph is unweighted, so shortest hop distances are BFS distances.
+// Besides plain BFS we provide a *filtered* BFS whose edge relaxation is
+// restricted by a caller predicate — this is how the dominated subgraph
+// G_B (edges with at least one broker endpoint) is traversed without
+// materializing it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Reusable BFS workspace. Construct once per graph size and reuse across
+/// many runs to avoid reallocating the frontier/distance arrays (matters
+/// when sampling thousands of sources).
+class BfsRunner {
+ public:
+  explicit BfsRunner(NodeId n) : dist_(n, kUnreachable), queue_(n) {}
+
+  /// Full BFS from `source`. Returns distances (kUnreachable if not reached).
+  /// The returned span is valid until the next run.
+  std::span<const std::uint32_t> run(const CsrGraph& g, NodeId source);
+
+  /// BFS where an edge (u, v) is traversable iff edge_ok(u, v). Used for
+  /// dominated-subgraph and policy-restricted traversals.
+  std::span<const std::uint32_t> run_filtered(
+      const CsrGraph& g, NodeId source,
+      const std::function<bool(NodeId, NodeId)>& edge_ok);
+
+  /// BFS from source limited to `max_depth` hops (inclusive).
+  std::span<const std::uint32_t> run_bounded(const CsrGraph& g, NodeId source,
+                                             std::uint32_t max_depth);
+
+  [[nodiscard]] std::span<const std::uint32_t> distances() const noexcept { return dist_; }
+
+ private:
+  void reset_touched();
+
+  std::vector<std::uint32_t> dist_;
+  std::vector<NodeId> queue_;
+  std::vector<NodeId> touched_;  // vertices whose dist_ entries need resetting
+};
+
+/// One-shot BFS convenience wrapper (allocates per call).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source);
+
+/// Shortest path (as a vertex sequence source..target) via BFS parent
+/// pointers; empty if unreachable. O(V + E) per call.
+[[nodiscard]] std::vector<NodeId> bfs_shortest_path(const CsrGraph& g, NodeId source,
+                                                    NodeId target);
+
+}  // namespace bsr::graph

@@ -1,0 +1,77 @@
+#include "graph/clustering.hpp"
+
+#include <algorithm>
+
+#include "graph/sampling.hpp"
+
+namespace bsr::graph {
+
+namespace {
+
+/// Number of edges among the neighbors of v (= triangles through v), via
+/// sorted-list intersection of v's adjacency with each neighbor's.
+std::uint64_t wedges_closed_at(const CsrGraph& g, NodeId v) {
+  const auto nbrs = g.neighbors(v);
+  std::uint64_t closed = 0;
+  for (const NodeId u : nbrs) {
+    // Count |N(v) ∩ N(u)| by merging the two sorted lists; halve later
+    // (each neighbor-edge found from both endpoints).
+    const auto other = g.neighbors(u);
+    auto a = nbrs.begin();
+    auto b = other.begin();
+    while (a != nbrs.end() && b != other.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        ++closed;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return closed / 2;  // every neighbor-pair edge was seen twice
+}
+
+double local_of(const CsrGraph& g, NodeId v) {
+  const auto degree = g.degree(v);
+  if (degree < 2) return 0.0;
+  const double possible = static_cast<double>(degree) * (degree - 1) / 2.0;
+  return static_cast<double>(wedges_closed_at(g, v)) / possible;
+}
+
+}  // namespace
+
+std::vector<double> local_clustering(const CsrGraph& g) {
+  std::vector<double> out(g.num_vertices(), 0.0);
+  for (NodeId v = 0; v < g.num_vertices(); ++v) out[v] = local_of(g, v);
+  return out;
+}
+
+double average_clustering(const CsrGraph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  const auto local = local_clustering(g);
+  double sum = 0.0;
+  for (const double c : local) sum += c;
+  return sum / static_cast<double>(g.num_vertices());
+}
+
+double average_clustering_sampled(const CsrGraph& g, Rng& rng, std::size_t samples) {
+  const NodeId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  if (samples >= n) return average_clustering(g);
+  const auto picks = sample_distinct(rng, n, static_cast<NodeId>(samples));
+  double sum = 0.0;
+  for (const NodeId v : picks) sum += local_of(g, v);
+  return sum / static_cast<double>(picks.size());
+}
+
+std::uint64_t triangle_count(const CsrGraph& g) {
+  // Each triangle is closed at all three of its vertices.
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) total += wedges_closed_at(g, v);
+  return total / 3;
+}
+
+}  // namespace bsr::graph

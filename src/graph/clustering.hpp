@@ -1,0 +1,32 @@
+// Clustering coefficients — the third axis of the topology fingerprint.
+//
+// Table 3 contrasts ER (no clustering), WS (high clustering), BA (low) and
+// the AS graph (moderate, hierarchical). The local coefficient of vertex v
+// is the edge density among v's neighbors; the global (average) coefficient
+// summarizes it. Exact triangle counting is O(Σ deg²) which is fine up to
+// the full 52k topology thanks to merge-based neighbor intersection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::graph {
+
+/// Local clustering coefficient of every vertex (0 for degree < 2).
+[[nodiscard]] std::vector<double> local_clustering(const CsrGraph& g);
+
+/// Average of the local coefficients (Watts-Strogatz definition).
+[[nodiscard]] double average_clustering(const CsrGraph& g);
+
+/// Sampled estimate over `samples` random vertices — for very large or very
+/// dense graphs. Exact when samples >= |V|.
+[[nodiscard]] double average_clustering_sampled(const CsrGraph& g, Rng& rng,
+                                                std::size_t samples);
+
+/// Total number of triangles in the graph (each counted once).
+[[nodiscard]] std::uint64_t triangle_count(const CsrGraph& g);
+
+}  // namespace bsr::graph

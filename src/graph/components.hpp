@@ -1,0 +1,32 @@
+// Connected components of a CsrGraph (or a filtered edge subset).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+struct Components {
+  std::vector<NodeId> label;        // component id per vertex, dense [0, count)
+  std::vector<std::uint32_t> size;  // size per component id
+  NodeId count = 0;
+
+  /// Id of the largest component (count must be > 0).
+  [[nodiscard]] NodeId largest() const;
+  [[nodiscard]] std::uint32_t largest_size() const;
+};
+
+/// Components of the full graph.
+[[nodiscard]] Components connected_components(const CsrGraph& g);
+
+/// Components where edge (u, v) participates iff edge_ok(u, v).
+[[nodiscard]] Components connected_components_filtered(
+    const CsrGraph& g, const std::function<bool(NodeId, NodeId)>& edge_ok);
+
+/// Vertex ids of the largest connected component, sorted ascending.
+[[nodiscard]] std::vector<NodeId> largest_component_vertices(const CsrGraph& g);
+
+}  // namespace bsr::graph

@@ -1,0 +1,55 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsr::graph {
+
+CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  if (offsets_.empty()) {
+    if (!adjacency_.empty()) {
+      throw std::invalid_argument("CsrGraph: adjacency without offsets");
+    }
+    return;
+  }
+  if (offsets_.front() != 0 || offsets_.back() != adjacency_.size()) {
+    throw std::invalid_argument("CsrGraph: offsets must start at 0 and end at |adjacency|");
+  }
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::invalid_argument("CsrGraph: offsets must be non-decreasing");
+  }
+  const auto n = static_cast<NodeId>(offsets_.size() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = neighbors(v);
+    if (!std::is_sorted(nbrs.begin(), nbrs.end())) {
+      throw std::invalid_argument("CsrGraph: adjacency lists must be sorted");
+    }
+    for (const NodeId w : nbrs) {
+      if (w >= n) throw std::invalid_argument("CsrGraph: neighbor id out of range");
+      if (w == v) throw std::invalid_argument("CsrGraph: self-loops are not allowed");
+    }
+  }
+  if (adjacency_.size() % 2 != 0) {
+    throw std::invalid_argument("CsrGraph: undirected adjacency must have even size");
+  }
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> CsrGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  const NodeId n = num_vertices();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace bsr::graph

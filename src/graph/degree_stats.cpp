@@ -1,0 +1,76 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bsr::graph {
+
+namespace {
+
+double percentile(const std::vector<std::uint32_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+DegreeStats compute_degree_stats(const CsrGraph& g, std::uint32_t power_law_xmin) {
+  DegreeStats stats;
+  const NodeId n = g.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<std::uint32_t> degrees(n);
+  for (NodeId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = std::accumulate(degrees.begin(), degrees.end(), 0.0) /
+               static_cast<double>(n);
+  stats.median = percentile(degrees, 0.5);
+  stats.p90 = percentile(degrees, 0.9);
+  stats.p99 = percentile(degrees, 0.99);
+
+  // Continuous MLE for the tail exponent: alpha = 1 + m / sum(ln(d / xmin)).
+  double log_sum = 0.0;
+  std::uint64_t tail_count = 0;
+  for (const std::uint32_t d : degrees) {
+    if (d >= power_law_xmin && d > 0) {
+      log_sum += std::log(static_cast<double>(d) / static_cast<double>(power_law_xmin));
+      ++tail_count;
+    }
+  }
+  if (tail_count >= 10 && log_sum > 0.0) {
+    stats.power_law_alpha = 1.0 + static_cast<double>(tail_count) / log_sum;
+    stats.power_law_xmin = power_law_xmin;
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> degree_histogram(const CsrGraph& g) {
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_degree) + 1, 0);
+  for (NodeId v = 0; v < g.num_vertices(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+std::vector<NodeId> vertices_by_degree_desc(const CsrGraph& g) {
+  std::vector<NodeId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace bsr::graph

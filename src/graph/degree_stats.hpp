@@ -1,0 +1,37 @@
+// Degree statistics: distribution, moments, and heavy-tail diagnostics.
+//
+// Used to verify that the synthetic Internet topology matches the scale-free
+// degree profile the paper's dataset exhibits (Fig. 1) and by the DB baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// Maximum-likelihood power-law tail exponent fitted on degrees >= xmin
+  /// (Clauset-Shalizi-Newman continuous approximation). 0 if not enough data.
+  double power_law_alpha = 0.0;
+  std::uint32_t power_law_xmin = 0;
+};
+
+[[nodiscard]] DegreeStats compute_degree_stats(const CsrGraph& g,
+                                               std::uint32_t power_law_xmin = 10);
+
+/// Degree histogram: index d holds the number of vertices with degree d.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const CsrGraph& g);
+
+/// Vertex ids sorted by descending degree (ties by ascending id, stable and
+/// deterministic). The DB baseline takes a prefix of this.
+[[nodiscard]] std::vector<NodeId> vertices_by_degree_desc(const CsrGraph& g);
+
+}  // namespace bsr::graph

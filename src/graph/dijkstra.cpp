@@ -1,0 +1,53 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace bsr::graph {
+
+DijkstraResult dijkstra(const CsrGraph& g, NodeId source, const EdgeWeightFn& weight) {
+  assert(source < g.num_vertices());
+  DijkstraResult result;
+  result.distance.assign(g.num_vertices(), kInfDistance);
+  result.parent.assign(g.num_vertices(), kNoParent);
+
+  using Item = std::pair<double, NodeId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.distance[source] = 0.0;
+  result.parent[source] = source;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.distance[u]) continue;  // stale entry
+    for (const NodeId v : g.neighbors(u)) {
+      const double w = weight(u, v);
+      if (w < 0.0) throw std::invalid_argument("dijkstra: negative edge weight");
+      const double candidate = d + w;
+      if (candidate < result.distance[v]) {
+        result.distance[v] = candidate;
+        result.parent[v] = u;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> extract_path(const DijkstraResult& result, NodeId source,
+                                 NodeId target) {
+  if (target >= result.parent.size() || result.parent[target] == kNoParent) return {};
+  std::vector<NodeId> path{target};
+  NodeId w = target;
+  while (w != source) {
+    w = result.parent[w];
+    path.push_back(w);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace bsr::graph

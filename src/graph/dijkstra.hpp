@@ -1,0 +1,42 @@
+// Dijkstra shortest paths for weighted overlays.
+//
+// The base AS graph is unweighted (BFS suffices), but the QoS routing
+// simulator attaches per-edge latency weights; Dijkstra serves that layer.
+// A binary heap is used: on graphs with |E| = O(|V|) it matches the
+// Fibonacci-heap bound the paper quotes in practice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Weight callback: weight(u, v) must return the positive weight of edge
+/// (u, v). Called once per relaxed edge.
+using EdgeWeightFn = std::function<double(NodeId, NodeId)>;
+
+struct DijkstraResult {
+  std::vector<double> distance;  // kInfDistance if unreachable
+  std::vector<NodeId> parent;    // kUnreachableParent if none
+};
+
+inline constexpr NodeId kNoParent = std::numeric_limits<NodeId>::max();
+
+/// Single-source shortest paths with non-negative weights.
+/// Throws std::invalid_argument if a negative weight is observed.
+[[nodiscard]] DijkstraResult dijkstra(const CsrGraph& g, NodeId source,
+                                      const EdgeWeightFn& weight);
+
+/// Reconstructs the path source..target from a DijkstraResult; empty if
+/// unreachable.
+[[nodiscard]] std::vector<NodeId> extract_path(const DijkstraResult& result,
+                                               NodeId source, NodeId target);
+
+}  // namespace bsr::graph

@@ -1,0 +1,69 @@
+#include "graph/distance_histogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/sampling.hpp"
+
+namespace bsr::graph {
+
+DistanceCdf distance_cdf_from_sources(const CsrGraph& g,
+                                      std::span<const NodeId> sources,
+                                      const EdgeFilter& filter) {
+  const NodeId n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("distance_cdf: need at least 2 vertices");
+  if (sources.empty()) throw std::invalid_argument("distance_cdf: no sources");
+
+  BfsRunner runner(n);
+  std::vector<std::uint64_t> histogram;  // histogram[l] = #targets at distance l
+  for (const NodeId s : sources) {
+    const auto dist = filter ? runner.run_filtered(g, s, filter) : runner.run(g, s);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t d = dist[v];
+      if (d == 0 || d == kUnreachable) continue;
+      if (d >= histogram.size()) histogram.resize(d + 1, 0);
+      ++histogram[d];
+    }
+  }
+
+  DistanceCdf out;
+  out.sources_used = sources.size();
+  const double denom =
+      static_cast<double>(sources.size()) * static_cast<double>(n - 1);
+  out.cdf.resize(std::max<std::size_t>(histogram.size(), 1), 0.0);
+  std::uint64_t running = 0;
+  for (std::size_t l = 1; l < histogram.size(); ++l) {
+    running += histogram[l];
+    out.cdf[l] = static_cast<double>(running) / denom;
+  }
+  out.reachable = out.cdf.back();
+  return out;
+}
+
+DistanceCdf distance_cdf_sampled(const CsrGraph& g, Rng& rng, std::size_t num_sources,
+                                 const EdgeFilter& filter) {
+  const NodeId n = g.num_vertices();
+  if (num_sources >= n) return distance_cdf_exact(g, filter);
+  const auto sources = sample_distinct(rng, n, static_cast<NodeId>(num_sources));
+  return distance_cdf_from_sources(g, sources, filter);
+}
+
+DistanceCdf distance_cdf_exact(const CsrGraph& g, const EdgeFilter& filter) {
+  std::vector<NodeId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  return distance_cdf_from_sources(g, all, filter);
+}
+
+double max_cdf_deviation(const DistanceCdf& a, const DistanceCdf& b) {
+  const std::size_t len = std::max(a.cdf.size(), b.cdf.size());
+  double worst = 0.0;
+  for (std::size_t l = 0; l < len; ++l) {
+    worst = std::max(worst, std::abs(a.at(static_cast<std::uint32_t>(l)) -
+                                     b.at(static_cast<std::uint32_t>(l))));
+  }
+  return worst;
+}
+
+}  // namespace bsr::graph

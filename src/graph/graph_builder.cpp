@@ -1,0 +1,44 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsr::graph {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder::add_edge: vertex id out of range");
+  }
+  if (u == v) return;  // self-loops carry no information for domination
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+}
+
+CsrGraph GraphBuilder::build() const {
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : sorted) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> adjacency(sorted.size() * 2);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : sorted) {
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  // Edges were sorted by (u, v); per-vertex lists under u are already sorted,
+  // but lists under v (the reverse direction) are not. Sort each list.
+  for (NodeId v = 0; v < num_vertices_; ++v) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  return CsrGraph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace bsr::graph

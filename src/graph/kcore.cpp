@@ -1,0 +1,65 @@
+#include "graph/kcore.hpp"
+
+#include <algorithm>
+
+namespace bsr::graph {
+
+std::vector<std::uint32_t> coreness(const CsrGraph& g) {
+  const NodeId n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by current degree (Matula–Beck / Batagelj–Zaversnik).
+  std::vector<std::uint32_t> bin(static_cast<std::size_t>(max_degree) + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);       // vertices sorted by degree
+  std::vector<std::uint32_t> pos(n);  // position of each vertex in `order`
+  for (NodeId v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]];
+    order[pos[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (std::uint32_t d = max_degree; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  std::vector<std::uint32_t> core = degree;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = degree[v];
+    for (const NodeId u : g.neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap it with the first vertex of its bucket.
+        const std::uint32_t du = degree[u];
+        const std::uint32_t pu = pos[u];
+        const std::uint32_t pw = bin[du];
+        const NodeId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const CsrGraph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto core = coreness(g);
+  return *std::max_element(core.begin(), core.end());
+}
+
+}  // namespace bsr::graph

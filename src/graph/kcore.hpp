@@ -1,0 +1,23 @@
+// k-core decomposition (coreness) via the Matula–Beck peeling algorithm.
+//
+// Coreness quantifies how "core" vs "edge" a vertex sits in the topology.
+// Fig. 4 of the paper contrasts the DB baseline (brokers crowded in the core)
+// with MaxSG (brokers also covering the outer ring); we reproduce that
+// contrast with coreness profiles of the selected broker sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+/// Coreness of each vertex: the largest k such that the vertex belongs to the
+/// k-core (maximal subgraph with minimum degree >= k). O(V + E).
+[[nodiscard]] std::vector<std::uint32_t> coreness(const CsrGraph& g);
+
+/// Maximum coreness over all vertices (the degeneracy of the graph).
+[[nodiscard]] std::uint32_t degeneracy(const CsrGraph& g);
+
+}  // namespace bsr::graph

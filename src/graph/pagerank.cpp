@@ -1,0 +1,61 @@
+#include "graph/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bsr::graph {
+
+std::vector<double> pagerank(const CsrGraph& g, const PageRankOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    throw std::invalid_argument("pagerank: damping must be in (0, 1)");
+  }
+  if (options.max_iterations <= 0) {
+    throw std::invalid_argument("pagerank: max_iterations must be positive");
+  }
+  const NodeId n = g.num_vertices();
+  if (n == 0) return {};
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto deg = g.degree(u);
+      if (deg == 0) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(deg);
+      for (const NodeId v : g.neighbors(u)) next[v] += share;
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling_mass * uniform;
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = base + options.damping * next[v];
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<NodeId> vertices_by_pagerank_desc(const CsrGraph& g,
+                                              const PageRankOptions& options) {
+  const std::vector<double> scores = pagerank(g, options);
+  std::vector<NodeId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&scores](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace bsr::graph

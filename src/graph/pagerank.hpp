@@ -1,0 +1,31 @@
+// PageRank by power iteration on the undirected graph.
+//
+// The PRB baseline ranks candidate brokers by PageRank; Fig. 3 correlates
+// PageRank values with marginal connectivity gains. On an undirected graph
+// PageRank is statistically close to the degree distribution (as the paper
+// notes, citing [32]) but not identical — the difference is exactly what
+// Fig. 3 probes.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-10;  // L1 change per iteration to declare convergence
+  int max_iterations = 200;
+};
+
+/// PageRank scores summing to 1. Dangling (degree-0) vertices distribute
+/// their mass uniformly. Throws std::invalid_argument for bad options.
+[[nodiscard]] std::vector<double> pagerank(const CsrGraph& g,
+                                           const PageRankOptions& options = {});
+
+/// Vertex ids sorted by descending PageRank (deterministic tie-break by id).
+[[nodiscard]] std::vector<NodeId> vertices_by_pagerank_desc(
+    const CsrGraph& g, const PageRankOptions& options = {});
+
+}  // namespace bsr::graph

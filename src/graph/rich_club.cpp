@@ -1,0 +1,33 @@
+#include "graph/rich_club.hpp"
+
+namespace bsr::graph {
+
+double rich_club_coefficient(const CsrGraph& g, std::uint32_t k) {
+  std::uint64_t members = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > k) ++members;
+  }
+  if (members < 2) return 0.0;
+  std::uint64_t internal_edges = 0;
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) <= k) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v && g.degree(v) > k) ++internal_edges;
+    }
+  }
+  const double possible = 0.5 * static_cast<double>(members) *
+                          static_cast<double>(members - 1);
+  return static_cast<double>(internal_edges) / possible;
+}
+
+std::vector<double> rich_club_profile(const CsrGraph& g,
+                                      const std::vector<std::uint32_t>& thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (const std::uint32_t k : thresholds) {
+    out.push_back(rich_club_coefficient(g, k));
+  }
+  return out;
+}
+
+}  // namespace bsr::graph

@@ -1,0 +1,24 @@
+// Rich-club coefficient — do the hubs form a club?
+//
+// φ(k) = fraction of possible edges present among vertices of degree > k.
+// The measured Internet's transit core is a strong rich club (tier-1s peer
+// in a near-clique); the generator must reproduce that for broker backbones
+// to be realistic (it is why the MaxSG backbone is internally connected and
+// broker-only routing hits ~100 % in Fig. 5a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+/// φ(k) for one degree threshold; 0 if fewer than 2 qualifying vertices.
+[[nodiscard]] double rich_club_coefficient(const CsrGraph& g, std::uint32_t k);
+
+/// φ over a list of thresholds (single pass over edges per call).
+[[nodiscard]] std::vector<double> rich_club_profile(
+    const CsrGraph& g, const std::vector<std::uint32_t>& thresholds);
+
+}  // namespace bsr::graph

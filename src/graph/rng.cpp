@@ -1,0 +1,50 @@
+#include "graph/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bsr::graph {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  assert(bound > 0 && "uniform() requires a positive bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi && "uniform_in() requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  // Guard against log(0): uniform01() can return exactly 0.
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double alpha, double lo, double hi) noexcept {
+  assert(alpha > 0.0 && lo > 0.0 && hi >= lo);
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi]:
+  //   F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha)
+  //   x    = lo * (1 - U (1 - (lo/hi)^alpha))^(-1/alpha)
+  // U = 0 gives lo, U = 1 gives hi.
+  const double ratio = std::pow(lo / hi, alpha);
+  const double u = uniform01();
+  return lo * std::pow(1.0 - u * (1.0 - ratio), -1.0 / alpha);
+}
+
+}  // namespace bsr::graph

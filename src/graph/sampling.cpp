@@ -1,0 +1,53 @@
+#include "graph/sampling.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace bsr::graph {
+
+std::vector<NodeId> sample_distinct(Rng& rng, NodeId n, NodeId k) {
+  if (k > n) throw std::invalid_argument("sample_distinct: k > n");
+  std::vector<NodeId> pool(n);
+  std::iota(pool.begin(), pool.end(), NodeId{0});
+  for (NodeId i = 0; i < k; ++i) {
+    const auto j = static_cast<NodeId>(i + rng.uniform(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<NodeId> sample_from(Rng& rng, std::span<const NodeId> pool, std::size_t k) {
+  if (k > pool.size()) throw std::invalid_argument("sample_from: k > |pool|");
+  std::vector<NodeId> copy(pool.begin(), pool.end());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform(copy.size() - i);
+    std::swap(copy[i], copy[j]);
+  }
+  copy.resize(k);
+  return copy;
+}
+
+void shuffle(Rng& rng, std::vector<NodeId>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> sample_pairs(Rng& rng, NodeId n,
+                                                    std::size_t count) {
+  if (n < 2) throw std::invalid_argument("sample_pairs: need at least 2 vertices");
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform(n));
+    auto v = static_cast<NodeId>(rng.uniform(n - 1));
+    if (v >= u) ++v;
+    pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+}  // namespace bsr::graph

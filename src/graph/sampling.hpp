@@ -1,0 +1,27 @@
+// Deterministic sampling utilities used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::graph {
+
+/// k distinct values from [0, n) via partial Fisher-Yates. Requires k <= n.
+[[nodiscard]] std::vector<NodeId> sample_distinct(Rng& rng, NodeId n, NodeId k);
+
+/// k distinct elements of `pool` (uniformly, without replacement).
+[[nodiscard]] std::vector<NodeId> sample_from(Rng& rng, std::span<const NodeId> pool,
+                                              std::size_t k);
+
+/// In-place Fisher-Yates shuffle.
+void shuffle(Rng& rng, std::vector<NodeId>& values);
+
+/// Random (source != target) vertex pairs, with replacement across pairs.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> sample_pairs(Rng& rng, NodeId n,
+                                                                  std::size_t count);
+
+}  // namespace bsr::graph

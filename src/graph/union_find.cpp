@@ -1,0 +1,35 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+namespace bsr::graph {
+
+UnionFind::UnionFind(NodeId n) { reset(n); }
+
+void UnionFind::reset(NodeId n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  size_.assign(n, 1);
+  num_components_ = n;
+}
+
+NodeId UnionFind::find(NodeId v) noexcept {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(NodeId u, NodeId v) noexcept {
+  NodeId ru = find(u);
+  NodeId rv = find(v);
+  if (ru == rv) return false;
+  if (size_[ru] < size_[rv]) std::swap(ru, rv);
+  parent_[rv] = ru;
+  size_[ru] += size_[rv];
+  --num_components_;
+  return true;
+}
+
+}  // namespace bsr::graph

@@ -1,0 +1,45 @@
+// Disjoint-set forest with union-by-size and path halving.
+//
+// Used heavily: saturated E2E connectivity, MaxSG's incremental dominated-
+// subgraph maintenance, and connected-component extraction. Tracks component
+// sizes so "size of the merged component" queries are O(alpha).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n);
+
+  /// Resets to n singleton components.
+  void reset(NodeId n);
+
+  [[nodiscard]] NodeId size() const noexcept { return static_cast<NodeId>(parent_.size()); }
+
+  /// Root of v's component (with path halving, so non-const).
+  [[nodiscard]] NodeId find(NodeId v) noexcept;
+
+  /// Merges the components of u and v; returns true if they were distinct.
+  bool unite(NodeId u, NodeId v) noexcept;
+
+  [[nodiscard]] bool connected(NodeId u, NodeId v) noexcept { return find(u) == find(v); }
+
+  /// Number of vertices in v's component.
+  [[nodiscard]] std::uint32_t component_size(NodeId v) noexcept {
+    return size_[find(v)];
+  }
+
+  [[nodiscard]] NodeId num_components() const noexcept { return num_components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  NodeId num_components_ = 0;
+};
+
+}  // namespace bsr::graph

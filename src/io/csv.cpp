@@ -1,0 +1,53 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bsr::io {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  }
+  rows_.push_back(cells);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream oss;
+  const auto emit = [&oss](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << csv_escape(row[i]);
+    }
+    oss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace bsr::io

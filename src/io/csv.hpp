@@ -1,0 +1,33 @@
+// CSV emission for figure series so plots can be regenerated externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bsr::io {
+
+/// Appends rows to an in-memory CSV document, then writes atomically.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Serializes with proper quoting of commas/quotes/newlines.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`; throws std::runtime_error on IO failure.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace bsr::io

@@ -1,0 +1,106 @@
+#include "io/dot_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "graph/degree_stats.hpp"
+#include "graph/sampling.hpp"
+
+namespace bsr::io {
+
+using bsr::graph::NodeId;
+
+namespace {
+
+const char* fill_color(bsr::topology::NodeType type) {
+  switch (type) {
+    case bsr::topology::NodeType::kTransitAccess: return "#6baed6";  // blue
+    case bsr::topology::NodeType::kContent: return "#74c476";        // green
+    case bsr::topology::NodeType::kEnterprise: return "#fdae6b";     // orange
+    case bsr::topology::NodeType::kIxp: return "#9e9ac8";            // purple
+  }
+  return "#cccccc";
+}
+
+void write_node(std::ostream& os, const bsr::topology::InternetTopology& topo,
+                const bsr::broker::BrokerSet* brokers, NodeId v,
+                const DotStyle& style) {
+  os << "  n" << v << " [";
+  if (style.color_by_type) {
+    os << "style=filled,fillcolor=\"" << fill_color(topo.meta[v].type) << "\",";
+  }
+  if (style.highlight_brokers && brokers != nullptr && brokers->contains(v)) {
+    os << "shape=doublecircle,penwidth=2,color=red,";
+  } else {
+    os << "shape=point,";
+  }
+  os << "label=\"\"];\n";
+}
+
+void write_header(std::ostream& os, const DotStyle& style) {
+  os << "graph brokerset {\n"
+     << "  layout=" << style.layout << ";\n"
+     << "  overlap=false;\n"
+     << "  node [width=0.05,height=0.05];\n"
+     << "  edge [color=\"#00000020\"];\n";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const bsr::topology::InternetTopology& topo,
+               const bsr::broker::BrokerSet* brokers, const DotStyle& style) {
+  write_header(os, style);
+  for (NodeId v = 0; v < topo.num_vertices(); ++v) {
+    write_node(os, topo, brokers, v, style);
+  }
+  for (NodeId u = 0; u < topo.num_vertices(); ++u) {
+    for (const NodeId v : topo.graph.neighbors(u)) {
+      if (u < v) os << "  n" << u << " -- n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::size_t write_dot_sample(std::ostream& os,
+                             const bsr::topology::InternetTopology& topo,
+                             const bsr::broker::BrokerSet* brokers,
+                             std::size_t hubs, std::size_t ring,
+                             bsr::graph::Rng& rng, const DotStyle& style) {
+  const NodeId n = topo.num_vertices();
+  std::vector<bool> selected(n, false);
+
+  const auto order = bsr::graph::vertices_by_degree_desc(topo.graph);
+  for (std::size_t i = 0; i < std::min<std::size_t>(hubs, order.size()); ++i) {
+    selected[order[i]] = true;
+  }
+  // Ring sample: uniform draws skew low-degree on a heavy-tailed graph.
+  std::size_t added = 0;
+  std::uint64_t guard = 0;
+  while (added < ring && guard < 50ull * n) {
+    ++guard;
+    const auto v = static_cast<NodeId>(rng.uniform(n));
+    if (!selected[v]) {
+      selected[v] = true;
+      ++added;
+    }
+  }
+
+  write_header(os, style);
+  std::size_t exported = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!selected[v]) continue;
+    write_node(os, topo, brokers, v, style);
+    ++exported;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (!selected[u]) continue;
+    for (const NodeId v : topo.graph.neighbors(u)) {
+      if (u < v && selected[v]) os << "  n" << u << " -- n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+  return exported;
+}
+
+}  // namespace bsr::io

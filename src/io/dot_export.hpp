@@ -1,0 +1,43 @@
+// Graphviz DOT export — the plotting backend for Fig. 1 / Fig. 4 style
+// layouts.
+//
+// The paper visualizes the AS topology (scale-free, IXPs at core and edge)
+// and broker placements (DB crowding the core vs MaxSG covering the ring).
+// This writer emits a DOT document with brokers highlighted and node types
+// color-coded; render with `sfdp -Tsvg` for large graphs. For 52k vertices
+// the file is huge, so a sampled-subgraph export (ego sample around hubs)
+// is provided as well.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "broker/broker_set.hpp"
+#include "graph/rng.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::io {
+
+struct DotStyle {
+  bool color_by_type = true;    // T/A, content, enterprise, IXP palette
+  bool highlight_brokers = true;
+  std::string layout = "sfdp";  // emitted as a graph attribute hint
+};
+
+/// Writes the whole topology as DOT. `brokers` may be null.
+void write_dot(std::ostream& os, const bsr::topology::InternetTopology& topo,
+               const bsr::broker::BrokerSet* brokers = nullptr,
+               const DotStyle& style = {});
+
+/// Ego-sampled subgraph export: takes the `hubs` highest-degree vertices
+/// plus `ring` random low-degree vertices and all edges among the selection
+/// — small enough to render while preserving the core/edge contrast of
+/// Fig. 1. Returns the number of exported vertices.
+std::size_t write_dot_sample(std::ostream& os,
+                             const bsr::topology::InternetTopology& topo,
+                             const bsr::broker::BrokerSet* brokers,
+                             std::size_t hubs, std::size_t ring,
+                             bsr::graph::Rng& rng, const DotStyle& style = {});
+
+}  // namespace bsr::io

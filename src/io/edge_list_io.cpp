@@ -1,0 +1,78 @@
+#include "io/edge_list_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+
+namespace bsr::io {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+
+void write_edge_list(std::ostream& os, const CsrGraph& g) {
+  os << "# brokerset edge list: " << g.num_vertices() << " vertices, "
+     << g.num_edges() << " edges\n";
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) os << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("write_edge_list_file: write failed for " + path);
+}
+
+CsrGraph read_edge_list(std::istream& is) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::map<std::uint64_t, NodeId> id_map;  // ordered => dense ids keep order
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> a)) continue;  // blank or comment-only line
+    if (!(ls >> b)) {
+      throw std::runtime_error("read_edge_list: line " + std::to_string(line_number) +
+                               ": expected two vertex ids");
+    }
+    std::uint64_t extra = 0;
+    if (ls >> extra) {
+      throw std::runtime_error("read_edge_list: line " + std::to_string(line_number) +
+                               ": trailing tokens");
+    }
+    raw_edges.emplace_back(a, b);
+    id_map.emplace(a, 0);
+    id_map.emplace(b, 0);
+  }
+  NodeId next = 0;
+  for (auto& [raw, dense] : id_map) dense = next++;
+
+  GraphBuilder builder(next);
+  builder.reserve(raw_edges.size());
+  for (const auto& [a, b] : raw_edges) {
+    builder.add_edge(id_map.at(a), id_map.at(b));
+  }
+  return builder.build();
+}
+
+CsrGraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace bsr::io

@@ -1,0 +1,29 @@
+// Plain-text edge list serialization.
+//
+// Format: one "u v" pair per line; '#' starts a comment; blank lines are
+// skipped. This is the interchange format for dumping the synthetic topology
+// and for loading user-supplied AS-level graphs (e.g. the real CAIDA data if
+// the user has it) into the same pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::io {
+
+/// Writes `g` to a stream as an edge list (canonical u < v lines).
+void write_edge_list(std::ostream& os, const bsr::graph::CsrGraph& g);
+
+/// Writes to a file; throws std::runtime_error on IO failure.
+void write_edge_list_file(const std::string& path, const bsr::graph::CsrGraph& g);
+
+/// Parses an edge list. Vertex ids may be sparse/arbitrary non-negative
+/// integers; they are compacted to dense ids preserving numeric order.
+/// Throws std::runtime_error with line context on malformed input.
+[[nodiscard]] bsr::graph::CsrGraph read_edge_list(std::istream& is);
+
+[[nodiscard]] bsr::graph::CsrGraph read_edge_list_file(const std::string& path);
+
+}  // namespace bsr::io

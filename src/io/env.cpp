@@ -1,0 +1,59 @@
+#include "io/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace bsr::io {
+
+namespace {
+
+double read_double(const char* name, double fallback, double lo, double hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || value < lo || value > hi) {
+    throw std::runtime_error(std::string("invalid ") + name + ": " + raw);
+  }
+  return value;
+}
+
+std::uint64_t read_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    throw std::runtime_error(std::string("invalid ") + name + ": " + raw);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t ExperimentEnv::scaled(std::uint32_t full, std::uint32_t minimum) const {
+  const double value = std::round(static_cast<double>(full) * scale);
+  return std::max<std::uint32_t>(minimum, static_cast<std::uint32_t>(value));
+}
+
+ExperimentEnv experiment_env() {
+  ExperimentEnv env;
+  env.scale = read_double("REPRO_SCALE", env.scale, 1e-4, 10.0);
+  env.bfs_sources = static_cast<std::size_t>(
+      read_u64("REPRO_SOURCES", env.bfs_sources));
+  if (env.bfs_sources == 0) throw std::runtime_error("invalid REPRO_SOURCES: 0");
+  env.seed = read_u64("REPRO_SEED", env.seed);
+  return env;
+}
+
+std::string describe(const ExperimentEnv& env) {
+  std::ostringstream oss;
+  oss << "scale=" << env.scale << " bfs_sources=" << env.bfs_sources
+      << " seed=" << env.seed;
+  return oss.str();
+}
+
+}  // namespace bsr::io

@@ -1,0 +1,31 @@
+// Experiment-scale configuration via environment variables.
+//
+// The evaluation host may be too slow to run every bench at the paper's
+// full 52,079-vertex scale; REPRO_SCALE linearly scales vertex counts and
+// REPRO_SOURCES controls BFS-source sampling. Every bench prints the
+// effective configuration so results are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsr::io {
+
+struct ExperimentEnv {
+  double scale = 1.0;            // REPRO_SCALE: multiplies vertex counts
+  std::size_t bfs_sources = 512; // REPRO_SOURCES: sampled BFS sources
+  std::uint64_t seed = 20170614; // REPRO_SEED: master seed (ICDCS'17 era)
+
+  /// Scales a full-size count, keeping at least `minimum`.
+  [[nodiscard]] std::uint32_t scaled(std::uint32_t full,
+                                     std::uint32_t minimum = 1) const;
+};
+
+/// Reads REPRO_SCALE / REPRO_SOURCES / REPRO_SEED (all optional).
+/// Out-of-range values throw std::runtime_error naming the variable.
+[[nodiscard]] ExperimentEnv experiment_env();
+
+/// One-line human-readable description for bench headers.
+[[nodiscard]] std::string describe(const ExperimentEnv& env);
+
+}  // namespace bsr::io

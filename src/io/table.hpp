@@ -1,0 +1,63 @@
+// Minimal ASCII table renderer for bench/example output.
+//
+// Every reproduced paper table/figure prints through this so the harness
+// output is uniform and diffable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsr::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric/text rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(std::string text);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(std::uint64_t value);
+    /// Fixed-precision double.
+    RowBuilder& cell(double value, int precision = 2);
+    /// Percentage with a trailing % sign, e.g. 85.41%.
+    RowBuilder& percent(double fraction, int precision = 2);
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a fraction as a percent string, e.g. 0.8541 -> "85.41".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+/// Section banner used by bench binaries ("=== Table 3: ... ===").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace bsr::io

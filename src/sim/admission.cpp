@@ -1,0 +1,73 @@
+#include "sim/admission.hpp"
+
+#include <stdexcept>
+
+namespace bsr::sim {
+
+using bsr::graph::NodeId;
+
+AdmissionController::AdmissionController(const bsr::graph::CsrGraph& g,
+                                         const bsr::broker::BrokerSet& brokers,
+                                         AdmissionConfig config)
+    : graph_(&g),
+      brokers_(&brokers),
+      config_(config),
+      router_(g, brokers),
+      load_(g.num_vertices(), 0.0) {
+  if (config_.qos_requirement < 0.0 || config_.qos_requirement > 1.0) {
+    throw std::invalid_argument("AdmissionController: requirement outside [0, 1]");
+  }
+  if (config_.broker_capacity < 0.0) {
+    throw std::invalid_argument("AdmissionController: negative capacity");
+  }
+}
+
+bool AdmissionController::has_capacity(std::span<const NodeId> path,
+                                       double volume) const {
+  if (config_.broker_capacity <= 0.0) return true;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (brokers_->contains(path[i]) &&
+        load_[path[i]] + volume > config_.broker_capacity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionController::consume(std::span<const NodeId> path, double volume) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (brokers_->contains(path[i])) load_[path[i]] += volume;
+  }
+}
+
+AdmissionOutcome AdmissionController::admit(const Flow& flow) {
+  const Route brokered = router_.route_dominated(flow.src, flow.dst);
+  if (brokered.reachable()) {
+    const double success =
+        path_qos_success(config_.qos, *brokers_, brokered.path);
+    if (success >= config_.qos_requirement &&
+        has_capacity(brokered.path, flow.volume)) {
+      consume(brokered.path, flow.volume);
+      ++stats_.brokered;
+      stats_.admitted_volume += flow.volume;
+      return AdmissionOutcome::kBrokered;
+    }
+  }
+
+  const Route direct = router_.route_free(flow.src, flow.dst);
+  if (!direct.reachable()) {
+    ++stats_.unreachable;
+    return AdmissionOutcome::kUnreachable;
+  }
+  const double success = path_qos_success(config_.qos, *brokers_, direct.path);
+  if (success >= config_.qos_requirement) {
+    ++stats_.bgp_fallback;
+    stats_.admitted_volume += flow.volume;
+    return AdmissionOutcome::kBgpFallback;
+  }
+  ++stats_.blocked;
+  stats_.blocked_volume += flow.volume;
+  return AdmissionOutcome::kBlocked;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,84 @@
+// QoS admission control over the brokered plane.
+//
+// One deployment option the paper sketches (after [8]): the broker set
+// blocks connections whose QoS requirement cannot be met. This module
+// simulates that plane: each flow carries a QoS requirement (minimum E2E
+// success probability); the controller admits it on the brokered plane if a
+// dominating path meets the requirement, else falls back to the BGP plane
+// if that meets it, else blocks. Capacity limits on brokers turn this into
+// a simple admission-control loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "sim/demand.hpp"
+#include "sim/qos.hpp"
+#include "sim/router.hpp"
+
+namespace bsr::sim {
+
+struct AdmissionConfig {
+  QosModel qos;
+  /// Minimum E2E QoS success probability a flow demands.
+  double qos_requirement = 0.95;
+  /// Per-broker transit capacity (volume units); 0 = unlimited.
+  double broker_capacity = 0.0;
+};
+
+enum class AdmissionOutcome : std::uint8_t {
+  kBrokered,   // admitted on the dominating-path plane
+  kBgpFallback,// requirement met by the plain shortest path
+  kBlocked,    // neither plane meets the requirement (or capacity exhausted)
+  kUnreachable,
+};
+
+struct AdmissionStats {
+  std::size_t brokered = 0;
+  std::size_t bgp_fallback = 0;
+  std::size_t blocked = 0;
+  std::size_t unreachable = 0;
+  double admitted_volume = 0.0;
+  double blocked_volume = 0.0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return brokered + bgp_fallback + blocked + unreachable;
+  }
+  [[nodiscard]] double acceptance_rate() const noexcept {
+    const auto t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(brokered + bgp_fallback) /
+                        static_cast<double>(t);
+  }
+};
+
+/// Processes flows in order; returns per-flow outcomes plus aggregates.
+/// Broker capacity (if set) is consumed by transit volume on brokered paths.
+class AdmissionController {
+ public:
+  AdmissionController(const bsr::graph::CsrGraph& g,
+                      const bsr::broker::BrokerSet& brokers, AdmissionConfig config);
+
+  AdmissionOutcome admit(const Flow& flow);
+
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<double>& broker_load() const noexcept {
+    return load_;
+  }
+
+ private:
+  [[nodiscard]] bool has_capacity(std::span<const bsr::graph::NodeId> path,
+                                  double volume) const;
+  void consume(std::span<const bsr::graph::NodeId> path, double volume);
+
+  const bsr::graph::CsrGraph* graph_;
+  const bsr::broker::BrokerSet* brokers_;
+  AdmissionConfig config_;
+  Router router_;
+  std::vector<double> load_;
+  AdmissionStats stats_;
+};
+
+}  // namespace bsr::sim

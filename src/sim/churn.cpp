@@ -1,0 +1,71 @@
+#include "sim/churn.hpp"
+
+#include <stdexcept>
+
+#include "broker/dominated.hpp"
+#include "broker/resilience.hpp"
+
+namespace bsr::sim {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initial,
+                           const ChurnConfig& config, Rng& rng) {
+  if (config.departure_rate <= 0.0 || config.repair_interval <= 0.0 ||
+      config.horizon <= 0.0) {
+    throw std::invalid_argument("simulate_churn: rates/horizon must be positive");
+  }
+
+  ChurnResult result;
+  BrokerSet current = initial;
+  double now = 0.0;
+  double next_departure = rng.exponential(config.departure_rate);
+  double next_repair = config.repair_interval;
+  double connectivity = bsr::broker::saturated_connectivity(g, current);
+  result.min_connectivity = connectivity;
+  double weighted_sum = 0.0;
+
+  const auto advance_to = [&](double t) {
+    weighted_sum += connectivity * (t - now);
+    now = t;
+  };
+
+  while (true) {
+    const double next_time = std::min(next_departure, next_repair);
+    if (next_time > config.horizon) {
+      advance_to(config.horizon);
+      break;
+    }
+    advance_to(next_time);
+
+    if (next_departure <= next_repair) {
+      // One uniformly random broker departs (if any remain).
+      if (!current.empty()) {
+        current = bsr::broker::fail_brokers(g, current, 1,
+                                            bsr::broker::FailureMode::kRandom, rng);
+        ++result.departures;
+        connectivity = bsr::broker::saturated_connectivity(g, current);
+        result.events.push_back(
+            {now, ChurnEvent::Kind::kDeparture, current.size(), connectivity});
+      }
+      next_departure = now + rng.exponential(config.departure_rate);
+    } else {
+      const std::size_t before = current.size();
+      current = bsr::broker::repair_brokers(g, current, config.repair_budget);
+      ++result.repairs;
+      result.replacements_added += current.size() - before;
+      connectivity = bsr::broker::saturated_connectivity(g, current);
+      result.events.push_back(
+          {now, ChurnEvent::Kind::kRepair, current.size(), connectivity});
+      next_repair = now + config.repair_interval;
+    }
+    result.min_connectivity = std::min(result.min_connectivity, connectivity);
+  }
+
+  result.mean_connectivity = weighted_sum / config.horizon;
+  return result;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,51 @@
+// Event-driven broker-churn simulation.
+//
+// Ties the resilience machinery into a time series: brokers depart with an
+// exponential rate and the coalition repairs itself periodically with a
+// bounded replacement budget. Tracks the connectivity trajectory — the
+// operator's "how bad does it get between maintenance windows" question.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::sim {
+
+struct ChurnConfig {
+  /// Mean broker departures per time unit.
+  double departure_rate = 1.0;
+  /// Repairs happen every `repair_interval` time units...
+  double repair_interval = 10.0;
+  /// ...adding up to this many replacement brokers per repair.
+  std::uint32_t repair_budget = 5;
+  double horizon = 100.0;  // simulated time units
+};
+
+struct ChurnEvent {
+  double time = 0.0;
+  enum class Kind : std::uint8_t { kDeparture, kRepair } kind = Kind::kDeparture;
+  std::size_t brokers_after = 0;
+  double connectivity_after = 0.0;
+};
+
+struct ChurnResult {
+  std::vector<ChurnEvent> events;
+  double min_connectivity = 1.0;
+  double mean_connectivity = 0.0;  // time-weighted
+  std::size_t departures = 0;
+  std::size_t repairs = 0;
+  std::size_t replacements_added = 0;
+};
+
+/// Simulates churn on `initial` brokers over the horizon. Deterministic in
+/// rng. Throws std::invalid_argument on non-positive rates/intervals.
+[[nodiscard]] ChurnResult simulate_churn(const bsr::graph::CsrGraph& g,
+                                         const bsr::broker::BrokerSet& initial,
+                                         const ChurnConfig& config,
+                                         bsr::graph::Rng& rng);
+
+}  // namespace bsr::sim

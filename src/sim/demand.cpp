@@ -1,0 +1,50 @@
+#include "sim/demand.hpp"
+
+#include <stdexcept>
+
+namespace bsr::sim {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+std::vector<Flow> generate_flows(const CsrGraph& g, const DemandConfig& config,
+                                 Rng& rng) {
+  const NodeId n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("generate_flows: need >= 2 vertices");
+  if (config.volume_min <= 0.0 || config.volume_max < config.volume_min) {
+    throw std::invalid_argument("generate_flows: bad volume range");
+  }
+
+  // Degree-proportional endpoint pool (one slot per adjacency entry, plus
+  // one per vertex so isolated vertices still appear).
+  std::vector<NodeId> pool;
+  if (config.degree_weighted) {
+    pool.reserve(static_cast<std::size_t>(n) + 2 * g.num_edges());
+    for (NodeId v = 0; v < n; ++v) {
+      pool.push_back(v);
+      for (std::uint32_t i = 0; i < g.degree(v); ++i) pool.push_back(v);
+    }
+  }
+
+  const auto draw_endpoint = [&]() -> NodeId {
+    if (config.degree_weighted) return pool[rng.uniform(pool.size())];
+    return static_cast<NodeId>(rng.uniform(n));
+  };
+
+  std::vector<Flow> flows;
+  flows.reserve(config.num_flows);
+  while (flows.size() < config.num_flows) {
+    const NodeId src = draw_endpoint();
+    const NodeId dst = draw_endpoint();
+    if (src == dst) continue;
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.volume = rng.pareto(config.volume_alpha, config.volume_min, config.volume_max);
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,39 @@
+// Traffic demand generation for the QoS routing simulator.
+//
+// Flows follow a gravity-like model: endpoints are drawn degree-
+// proportionally (popular networks source/sink more traffic) and volumes
+// are heavy-tailed — mirroring the elephant/mice mix of inter-domain
+// traffic that motivates the paper's QoS brokerage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::sim {
+
+struct Flow {
+  bsr::graph::NodeId src = 0;
+  bsr::graph::NodeId dst = 0;
+  double volume = 1.0;
+};
+
+struct DemandConfig {
+  std::size_t num_flows = 1000;
+  /// Pareto tail index for volumes (smaller = heavier tail).
+  double volume_alpha = 1.2;
+  double volume_min = 1.0;
+  double volume_max = 1000.0;
+  /// true = degree-proportional endpoints (gravity); false = uniform.
+  bool degree_weighted = true;
+};
+
+/// Generates flows with src != dst. Deterministic in rng state.
+/// Throws std::invalid_argument for graphs with < 2 vertices.
+[[nodiscard]] std::vector<Flow> generate_flows(const bsr::graph::CsrGraph& g,
+                                               const DemandConfig& config,
+                                               bsr::graph::Rng& rng);
+
+}  // namespace bsr::sim

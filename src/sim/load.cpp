@@ -1,0 +1,44 @@
+#include "sim/load.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bsr::sim {
+
+using bsr::graph::NodeId;
+
+void LoadTracker::add_route(const Route& route, double volume) {
+  if (route.path.size() < 3) return;  // no transit vertices
+  for (std::size_t i = 1; i + 1 < route.path.size(); ++i) {
+    load_[route.path[i]] += volume;
+  }
+}
+
+LoadTracker::Summary LoadTracker::summarize(
+    const bsr::broker::BrokerSet& brokers) const {
+  Summary out;
+  std::vector<double> broker_loads;
+  broker_loads.reserve(brokers.size());
+  for (const NodeId b : brokers.members()) {
+    const double l = load_[b];
+    broker_loads.push_back(l);
+    out.total += l;
+    out.max = std::max(out.max, l);
+    if (l > 0.0) ++out.active_brokers;
+  }
+  if (broker_loads.empty()) return out;
+  out.mean_over_brokers = out.total / static_cast<double>(broker_loads.size());
+
+  // Gini coefficient via the sorted-rank formula.
+  std::sort(broker_loads.begin(), broker_loads.end());
+  const double n = static_cast<double>(broker_loads.size());
+  double weighted = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < broker_loads.size(); ++i) {
+    weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) * broker_loads[i];
+    sum += broker_loads[i];
+  }
+  out.gini = sum > 0.0 ? weighted / (n * sum) : 0.0;
+  return out;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,42 @@
+// Broker transit-load accounting.
+//
+// The related-work critique (§2) of CXP/PCE schemes is that a handful of
+// mediators carry the whole burden. These statistics let the benches show
+// how load distributes across a *set* of brokers instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+#include "sim/router.hpp"
+
+namespace bsr::sim {
+
+class LoadTracker {
+ public:
+  explicit LoadTracker(bsr::graph::NodeId num_vertices)
+      : load_(num_vertices, 0.0) {}
+
+  /// Credits `volume` to every transit (non-endpoint) vertex of the path.
+  void add_route(const Route& route, double volume);
+
+  [[nodiscard]] const std::vector<double>& load() const noexcept { return load_; }
+
+  struct Summary {
+    double total = 0.0;
+    double max = 0.0;
+    double mean_over_brokers = 0.0;  // mean across broker vertices only
+    double gini = 0.0;               // inequality across broker vertices
+    std::size_t active_brokers = 0;  // brokers with non-zero load
+  };
+
+  /// Load statistics restricted to the broker set.
+  [[nodiscard]] Summary summarize(const bsr::broker::BrokerSet& brokers) const;
+
+ private:
+  std::vector<double> load_;
+};
+
+}  // namespace bsr::sim

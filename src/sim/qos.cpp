@@ -1,0 +1,28 @@
+#include "sim/qos.hpp"
+
+#include <cmath>
+
+namespace bsr::sim {
+
+using bsr::graph::NodeId;
+
+double path_qos_success(const QosModel& model, const bsr::broker::BrokerSet& brokers,
+                        std::span<const NodeId> path) {
+  if (path.size() <= 1) return 1.0;
+  const std::uint32_t total_hops = static_cast<std::uint32_t>(path.size() - 1);
+  const std::uint32_t bad_hops = undominated_hops(brokers, path);
+  const std::uint32_t good_hops = total_hops - bad_hops;
+  return std::pow(model.unsupervised_hop_success, bad_hops) *
+         std::pow(model.supervised_hop_success, good_hops);
+}
+
+std::uint32_t undominated_hops(const bsr::broker::BrokerSet& brokers,
+                               std::span<const NodeId> path) {
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!brokers.dominates_edge(path[i], path[i + 1])) ++count;
+  }
+  return count;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,36 @@
+// Per-hop QoS model.
+//
+// The paper's premise: a hop whose endpoint includes a broker is under SLA
+// supervision and meets its QoS target; an unsupervised hop degrades with
+// some probability (no agreement beyond the first hop in BGP). E2E success
+// is the product over hops. This quantifies the value of dominating paths:
+// a fully dominated path succeeds with probability 1 in the model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "broker/broker_set.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::sim {
+
+struct QosModel {
+  /// Probability an unsupervised (non-dominated) hop still meets QoS.
+  double unsupervised_hop_success = 0.8;
+  /// Probability a supervised (dominated) hop meets QoS — 1.0 in the
+  /// paper's idealization; lower values model imperfect SLAs.
+  double supervised_hop_success = 1.0;
+};
+
+/// E2E QoS success probability of a path under the model.
+/// A trivial (<= 1 vertex) path succeeds with probability 1.
+[[nodiscard]] double path_qos_success(const QosModel& model,
+                                      const bsr::broker::BrokerSet& brokers,
+                                      std::span<const bsr::graph::NodeId> path);
+
+/// Number of hops of `path` not dominated by the broker set.
+[[nodiscard]] std::uint32_t undominated_hops(const bsr::broker::BrokerSet& brokers,
+                                             std::span<const bsr::graph::NodeId> path);
+
+}  // namespace bsr::sim

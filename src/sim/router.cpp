@@ -1,0 +1,62 @@
+#include "sim/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bsr::sim {
+
+using bsr::graph::kUnreachable;
+using bsr::graph::NodeId;
+
+Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers)
+    : graph_(&g), brokers_(&brokers) {
+  parent_.resize(g.num_vertices());
+  queue_.reserve(g.num_vertices());
+}
+
+Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
+  assert(src < graph_->num_vertices() && dst < graph_->num_vertices());
+  Route route;
+  if (src == dst) {
+    route.path = {src};
+    return route;
+  }
+  std::fill(parent_.begin(), parent_.end(), kUnreachable);
+  queue_.clear();
+  parent_[src] = src;
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    for (const NodeId v : graph_->neighbors(u)) {
+      if (parent_[v] != kUnreachable) continue;
+      if (dominated && !brokers_->dominates_edge(u, v)) continue;
+      parent_[v] = u;
+      if (v == dst) {
+        route.path.push_back(dst);
+        for (NodeId w = dst; w != src; w = parent_[w]) route.path.push_back(parent_[w]);
+        std::reverse(route.path.begin(), route.path.end());
+        return route;
+      }
+      queue_.push_back(v);
+    }
+  }
+  return route;  // unreachable
+}
+
+Route Router::route_free(NodeId src, NodeId dst) {
+  return route_impl(src, dst, /*dominated=*/false);
+}
+
+Route Router::route_dominated(NodeId src, NodeId dst) {
+  return route_impl(src, dst, /*dominated=*/true);
+}
+
+std::optional<std::uint32_t> Router::stretch(NodeId src, NodeId dst) {
+  const Route free_route = route_free(src, dst);
+  if (!free_route.reachable()) return std::nullopt;
+  const Route dominated_route = route_dominated(src, dst);
+  if (!dominated_route.reachable()) return std::nullopt;
+  return dominated_route.hops() - free_route.hops();
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,53 @@
+// Route computation: BGP-like shortest paths vs broker-dominated paths.
+//
+// The simulator contrasts two planes:
+//   * the "free" plane — shortest AS path, as BGP's hop-count-ish decision
+//     process would produce (no QoS control beyond the first hop);
+//   * the "brokered" plane — shortest B-dominating path, where every hop is
+//     supervised by a broker endpoint and thus QoS-controllable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/bfs.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::sim {
+
+struct Route {
+  std::vector<bsr::graph::NodeId> path;  // src..dst; empty = unreachable
+  [[nodiscard]] bool reachable() const noexcept { return !path.empty(); }
+  [[nodiscard]] std::uint32_t hops() const noexcept {
+    return path.empty() ? 0 : static_cast<std::uint32_t>(path.size() - 1);
+  }
+};
+
+/// Reusable router bound to one graph + broker set.
+class Router {
+ public:
+  Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers);
+
+  /// Shortest path in the full graph (the BGP-like reference).
+  [[nodiscard]] Route route_free(bsr::graph::NodeId src, bsr::graph::NodeId dst);
+
+  /// Shortest B-dominating path (every hop has a broker endpoint).
+  [[nodiscard]] Route route_dominated(bsr::graph::NodeId src, bsr::graph::NodeId dst);
+
+  /// Hop inflation of the brokered route vs the free route for one pair;
+  /// nullopt when either plane is unreachable.
+  [[nodiscard]] std::optional<std::uint32_t> stretch(bsr::graph::NodeId src,
+                                                     bsr::graph::NodeId dst);
+
+ private:
+  Route route_impl(bsr::graph::NodeId src, bsr::graph::NodeId dst, bool dominated);
+
+  const bsr::graph::CsrGraph* graph_;
+  const bsr::broker::BrokerSet* brokers_;
+  std::vector<bsr::graph::NodeId> parent_;
+  std::vector<bsr::graph::NodeId> queue_;
+};
+
+}  // namespace bsr::sim

@@ -1,0 +1,61 @@
+#include "topology/ba.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::topology {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+CsrGraph make_ba(std::uint32_t num_vertices, std::uint32_t edges_per_vertex,
+                 std::uint64_t seed) {
+  if (edges_per_vertex < 1) throw std::invalid_argument("make_ba: m must be >= 1");
+  if (num_vertices <= edges_per_vertex) {
+    throw std::invalid_argument("make_ba: n must exceed m");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  builder.reserve(static_cast<std::size_t>(num_vertices) * edges_per_vertex);
+
+  // Repeated-endpoint list: uniform draws are degree-proportional draws.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2ull * num_vertices * edges_per_vertex);
+
+  // Seed clique over the first m+1 vertices.
+  const NodeId seed_size = edges_per_vertex + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      builder.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  for (NodeId v = seed_size; v < num_vertices; ++v) {
+    std::vector<NodeId> targets;
+    targets.reserve(edges_per_vertex);
+    int attempts = 0;
+    while (targets.size() < edges_per_vertex && attempts < 200) {
+      ++attempts;
+      const NodeId candidate = endpoint_pool[rng.uniform(endpoint_pool.size())];
+      bool duplicate = false;
+      for (const NodeId t : targets) duplicate |= (t == candidate);
+      if (!duplicate) targets.push_back(candidate);
+    }
+    for (const NodeId t : targets) {
+      builder.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace bsr::topology

@@ -1,0 +1,17 @@
+// Barabási–Albert preferential-attachment graph (Table 3 comparison topology).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::topology {
+
+/// Preferential attachment: starts from a small clique, then each new vertex
+/// attaches `edges_per_vertex` edges to existing vertices with probability
+/// proportional to degree. Deterministic in seed.
+[[nodiscard]] bsr::graph::CsrGraph make_ba(std::uint32_t num_vertices,
+                                           std::uint32_t edges_per_vertex,
+                                           std::uint64_t seed);
+
+}  // namespace bsr::topology

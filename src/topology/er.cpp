@@ -1,0 +1,38 @@
+#include "topology/er.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/graph_builder.hpp"
+
+namespace bsr::topology {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+CsrGraph make_er(std::uint32_t num_vertices, std::uint64_t num_edges,
+                 std::uint64_t seed) {
+  if (num_vertices < 2) throw std::invalid_argument("make_er: need >= 2 vertices");
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  num_edges = std::min(num_edges, max_edges);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  builder.reserve(num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    auto u = static_cast<NodeId>(rng.uniform(num_vertices));
+    auto v = static_cast<NodeId>(rng.uniform(num_vertices - 1));
+    if (v >= u) ++v;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace bsr::topology

@@ -1,0 +1,18 @@
+// Erdős–Rényi G(n, m) random graph (Table 3 comparison topology).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::topology {
+
+/// Uniform random graph with exactly up to `num_edges` distinct edges
+/// (fewer only if num_edges exceeds the complete graph). Deterministic in
+/// seed. Throws std::invalid_argument for n < 2.
+[[nodiscard]] bsr::graph::CsrGraph make_er(std::uint32_t num_vertices,
+                                           std::uint64_t num_edges,
+                                           std::uint64_t seed);
+
+}  // namespace bsr::topology

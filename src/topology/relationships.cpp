@@ -1,0 +1,225 @@
+#include "topology/relationships.hpp"
+
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bsr::topology {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::Edge;
+using bsr::graph::kUnreachable;
+using bsr::graph::NodeId;
+
+EdgeRelations::EdgeRelations(const CsrGraph& g, std::span<const Edge> edges,
+                             std::span<const EdgeRel> rels) {
+  if (edges.size() != rels.size()) {
+    throw std::invalid_argument("EdgeRelations: edges/rels size mismatch");
+  }
+  if (edges.size() != g.num_edges()) {
+    throw std::invalid_argument("EdgeRelations: edge count does not match graph");
+  }
+  const NodeId n = g.num_vertices();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
+  adjacency_.reserve(offsets_.back());
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    adjacency_.insert(adjacency_.end(), nbrs.begin(), nbrs.end());
+  }
+  rel_by_slot_.assign(offsets_.back(), EdgeRel::kPeer);
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.u >= e.v) throw std::invalid_argument("EdgeRelations: edges must be canonical");
+    if (!g.has_edge(e.u, e.v)) {
+      throw std::invalid_argument("EdgeRelations: edge not present in graph");
+    }
+    rel_by_slot_[slot(e.u, e.v)] = rels[i];
+    rel_by_slot_[slot(e.v, e.u)] = rels[i];
+  }
+}
+
+std::size_t EdgeRelations::slot(NodeId u, NodeId v) const {
+  const auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  const auto it = std::lower_bound(begin, end, v);
+  assert(it != end && *it == v);
+  return static_cast<std::size_t>(it - adjacency_.begin());
+}
+
+EdgeRel EdgeRelations::rel_canonical(NodeId u, NodeId v) const {
+  if (rel_by_slot_.empty()) throw std::logic_error("EdgeRelations: empty");
+  if (u > v) std::swap(u, v);
+  return rel_by_slot_[slot(u, v)];
+}
+
+bool EdgeRelations::is_provider_of(NodeId provider, NodeId customer) const {
+  const EdgeRel rel = rel_canonical(provider, customer);
+  if (rel == EdgeRel::kPeer) return false;
+  const bool canonical_u_is_provider = (rel == EdgeRel::kUProviderOfV);
+  const NodeId canonical_u = std::min(provider, customer);
+  return canonical_u_is_provider == (provider == canonical_u);
+}
+
+bool EdgeRelations::is_peer(NodeId u, NodeId v) const {
+  return rel_canonical(u, v) == EdgeRel::kPeer;
+}
+
+double EdgeRelations::peer_fraction() const {
+  if (rel_by_slot_.empty()) return 0.0;
+  std::size_t peers = 0;
+  for (const EdgeRel rel : rel_by_slot_) {
+    if (rel == EdgeRel::kPeer) ++peers;
+  }
+  return static_cast<double>(peers) / static_cast<double>(rel_by_slot_.size());
+}
+
+std::vector<std::uint32_t> valley_free_distances(
+    const CsrGraph& g, const EdgeRelations& rels, NodeId source,
+    const std::function<bool(NodeId, NodeId)>& edge_ok,
+    const EdgeOverrideFn& override_edge) {
+  assert(source < g.num_vertices());
+  // State-expanded BFS. Phases of a valley-free walk:
+  //   0 = still climbing (only c2p hops so far)
+  //   1 = crossed the single allowed peer hop
+  //   2 = descending (one or more p2c hops taken)
+  // Allowed transitions from phase p over edge u->v:
+  //   c2p (v is u's provider): only from phase 0, stay 0
+  //   peer:                    from phase 0, go to 1
+  //   p2c (v is u's customer): from any phase, go to 2
+  //   override edge:           from any phase, keep phase
+  constexpr int kPhases = 3;
+  const NodeId n = g.num_vertices();
+  std::vector<std::uint32_t> dist_state(static_cast<std::size_t>(n) * kPhases,
+                                        kUnreachable);
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<std::uint64_t> queue;  // encoded state: v * kPhases + phase
+  queue.reserve(n);
+
+  const auto push = [&](NodeId v, int phase, std::uint32_t d) {
+    const std::size_t idx = static_cast<std::size_t>(v) * kPhases + phase;
+    if (dist_state[idx] != kUnreachable) return;
+    dist_state[idx] = d;
+    dist[v] = std::min(dist[v], d);
+    queue.push_back(idx);
+  };
+
+  push(source, 0, 0);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint64_t state = queue[head];
+    const auto u = static_cast<NodeId>(state / kPhases);
+    const int phase = static_cast<int>(state % kPhases);
+    const std::uint32_t du = dist_state[state];
+    const auto nbrs = g.neighbors(u);
+    const auto rel_row = rels.canonical_rels_of(u);  // slot-aligned: O(1)/edge
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (edge_ok && !edge_ok(u, v)) continue;
+      if (override_edge && override_edge(u, v)) {
+        push(v, phase, du + 1);
+        continue;
+      }
+      const EdgeRel rel = rel_row[i];
+      if (rel == EdgeRel::kPeer) {
+        if (phase == 0) push(v, 1, du + 1);
+      } else if (EdgeRelations::rel_means_v_provides_u(rel, u, v)) {
+        if (phase == 0) push(v, 0, du + 1);
+      } else {
+        push(v, 2, du + 1);  // p2c hop allowed from any phase
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> valley_free_path(const CsrGraph& g, const EdgeRelations& rels,
+                                     NodeId src, NodeId dst) {
+  if (src >= g.num_vertices() || dst >= g.num_vertices()) return {};
+  if (src == dst) return {src};
+
+  constexpr int kPhases = 3;
+  const std::size_t states = static_cast<std::size_t>(g.num_vertices()) * kPhases;
+  constexpr std::uint64_t kNoParent = ~0ull;
+  std::vector<std::uint64_t> parent(states, kNoParent);
+  std::vector<std::uint64_t> queue;
+
+  const auto push = [&](NodeId v, int phase, std::uint64_t from_state) {
+    const std::size_t idx = static_cast<std::size_t>(v) * kPhases + phase;
+    if (parent[idx] != kNoParent) return;
+    parent[idx] = from_state;
+    queue.push_back(idx);
+  };
+
+  const std::size_t start = static_cast<std::size_t>(src) * kPhases;
+  parent[start] = start;  // self-parent marks the root
+  queue.push_back(start);
+  std::size_t goal_state = kNoParent;
+  for (std::size_t head = 0; head < queue.size() && goal_state == kNoParent; ++head) {
+    const std::uint64_t state = queue[head];
+    const auto u = static_cast<NodeId>(state / kPhases);
+    const int phase = static_cast<int>(state % kPhases);
+    const auto nbrs = g.neighbors(u);
+    const auto rel_row = rels.canonical_rels_of(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const EdgeRel rel = rel_row[i];
+      if (rel == EdgeRel::kPeer) {
+        if (phase == 0) push(v, 1, state);
+      } else if (EdgeRelations::rel_means_v_provides_u(rel, u, v)) {
+        if (phase == 0) push(v, 0, state);
+      } else {
+        push(v, 2, state);
+      }
+      if (v == dst) {
+        // First time dst enters the queue is a shortest admissible path.
+        for (int p = 0; p < kPhases; ++p) {
+          const std::size_t idx = static_cast<std::size_t>(dst) * kPhases + p;
+          if (parent[idx] != kNoParent) {
+            goal_state = idx;
+            break;
+          }
+        }
+        if (goal_state != kNoParent) break;
+      }
+    }
+  }
+  if (goal_state == kNoParent) return {};
+
+  std::vector<NodeId> path;
+  std::uint64_t state = goal_state;
+  while (true) {
+    path.push_back(static_cast<NodeId>(state / kPhases));
+    const std::uint64_t up = parent[state];
+    if (up == state) break;  // root
+    state = up;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeRel> infer_relationships_by_degree(const CsrGraph& g,
+                                                   std::span<const Edge> edges,
+                                                   double peer_ratio) {
+  if (peer_ratio < 1.0) {
+    throw std::invalid_argument("infer_relationships_by_degree: ratio must be >= 1");
+  }
+  std::vector<EdgeRel> out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    const double du = g.degree(e.u);
+    const double dv = g.degree(e.v);
+    if (du >= dv * peer_ratio) {
+      out.push_back(EdgeRel::kUProviderOfV);
+    } else if (dv >= du * peer_ratio) {
+      out.push_back(EdgeRel::kVProviderOfU);
+    } else {
+      out.push_back(EdgeRel::kPeer);
+    }
+  }
+  return out;
+}
+
+}  // namespace bsr::topology

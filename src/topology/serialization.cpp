@@ -1,0 +1,140 @@
+#include "topology/serialization.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+
+namespace bsr::topology {
+
+using bsr::graph::Edge;
+using bsr::graph::NodeId;
+
+namespace {
+
+constexpr const char* kMagic = "brokerset-topology v1";
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("load_topology: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+void save_topology(std::ostream& os, const InternetTopology& topo) {
+  os << kMagic << '\n';
+  os << "counts " << topo.num_ases << ' ' << topo.num_ixps << '\n';
+  for (NodeId v = 0; v < topo.num_vertices(); ++v) {
+    os << "node " << v << ' ' << static_cast<int>(topo.meta[v].type) << ' '
+       << static_cast<int>(topo.meta[v].tier) << '\n';
+  }
+  for (NodeId u = 0; u < topo.num_vertices(); ++u) {
+    for (const NodeId v : topo.graph.neighbors(u)) {
+      if (u >= v) continue;
+      os << "edge " << u << ' ' << v << ' '
+         << static_cast<int>(topo.relations.rel_canonical(u, v)) << '\n';
+    }
+  }
+}
+
+void save_topology_file(const std::string& path, const InternetTopology& topo) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_topology_file: cannot open " + path);
+  save_topology(out, topo);
+  if (!out) throw std::runtime_error("save_topology_file: write failed for " + path);
+}
+
+InternetTopology load_topology(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != kMagic) fail(line_no, "missing magic header");
+
+  if (!next_line()) fail(line_no, "missing counts");
+  std::uint32_t num_ases = 0, num_ixps = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> num_ases >> num_ixps) || tag != "counts") {
+      fail(line_no, "bad counts line");
+    }
+  }
+  const NodeId n = num_ases + num_ixps;
+
+  std::vector<NodeMeta> meta(n);
+  std::vector<bool> seen_node(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    if (!next_line()) fail(line_no, "unexpected EOF in node section");
+    std::istringstream ls(line);
+    std::string tag;
+    NodeId id = 0;
+    int type = 0, tier = 0;
+    if (!(ls >> tag >> id >> type >> tier) || tag != "node") {
+      fail(line_no, "bad node line");
+    }
+    if (id >= n) fail(line_no, "node id out of range");
+    if (seen_node[id]) fail(line_no, "duplicate node id");
+    if (type < 0 || type > 3) fail(line_no, "bad node type");
+    if (tier < 0 || tier > 4) fail(line_no, "bad tier");
+    seen_node[id] = true;
+    meta[id] = NodeMeta{static_cast<NodeType>(type), static_cast<Tier>(tier)};
+  }
+
+  bsr::graph::GraphBuilder builder(n);
+  std::vector<Edge> edges;
+  std::vector<EdgeRel> rels;
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string tag;
+    NodeId u = 0, v = 0;
+    int rel = 0;
+    if (!(ls >> tag >> u >> v >> rel) || tag != "edge") fail(line_no, "bad edge line");
+    if (u >= v || v >= n) fail(line_no, "edge ids invalid (need u < v < n)");
+    if (rel < 0 || rel > 2) fail(line_no, "bad relationship");
+    builder.add_edge(u, v);
+    edges.push_back(Edge{u, v});
+    rels.push_back(static_cast<EdgeRel>(rel));
+  }
+
+  InternetTopology topo;
+  topo.graph = builder.build();
+  if (topo.graph.num_edges() != edges.size()) {
+    fail(line_no, "duplicate edges in input");
+  }
+  topo.meta = std::move(meta);
+  topo.num_ases = num_ases;
+  topo.num_ixps = num_ixps;
+  // Edge list must be sorted canonically for EdgeRelations; sort with rels.
+  std::vector<std::size_t> order(edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&edges](std::size_t a, std::size_t b) { return edges[a] < edges[b]; });
+  std::vector<Edge> edges_sorted(edges.size());
+  std::vector<EdgeRel> rels_sorted(rels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    edges_sorted[i] = edges[order[i]];
+    rels_sorted[i] = rels[order[i]];
+  }
+  topo.relations = EdgeRelations(topo.graph, edges_sorted, rels_sorted);
+  return topo;
+}
+
+InternetTopology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_topology_file: cannot open " + path);
+  return load_topology(in);
+}
+
+}  // namespace bsr::topology

@@ -1,0 +1,35 @@
+// Full-topology serialization (graph + node metadata + edge relationships).
+//
+// The plain edge-list format (io/edge_list_io.hpp) loses node types, tiers
+// and business relationships, which the policy experiments need. This
+// format round-trips an InternetTopology exactly, so a user can snapshot a
+// generated instance (or encode a real dataset once parsed) and feed it to
+// every bench via a file instead of the generator.
+//
+// Format (text, line-oriented, '#' comments):
+//   brokerset-topology v1
+//   counts <num_ases> <num_ixps>
+//   node <id> <type:0..3> <tier:0..4>        (one per vertex, ordered)
+//   edge <u> <v> <rel:0..2>                  (canonical u < v)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/internet.hpp"
+
+namespace bsr::topology {
+
+/// Writes `topo` to the stream. Deterministic byte-for-byte.
+void save_topology(std::ostream& os, const InternetTopology& topo);
+
+/// Writes to a file; throws std::runtime_error on IO failure.
+void save_topology_file(const std::string& path, const InternetTopology& topo);
+
+/// Parses a topology; throws std::runtime_error with line context on
+/// malformed input (wrong magic, counts mismatch, bad enums, unknown ids).
+[[nodiscard]] InternetTopology load_topology(std::istream& is);
+
+[[nodiscard]] InternetTopology load_topology_file(const std::string& path);
+
+}  // namespace bsr::topology

@@ -1,0 +1,66 @@
+#include "topology/stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/components.hpp"
+#include "graph/distance_histogram.hpp"
+
+namespace bsr::topology {
+
+using bsr::graph::NodeId;
+
+TopologySummary summarize(const InternetTopology& topo, std::size_t bfs_sources,
+                          std::uint64_t seed, std::uint32_t beta,
+                          double ixp_peering_prob) {
+  TopologySummary out;
+  out.num_ases = topo.num_ases;
+  out.num_ixps = topo.num_ixps;
+  out.beta = beta;
+
+  const auto& g = topo.graph;
+  out.largest_component = bsr::graph::connected_components(g).largest_size();
+
+  for (NodeId u = 0; u < topo.num_ases; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v && v < topo.num_ases) ++out.as_as_edges;
+      if (topo.is_ixp(v)) ++out.ixp_memberships;
+    }
+  }
+
+  // AS pairs co-located at an IXP ("connections among ASes via IXPs"): for
+  // each IXP, members form a potential peering mesh; count distinct pairs.
+  // Sort-based dedup — hash sets cost too much memory at ~10M pairs.
+  std::vector<std::uint64_t> via_ixp_pairs;
+  for (NodeId ixp = topo.num_ases; ixp < topo.num_vertices(); ++ixp) {
+    const auto members = g.neighbors(ixp);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        NodeId a = members[i], b = members[j];
+        if (a >= topo.num_ases || b >= topo.num_ases) continue;
+        if (a > b) std::swap(a, b);
+        via_ixp_pairs.push_back((static_cast<std::uint64_t>(a) << 32) | b);
+      }
+    }
+  }
+  std::sort(via_ixp_pairs.begin(), via_ixp_pairs.end());
+  via_ixp_pairs.erase(std::unique(via_ixp_pairs.begin(), via_ixp_pairs.end()),
+                      via_ixp_pairs.end());
+  out.colocated_pairs = via_ixp_pairs.size();
+
+  out.ixp_attachment_rate = topo.ixp_attachment_rate();
+
+  bsr::graph::Rng rng(seed);
+  // Realized peering sessions: Bernoulli thinning of co-located pairs.
+  std::uint64_t realized = 0;
+  for (std::size_t i = 0; i < via_ixp_pairs.size(); ++i) {
+    if (rng.bernoulli(ixp_peering_prob)) ++realized;
+  }
+  out.as_as_via_ixp_pairs = realized;
+
+  const auto cdf = bsr::graph::distance_cdf_sampled(g, rng, bfs_sources);
+  out.alpha_within_beta = cdf.at(beta);
+  return out;
+}
+
+}  // namespace bsr::topology

@@ -1,0 +1,35 @@
+// Dataset summary statistics (reproduces Table 2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/internet.hpp"
+
+namespace bsr::topology {
+
+struct TopologySummary {
+  std::uint32_t num_ixps = 0;
+  std::uint32_t num_ases = 0;
+  std::uint32_t largest_component = 0;   // "size of the maximum connected subgraph"
+  std::uint64_t as_as_edges = 0;         // direct AS-AS connections
+  std::uint64_t colocated_pairs = 0;     // AS pairs co-located at >= 1 IXP
+  /// Realized via-IXP peering sessions: each co-located pair peers with
+  /// probability InternetConfig::ixp_peering_prob (route-server reality:
+  /// co-location enables but does not imply peering). This is the row
+  /// comparable to the paper's 292,050.
+  std::uint64_t as_as_via_ixp_pairs = 0;
+  std::uint64_t ixp_memberships = 0;     // AS-IXP edges
+  double ixp_attachment_rate = 0.0;      // fraction of ASes on >= 1 IXP
+  double alpha_within_beta = 0.0;        // Prob[d(u,v) <= beta] (sampled)
+  std::uint32_t beta = 4;                // hop bound for the (alpha,beta) check
+};
+
+/// Computes the summary. `bfs_sources` bounds the sampling cost of the
+/// (alpha, beta) estimate; the rest is exact. `ixp_peering_prob` drives the
+/// realized via-IXP peering count (pass the generating config's value).
+[[nodiscard]] TopologySummary summarize(const InternetTopology& topo,
+                                        std::size_t bfs_sources, std::uint64_t seed,
+                                        std::uint32_t beta = 4,
+                                        double ixp_peering_prob = 0.013);
+
+}  // namespace bsr::topology

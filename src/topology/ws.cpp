@@ -1,0 +1,52 @@
+#include "topology/ws.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/graph_builder.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::topology {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+
+CsrGraph make_ws(std::uint32_t num_vertices, std::uint32_t k, double beta,
+                 std::uint64_t seed) {
+  if (num_vertices < 4) throw std::invalid_argument("make_ws: need >= 4 vertices");
+  if (k < 2 || k % 2 != 0 || k >= num_vertices) {
+    throw std::invalid_argument("make_ws: k must be even, >= 2 and < n");
+  }
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("make_ws: beta in [0, 1]");
+
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  const auto key_of = [](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+
+  GraphBuilder builder(num_vertices);
+  builder.reserve(static_cast<std::size_t>(num_vertices) * k / 2);
+  for (NodeId u = 0; u < num_vertices; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_vertices);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform random non-self target avoiding duplicates;
+        // keep the lattice edge if no free target is found quickly.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          auto w = static_cast<NodeId>(rng.uniform(num_vertices));
+          if (w == u || seen.contains(key_of(u, w))) continue;
+          v = w;
+          break;
+        }
+      }
+      if (seen.insert(key_of(u, v)).second) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace bsr::topology

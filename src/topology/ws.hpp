@@ -1,0 +1,17 @@
+// Watts–Strogatz small-world graph (Table 3 comparison topology).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::topology {
+
+/// Ring lattice over n vertices where each vertex connects to its k nearest
+/// neighbors (k even), then each lattice edge is rewired to a random target
+/// with probability beta. Deterministic in seed.
+/// Throws std::invalid_argument for invalid n/k/beta.
+[[nodiscard]] bsr::graph::CsrGraph make_ws(std::uint32_t num_vertices, std::uint32_t k,
+                                           double beta, std::uint64_t seed);
+
+}  // namespace bsr::topology

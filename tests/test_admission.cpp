@@ -1,0 +1,144 @@
+#include "sim/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/maxsg.hpp"
+#include "test_util.hpp"
+
+namespace bsr::sim {
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_connected_random;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+Flow make_flow(NodeId src, NodeId dst, double volume = 1.0) {
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.volume = volume;
+  return f;
+}
+
+TEST(Admission, BrokeredPathPreferred) {
+  const CsrGraph g = make_star(8);
+  BrokerSet b(8);
+  b.add(0);
+  AdmissionConfig config;
+  config.qos_requirement = 0.99;
+  config.qos.unsupervised_hop_success = 0.5;
+  AdmissionController controller(g, b, config);
+  EXPECT_EQ(controller.admit(make_flow(1, 2)), AdmissionOutcome::kBrokered);
+  EXPECT_EQ(controller.stats().brokered, 1u);
+}
+
+TEST(Admission, FallsBackToBgpWhenDominatedPlaneMissing) {
+  const CsrGraph g = make_path(4);
+  BrokerSet b(4);  // no brokers at all
+  AdmissionConfig config;
+  config.qos_requirement = 0.5;
+  config.qos.unsupervised_hop_success = 0.9;  // 3 hops -> 0.729 >= 0.5
+  AdmissionController controller(g, b, config);
+  EXPECT_EQ(controller.admit(make_flow(0, 3)), AdmissionOutcome::kBgpFallback);
+}
+
+TEST(Admission, BlocksWhenNeitherPlaneMeetsQos) {
+  const CsrGraph g = make_path(5);
+  BrokerSet b(5);  // unmanaged network
+  AdmissionConfig config;
+  config.qos_requirement = 0.95;
+  config.qos.unsupervised_hop_success = 0.8;  // 4 hops -> 0.41
+  AdmissionController controller(g, b, config);
+  EXPECT_EQ(controller.admit(make_flow(0, 4)), AdmissionOutcome::kBlocked);
+  EXPECT_DOUBLE_EQ(controller.stats().blocked_volume, 1.0);
+  EXPECT_DOUBLE_EQ(controller.stats().acceptance_rate(), 0.0);
+}
+
+TEST(Admission, UnreachableReported) {
+  bsr::graph::GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  const CsrGraph g = builder.build();
+  BrokerSet b(4);
+  b.add(0);
+  AdmissionController controller(g, b, {});
+  EXPECT_EQ(controller.admit(make_flow(0, 3)), AdmissionOutcome::kUnreachable);
+}
+
+TEST(Admission, CapacityExhaustionBlocks) {
+  // Two planes between 1 and 2: a supervised broker detour 1-0-4-2 and a
+  // shorter unsupervised path 1-3-2 that BGP prefers but that fails QoS.
+  bsr::graph::GraphBuilder builder(5);
+  builder.add_edge(1, 0);
+  builder.add_edge(0, 4);
+  builder.add_edge(4, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(3, 2);
+  const CsrGraph g = builder.build();
+  BrokerSet b(5);
+  b.add(0);
+  b.add(4);
+  AdmissionConfig config;
+  config.qos_requirement = 0.99;
+  config.qos.unsupervised_hop_success = 0.2;  // the 1-3-2 path can't meet QoS
+  config.broker_capacity = 2.5;
+  AdmissionController controller(g, b, config);
+  EXPECT_EQ(controller.admit(make_flow(1, 2)), AdmissionOutcome::kBrokered);
+  EXPECT_EQ(controller.admit(make_flow(1, 2)), AdmissionOutcome::kBrokered);
+  // Third flow would push brokers 0 and 4 to 3.0 > 2.5 -> brokered plane
+  // refuses; the BGP path 1-3-2 fails QoS -> blocked.
+  EXPECT_EQ(controller.admit(make_flow(1, 2)), AdmissionOutcome::kBlocked);
+  EXPECT_DOUBLE_EQ(controller.broker_load()[0], 2.0);
+  EXPECT_DOUBLE_EQ(controller.broker_load()[4], 2.0);
+}
+
+TEST(Admission, StatsAggregateAcrossFlows) {
+  const CsrGraph g = make_connected_random(50, 0.1, 5);
+  const auto brokers = bsr::broker::maxsg(g, 5).brokers;
+  AdmissionConfig config;
+  config.qos_requirement = 0.9;
+  config.qos.unsupervised_hop_success = 0.85;
+  AdmissionController controller(g, brokers, config);
+  bsr::graph::Rng rng(6);
+  DemandConfig demand;
+  demand.num_flows = 200;
+  for (const Flow& flow : generate_flows(g, demand, rng)) controller.admit(flow);
+  const auto& stats = controller.stats();
+  EXPECT_EQ(stats.total(), 200u);
+  EXPECT_GT(stats.acceptance_rate(), 0.0);
+  EXPECT_LE(stats.acceptance_rate(), 1.0);
+}
+
+TEST(Admission, MoreBrokersHigherAcceptance) {
+  const CsrGraph g = make_connected_random(80, 0.06, 7);
+  AdmissionConfig config;
+  config.qos_requirement = 0.95;
+  config.qos.unsupervised_hop_success = 0.8;
+
+  const auto run = [&](std::uint32_t k) {
+    const auto brokers = bsr::broker::maxsg(g, k).brokers;
+    AdmissionController controller(g, brokers, config);
+    bsr::graph::Rng rng(8);
+    DemandConfig demand;
+    demand.num_flows = 300;
+    for (const Flow& flow : generate_flows(g, demand, rng)) controller.admit(flow);
+    return controller.stats().acceptance_rate();
+  };
+  EXPECT_GE(run(20), run(3) - 1e-9);
+}
+
+TEST(Admission, RejectsBadConfig) {
+  const CsrGraph g = make_path(3);
+  BrokerSet b(3);
+  AdmissionConfig bad_requirement;
+  bad_requirement.qos_requirement = 1.5;
+  EXPECT_THROW(AdmissionController(g, b, bad_requirement), std::invalid_argument);
+  AdmissionConfig bad_capacity;
+  bad_capacity.broker_capacity = -1.0;
+  EXPECT_THROW(AdmissionController(g, b, bad_capacity), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bsr::sim

@@ -1,0 +1,66 @@
+#include "graph/assortativity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topology/er.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  // Every edge joins the max-degree hub to a degree-1 leaf: r = -1.
+  const CsrGraph g = make_star(12);
+  EXPECT_NEAR(degree_assortativity(g), -1.0, 1e-9);
+}
+
+TEST(Assortativity, RegularGraphsAreDegenerate) {
+  // No degree variance -> coefficient defined as 0.
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_cycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_complete(6)), 0.0);
+}
+
+TEST(Assortativity, TinyGraphsAreZero) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(CsrGraph()), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_path(2)), 0.0);
+}
+
+TEST(Assortativity, ErIsNearNeutral) {
+  const auto g = bsr::topology::make_er(3000, 15000, 42);
+  EXPECT_NEAR(degree_assortativity(g), 0.0, 0.05);
+}
+
+TEST(Assortativity, HubHubEdgeRaisesCoefficient) {
+  // A single star is perfectly disassortative (r = -1). Joining the centers
+  // of two stars adds one like-degree (hub-hub) edge, which must pull the
+  // coefficient strictly above -1.
+  GraphBuilder b(12);
+  for (NodeId v = 1; v < 6; ++v) b.add_edge(0, v);
+  for (NodeId v = 7; v < 12; ++v) b.add_edge(6, v);
+  b.add_edge(0, 6);  // hub-hub bridge
+  const CsrGraph double_star = b.build();
+  EXPECT_GT(degree_assortativity(double_star),
+            degree_assortativity(make_star(12)));
+  EXPECT_GT(degree_assortativity(double_star), -1.0);
+  EXPECT_LT(degree_assortativity(double_star), 0.0);  // still leaf-dominated
+}
+
+TEST(Assortativity, SyntheticInternetIsDisassortative) {
+  auto cfg = bsr::topology::InternetConfig{}.scaled(0.05);
+  cfg.seed = 9;
+  const auto topo = bsr::topology::make_internet(cfg);
+  const double r = degree_assortativity(topo.graph);
+  // The measured Internet sits around -0.2; our generator must land clearly
+  // negative.
+  EXPECT_LT(r, -0.05);
+  EXPECT_GT(r, -0.8);
+}
+
+}  // namespace
+}  // namespace bsr::graph

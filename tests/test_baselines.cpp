@@ -1,0 +1,122 @@
+#include "broker/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/coverage.hpp"
+#include "graph/degree_stats.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+using bsr::test::make_star;
+
+topology::InternetTopology small_topo(std::uint64_t seed) {
+  auto cfg = topology::InternetConfig{}.scaled(0.02);
+  cfg.seed = seed;
+  return topology::make_internet(cfg);
+}
+
+TEST(ScBaseline, ProducesDominatingSet) {
+  const CsrGraph g = make_connected_random(80, 0.05, 1);
+  Rng rng(2);
+  const BrokerSet b = sc_dominating_set(g, rng);
+  EXPECT_EQ(coverage(g, b), g.num_vertices());
+}
+
+TEST(ScBaseline, SizeVariesAcrossRuns) {
+  const CsrGraph g = make_connected_random(200, 0.03, 3);
+  Rng rng(4);
+  std::size_t min_size = g.num_vertices(), max_size = 0;
+  for (int run = 0; run < 20; ++run) {
+    const auto size = sc_dominating_set(g, rng).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LT(min_size, max_size);  // Fig. 2a: a distribution, not a point
+}
+
+TEST(ScBaseline, SequentialRandomOrderIsLarge) {
+  // On a star, random-order SC picks ~half the leaves before the center
+  // dominates the rest — far from the optimal single-vertex set.
+  const CsrGraph g = make_star(400);
+  Rng rng(5);
+  double total = 0;
+  for (int run = 0; run < 10; ++run) {
+    total += static_cast<double>(sc_dominating_set(g, rng).size());
+  }
+  EXPECT_GT(total / 10.0, 50.0);
+}
+
+TEST(DbBaseline, PicksHighestDegrees) {
+  const CsrGraph g = make_connected_random(50, 0.08, 6);
+  const BrokerSet b = db_top_degree(g, 5);
+  ASSERT_EQ(b.size(), 5u);
+  const auto order = bsr::graph::vertices_by_degree_desc(g);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(b.contains(order[i]));
+}
+
+TEST(DbBaseline, BudgetBeyondGraphSize) {
+  const CsrGraph g = make_star(6);
+  EXPECT_EQ(db_top_degree(g, 100).size(), 6u);
+}
+
+TEST(PrbBaseline, PicksHighestPageRank) {
+  const CsrGraph g = make_connected_random(50, 0.08, 7);
+  const BrokerSet b = prb_top_pagerank(g, 4);
+  EXPECT_EQ(b.size(), 4u);
+  // On a star the center must come first.
+  const CsrGraph star = make_star(9);
+  const BrokerSet sb = prb_top_pagerank(star, 1);
+  EXPECT_TRUE(sb.contains(0));
+}
+
+TEST(IxpbBaseline, SelectsOnlyIxps) {
+  const auto topo = small_topo(11);
+  const BrokerSet b = ixpb(topo);
+  EXPECT_EQ(b.size(), topo.num_ixps);
+  for (const NodeId v : b.members()) EXPECT_TRUE(topo.is_ixp(v));
+}
+
+TEST(IxpbBaseline, DegreeThresholdFilters) {
+  const auto topo = small_topo(12);
+  const BrokerSet all = ixpb(topo, 0);
+  std::uint32_t max_degree = 0;
+  for (NodeId v = topo.num_ases; v < topo.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, topo.graph.degree(v));
+  }
+  const BrokerSet top = ixpb(topo, max_degree);
+  EXPECT_GE(top.size(), 1u);
+  EXPECT_LE(top.size(), all.size());
+  for (const NodeId v : top.members()) {
+    EXPECT_GE(topo.graph.degree(v), max_degree);
+  }
+  EXPECT_TRUE(ixpb(topo, max_degree + 1).empty());
+}
+
+TEST(Tier1Baseline, SelectsExactlyTierOne) {
+  const auto topo = small_topo(13);
+  const BrokerSet b = tier1_only(topo);
+  EXPECT_GT(b.size(), 0u);
+  for (const NodeId v : b.members()) {
+    EXPECT_EQ(topo.meta[v].tier, topology::Tier::kTier1);
+  }
+  std::size_t tier1_count = 0;
+  for (NodeId v = 0; v < topo.num_ases; ++v) {
+    if (topo.meta[v].tier == topology::Tier::kTier1) ++tier1_count;
+  }
+  EXPECT_EQ(b.size(), tier1_count);
+}
+
+TEST(Baselines, DeterministicGivenSeed) {
+  const CsrGraph g = make_connected_random(60, 0.05, 14);
+  Rng a(9), b(9);
+  EXPECT_EQ(sc_dominating_set(g, a).size(), sc_dominating_set(g, b).size());
+}
+
+}  // namespace
+}  // namespace bsr::broker

@@ -1,0 +1,92 @@
+#include "graph/betweenness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_connected_random;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+TEST(Betweenness, StarCenterTakesAllPairs) {
+  const CsrGraph g = make_star(8);
+  const auto score = betweenness_exact(g);
+  // Center mediates every leaf pair: C(7,2) = 21.
+  EXPECT_NEAR(score[0], 21.0, 1e-9);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_NEAR(score[v], 0.0, 1e-9);
+}
+
+TEST(Betweenness, PathGraphInteriorProfile) {
+  const CsrGraph g = make_path(5);
+  const auto score = betweenness_exact(g);
+  // Vertex 2 (middle) mediates pairs {0,1}x{3,4} -> 4, plus none others
+  // fully... exact values for a path: b(i) = i * (n-1-i).
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_NEAR(score[v], static_cast<double>(v) * (4 - v), 1e-9) << "v=" << v;
+  }
+}
+
+TEST(Betweenness, CompleteGraphAllZero) {
+  const CsrGraph g = make_complete(6);
+  const auto score = betweenness_exact(g);
+  for (const double s : score) EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(Betweenness, CycleSymmetric) {
+  const CsrGraph g = make_cycle(8);
+  const auto score = betweenness_exact(g);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_NEAR(score[v], score[0], 1e-9);
+}
+
+TEST(Betweenness, EqualShortestPathsSplitCredit) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Pair (0,3) splits over 1 and 2.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const CsrGraph g = b.build();
+  const auto score = betweenness_exact(g);
+  // Pair (0,3) splits over 1 and 2; pair (1,2) splits over 0 and 3.
+  for (NodeId v = 0; v < 4; ++v) EXPECT_NEAR(score[v], 0.5, 1e-9) << "v=" << v;
+}
+
+TEST(Betweenness, SampledApproximatesExact) {
+  const CsrGraph g = make_connected_random(120, 0.05, 9);
+  const auto exact = betweenness_exact(g);
+  Rng rng(10);
+  const auto sampled = betweenness(g, rng, 60);
+  // Rank correlation on the top vertices must be preserved: the top exact
+  // vertex should be near the top of the sampled ranking.
+  NodeId exact_top = 0;
+  for (NodeId v = 1; v < g.num_vertices(); ++v) {
+    if (exact[v] > exact[exact_top]) exact_top = v;
+  }
+  std::size_t better = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (sampled[v] > sampled[exact_top]) ++better;
+  }
+  EXPECT_LT(better, 6u);
+}
+
+TEST(Betweenness, OrderingDeterministicAndDescending) {
+  const CsrGraph g = make_connected_random(50, 0.08, 11);
+  Rng rng_a(1), rng_b(1);
+  const auto a = vertices_by_betweenness_desc(g, rng_a, 25);
+  const auto b = vertices_by_betweenness_desc(g, rng_b, 25);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Betweenness, TinyGraphsAreZero) {
+  const auto s1 = betweenness_exact(make_path(2));
+  for (const double v : s1) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace bsr::graph

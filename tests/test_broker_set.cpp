@@ -1,0 +1,88 @@
+#include "broker/broker_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::NodeId;
+
+TEST(BrokerSet, EmptySet) {
+  const BrokerSet b(10);
+  EXPECT_EQ(b.num_vertices(), 10u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.contains(3));
+}
+
+TEST(BrokerSet, ConstructionFromMembersKeepsOrder) {
+  const std::vector<NodeId> members{5, 2, 9};
+  const BrokerSet b(10, members);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.contains(5));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_FALSE(b.contains(0));
+  ASSERT_EQ(b.members().size(), 3u);
+  EXPECT_EQ(b.members()[0], 5u);
+  EXPECT_EQ(b.members()[1], 2u);
+  EXPECT_EQ(b.members()[2], 9u);
+}
+
+TEST(BrokerSet, RejectsBadMembers) {
+  const std::vector<NodeId> out_of_range{10};
+  EXPECT_THROW(BrokerSet(10, out_of_range), std::out_of_range);
+  const std::vector<NodeId> duplicate{1, 1};
+  EXPECT_THROW(BrokerSet(10, duplicate), std::invalid_argument);
+}
+
+TEST(BrokerSet, AddReportsNovelty) {
+  BrokerSet b(5);
+  EXPECT_TRUE(b.add(3));
+  EXPECT_FALSE(b.add(3));
+  EXPECT_THROW(b.add(5), std::out_of_range);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BrokerSet, ContainsOutOfRangeIsFalse) {
+  const BrokerSet b(5);
+  EXPECT_FALSE(b.contains(1000));
+}
+
+TEST(BrokerSet, PrefixTakesSelectionOrder) {
+  const std::vector<NodeId> members{4, 1, 3, 0};
+  const BrokerSet b(5, members);
+  const BrokerSet p = b.prefix(2);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.contains(4));
+  EXPECT_TRUE(p.contains(1));
+  EXPECT_FALSE(p.contains(3));
+  EXPECT_EQ(b.prefix(100).size(), 4u);
+  EXPECT_TRUE(b.prefix(0).empty());
+}
+
+TEST(BrokerSet, UniteMergesWithoutDuplicates) {
+  const std::vector<NodeId> ma{1, 2}, mb{2, 3};
+  const BrokerSet a(5, ma), b(5, mb);
+  const BrokerSet u = a.unite(b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_TRUE(u.contains(1));
+  EXPECT_TRUE(u.contains(3));
+}
+
+TEST(BrokerSet, UniteRejectsSizeMismatch) {
+  const BrokerSet a(5), b(6);
+  EXPECT_THROW(a.unite(b), std::invalid_argument);
+}
+
+TEST(BrokerSet, DominatesEdge) {
+  BrokerSet b(4);
+  b.add(1);
+  EXPECT_TRUE(b.dominates_edge(1, 2));
+  EXPECT_TRUE(b.dominates_edge(0, 1));
+  EXPECT_FALSE(b.dominates_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace bsr::broker

@@ -1,0 +1,100 @@
+#include "topology/caida_import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bsr::topology {
+namespace {
+
+using bsr::graph::NodeId;
+
+// A small hand-written as-rel snippet:
+//   174 (Cogent-like) provides 100, 200; peers with 3356.
+//   3356 provides 300. 100 provides 400 (making 100 tier-2-ish transit).
+constexpr const char* kAsRel =
+    "# serial-1 style comment\n"
+    "174|100|-1\n"
+    "174|200|-1\n"
+    "174|3356|0\n"
+    "3356|300|-1\n"
+    "100|400|-1\n";
+
+TEST(CaidaImport, ParsesEdgesAndRelationships) {
+  std::istringstream is(kAsRel);
+  const auto topo = import_caida_as_rel(is);
+  EXPECT_EQ(topo.num_ases, 6u);  // 100, 174, 200, 300, 400, 3356
+  EXPECT_EQ(topo.num_ixps, 0u);
+  EXPECT_EQ(topo.graph.num_edges(), 5u);
+
+  // Dense ids follow numeric order: 100->0, 174->1, 200->2, 300->3,
+  // 400->4, 3356->5.
+  EXPECT_TRUE(topo.relations.is_provider_of(1, 0));   // 174 provides 100
+  EXPECT_FALSE(topo.relations.is_provider_of(0, 1));
+  EXPECT_TRUE(topo.relations.is_peer(1, 5));          // 174 -- 3356 peer
+  EXPECT_TRUE(topo.relations.is_provider_of(0, 4));   // 100 provides 400
+}
+
+TEST(CaidaImport, TierInference) {
+  std::istringstream is(kAsRel);
+  const auto topo = import_caida_as_rel(is);
+  // 174 and 3356 have no providers and have customers: tier 1.
+  EXPECT_EQ(topo.meta[1].tier, Tier::kTier1);
+  EXPECT_EQ(topo.meta[5].tier, Tier::kTier1);
+  // 100 has a provider and customers: tier 2 transit.
+  EXPECT_EQ(topo.meta[0].tier, Tier::kTier2);
+  EXPECT_EQ(topo.meta[0].type, NodeType::kTransitAccess);
+  // 200, 300, 400 are customer-only stubs.
+  EXPECT_EQ(topo.meta[2].tier, Tier::kStub);
+  EXPECT_EQ(topo.meta[4].tier, Tier::kStub);
+}
+
+TEST(CaidaImport, IxpMembershipsAppended) {
+  std::istringstream as_rel(kAsRel);
+  std::istringstream ixps(
+      "# name members...\n"
+      "DE-CIX 174 3356 100\n"
+      "TINY-IX 200 400 99999\n"   // 99999 unknown: skipped, still 2 members
+      "TOO-SMALL 300\n");         // 1 member: dropped
+  const auto topo = import_caida_as_rel(as_rel, ixps);
+  EXPECT_EQ(topo.num_ixps, 2u);
+  EXPECT_EQ(topo.num_vertices(), 8u);
+  const NodeId decix = 6;
+  EXPECT_EQ(topo.meta[decix].type, NodeType::kIxp);
+  EXPECT_EQ(topo.graph.degree(decix), 3u);
+  EXPECT_TRUE(topo.relations.is_peer(decix, 1));
+  const NodeId tiny = 7;
+  EXPECT_EQ(topo.graph.degree(tiny), 2u);
+}
+
+TEST(CaidaImport, DuplicateEdgesKeepFirstLabel) {
+  std::istringstream is(
+      "1|2|-1\n"
+      "1|2|0\n");  // duplicate with a different label: first one wins
+  const auto topo = import_caida_as_rel(is);
+  EXPECT_EQ(topo.graph.num_edges(), 1u);
+  EXPECT_TRUE(topo.relations.is_provider_of(0, 1));
+}
+
+TEST(CaidaImport, MalformedInputThrows) {
+  std::istringstream bad_rel("1|2|7\n");
+  EXPECT_THROW(import_caida_as_rel(bad_rel), std::runtime_error);
+  std::istringstream garbage("not a line\n");
+  EXPECT_THROW(import_caida_as_rel(garbage), std::runtime_error);
+  std::istringstream empty("# only comments\n");
+  EXPECT_THROW(import_caida_as_rel(empty), std::runtime_error);
+  EXPECT_THROW(import_caida_files("/nonexistent/as-rel.txt"), std::runtime_error);
+}
+
+TEST(CaidaImport, RunsThePipeline) {
+  // The imported topology must be usable by the selection machinery.
+  std::istringstream is(kAsRel);
+  const auto topo = import_caida_as_rel(is);
+  EXPECT_NO_THROW({
+    const auto tiers = topo.as_only_graph();
+    EXPECT_EQ(tiers.num_vertices(), topo.num_ases);
+  });
+}
+
+}  // namespace
+}  // namespace bsr::topology

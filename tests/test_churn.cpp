@@ -1,0 +1,103 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/dominated.hpp"
+#include "broker/maxsg.hpp"
+#include "test_util.hpp"
+
+namespace bsr::sim {
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::CsrGraph;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+
+TEST(Churn, EventsAreTimeOrderedWithinHorizon) {
+  const CsrGraph g = make_connected_random(60, 0.08, 1);
+  const auto brokers = bsr::broker::maxsg(g, 12).brokers;
+  Rng rng(2);
+  ChurnConfig config;
+  config.horizon = 50.0;
+  const auto result = simulate_churn(g, brokers, config, rng);
+  double prev = 0.0;
+  for (const auto& event : result.events) {
+    EXPECT_GE(event.time, prev);
+    EXPECT_LE(event.time, config.horizon);
+    prev = event.time;
+  }
+}
+
+TEST(Churn, CountsMatchEvents) {
+  const CsrGraph g = make_connected_random(60, 0.08, 3);
+  const auto brokers = bsr::broker::maxsg(g, 12).brokers;
+  Rng rng(4);
+  const auto result = simulate_churn(g, brokers, {}, rng);
+  std::size_t departures = 0, repairs = 0;
+  for (const auto& event : result.events) {
+    if (event.kind == ChurnEvent::Kind::kDeparture) ++departures;
+    else ++repairs;
+  }
+  EXPECT_EQ(departures, result.departures);
+  EXPECT_EQ(repairs, result.repairs);
+  EXPECT_GT(result.departures, 0u);
+  EXPECT_GT(result.repairs, 0u);
+}
+
+TEST(Churn, MinNeverAboveMean) {
+  const CsrGraph g = make_connected_random(60, 0.08, 5);
+  const auto brokers = bsr::broker::maxsg(g, 12).brokers;
+  Rng rng(6);
+  const auto result = simulate_churn(g, brokers, {}, rng);
+  EXPECT_LE(result.min_connectivity, result.mean_connectivity + 1e-12);
+  EXPECT_GE(result.min_connectivity, 0.0);
+  EXPECT_LE(result.mean_connectivity, 1.0);
+}
+
+TEST(Churn, RepairsKeepConnectivityUp) {
+  const CsrGraph g = make_connected_random(80, 0.07, 7);
+  const auto brokers = bsr::broker::maxsg(g, 16).brokers;
+  const double baseline = bsr::broker::saturated_connectivity(g, brokers);
+
+  ChurnConfig with_repairs;
+  with_repairs.departure_rate = 0.5;
+  with_repairs.repair_interval = 5.0;
+  with_repairs.repair_budget = 4;
+  with_repairs.horizon = 80.0;
+  ChurnConfig no_repairs = with_repairs;
+  no_repairs.repair_budget = 0;
+
+  Rng rng_a(8), rng_b(8);
+  const auto repaired = simulate_churn(g, brokers, with_repairs, rng_a);
+  const auto decayed = simulate_churn(g, brokers, no_repairs, rng_b);
+  EXPECT_GT(repaired.mean_connectivity, decayed.mean_connectivity);
+  EXPECT_GT(repaired.replacements_added, 0u);
+  EXPECT_EQ(decayed.replacements_added, 0u);
+  EXPECT_LE(repaired.mean_connectivity, baseline + 0.05);
+}
+
+TEST(Churn, DeterministicInSeed) {
+  const CsrGraph g = make_connected_random(50, 0.08, 9);
+  const auto brokers = bsr::broker::maxsg(g, 10).brokers;
+  Rng a(11), b(11);
+  const auto r1 = simulate_churn(g, brokers, {}, a);
+  const auto r2 = simulate_churn(g, brokers, {}, b);
+  EXPECT_EQ(r1.events.size(), r2.events.size());
+  EXPECT_DOUBLE_EQ(r1.mean_connectivity, r2.mean_connectivity);
+}
+
+TEST(Churn, RejectsBadConfig) {
+  const CsrGraph g = make_connected_random(20, 0.2, 10);
+  BrokerSet b(g.num_vertices());
+  Rng rng(12);
+  ChurnConfig bad;
+  bad.departure_rate = 0.0;
+  EXPECT_THROW(simulate_churn(g, b, bad, rng), std::invalid_argument);
+  bad = ChurnConfig{};
+  bad.horizon = -1.0;
+  EXPECT_THROW(simulate_churn(g, b, bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bsr::sim

@@ -1,0 +1,80 @@
+#include "graph/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.hpp"
+#include "test_util.hpp"
+#include "topology/er.hpp"
+#include "topology/ws.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+using bsr::test::make_random;
+using bsr::test::make_star;
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const CsrGraph g = make_complete(7);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_EQ(triangle_count(g), 35u);  // C(7,3)
+}
+
+TEST(Clustering, TreesAreZero) {
+  EXPECT_DOUBLE_EQ(average_clustering(make_star(10)), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(make_path(10)), 0.0);
+  EXPECT_EQ(triangle_count(make_star(10)), 0u);
+}
+
+TEST(Clustering, SingleTriangle) {
+  const CsrGraph g = make_cycle(3);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(Clustering, TriangleWithPendant) {
+  // Triangle 0-1-2 plus pendant 2-3.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const CsrGraph g = b.build();
+  const auto local = local_clustering(g);
+  EXPECT_DOUBLE_EQ(local[0], 1.0);
+  EXPECT_DOUBLE_EQ(local[1], 1.0);
+  EXPECT_DOUBLE_EQ(local[2], 1.0 / 3.0);  // one of three neighbor pairs closed
+  EXPECT_DOUBLE_EQ(local[3], 0.0);
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(Clustering, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(average_clustering(CsrGraph()), 0.0);
+}
+
+TEST(Clustering, SampledMatchesExactWhenOversampled) {
+  const CsrGraph g = make_random(60, 0.1, 3);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(average_clustering_sampled(g, rng, 1000),
+                   average_clustering(g));
+}
+
+TEST(Clustering, SampledApproximates) {
+  const CsrGraph g = make_random(300, 0.05, 5);
+  Rng rng(6);
+  const double exact = average_clustering(g);
+  const double sampled = average_clustering_sampled(g, rng, 150);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(Clustering, WsBeatsErAtEqualDensity) {
+  // The small-world signature the Table 3 topologies rely on.
+  const auto ws = bsr::topology::make_ws(400, 6, 0.1, 7);
+  const auto er = bsr::topology::make_er(400, ws.num_edges(), 8);
+  EXPECT_GT(average_clustering(ws), 3.0 * average_clustering(er));
+}
+
+}  // namespace
+}  // namespace bsr::graph

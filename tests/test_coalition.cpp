@@ -1,0 +1,79 @@
+#include "econ/coalition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bsr::econ {
+namespace {
+
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+using bsr::test::make_star;
+
+TEST(Coalition, EmptyCoalitionWorthless) {
+  const auto g = make_star(6);
+  const std::vector<NodeId> players{0, 1, 2};
+  const CoalitionGame game(g, players, {});
+  EXPECT_DOUBLE_EQ(game.value(0), 0.0);
+}
+
+TEST(Coalition, CenterOfStarIsValuable) {
+  const auto g = make_star(10);
+  const std::vector<NodeId> players{0, 1, 2};
+  CoalitionParams params;
+  params.operating_cost = 0.0;
+  const CoalitionGame game(g, players, params);
+  // Player 0 (center) alone connects all pairs; a leaf alone connects one.
+  EXPECT_GT(game.value(0b001), 10.0 * game.value(0b010));
+}
+
+TEST(Coalition, OperatingCostReducesValue) {
+  const auto g = make_star(8);
+  const std::vector<NodeId> players{0};
+  CoalitionParams cheap, pricey;
+  cheap.operating_cost = 0.0;
+  pricey.operating_cost = 5.0;
+  EXPECT_GT(CoalitionGame(g, players, cheap).value(1),
+            CoalitionGame(g, players, pricey).value(1));
+}
+
+TEST(Coalition, RejectsBadPlayers) {
+  const auto g = make_star(5);
+  const std::vector<NodeId> none{};
+  EXPECT_THROW(CoalitionGame(g, none, {}), std::invalid_argument);
+  const std::vector<NodeId> out_of_range{9};
+  EXPECT_THROW(CoalitionGame(g, out_of_range, {}), std::invalid_argument);
+}
+
+TEST(Coalition, ShapleyIntegrationOnSmallGame) {
+  const auto g = make_connected_random(20, 0.15, 42);
+  // Players: 5 arbitrary vertices.
+  const std::vector<NodeId> players{0, 3, 7, 11, 19};
+  CoalitionParams params;
+  params.operating_cost = 0.0;  // keep the game monotone
+  const CoalitionGame game(g, players, params);
+  const auto phi = shapley_exact(players.size(), game.characteristic());
+  // Efficiency: shares sum to the grand coalition's worth.
+  double total = 0.0;
+  for (const double p : phi) total += p;
+  EXPECT_NEAR(total, game.value((1ull << players.size()) - 1), 1e-9);
+  // Monotone game => non-negative shares.
+  for (const double p : phi) EXPECT_GE(p, -1e-9);
+}
+
+TEST(Coalition, NetworkExternalityEarlyOn) {
+  // With few brokers on a sparse graph, cooperation beats isolation:
+  // connectivity of a merged coalition exceeds the sum of its parts.
+  const auto g = bsr::test::make_path(9);
+  const std::vector<NodeId> players{2, 4, 6};
+  CoalitionParams params;
+  params.operating_cost = 0.0;
+  const CoalitionGame game(g, players, params);
+  EXPECT_GT(game.value(0b111), game.value(0b001) + game.value(0b010) +
+                                   game.value(0b100));
+}
+
+}  // namespace
+}  // namespace bsr::econ

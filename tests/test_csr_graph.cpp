@@ -1,0 +1,143 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace bsr::graph {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(CsrGraph, SingleEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(CsrGraph, BuilderDeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraph, BuilderDropsSelfLoops) {
+  GraphBuilder b(3);
+  b.add_edge(1, 1);
+  b.add_edge(0, 2);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(CsrGraph, BuilderRejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(CsrGraph, NeighborsSortedUnique) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 1);
+  const CsrGraph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(CsrGraph, EdgesReturnsCanonicalSorted) {
+  const CsrGraph g = bsr::test::make_cycle(4);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(CsrGraph, IsolatedVertexHasNoNeighbors) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(CsrGraph, ValidationRejectsBadOffsets) {
+  // Offsets not ending at adjacency size.
+  EXPECT_THROW(CsrGraph({0, 1}, {}), std::invalid_argument);
+  // Non-monotone offsets.
+  EXPECT_THROW(CsrGraph({0, 2, 1, 4}, {1, 2, 0, 0}), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidationRejectsOutOfRangeNeighbor) {
+  EXPECT_THROW(CsrGraph({0, 1, 2}, {1, 5}), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidationRejectsSelfLoop) {
+  EXPECT_THROW(CsrGraph({0, 1, 2}, {0, 0}), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidationRejectsUnsortedAdjacency) {
+  // Vertex 0 adjacent to {2, 1} unsorted.
+  EXPECT_THROW(CsrGraph({0, 2, 3, 4}, {2, 1, 0, 0}), std::invalid_argument);
+}
+
+TEST(CsrGraph, BuilderReusableAfterBuild) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const CsrGraph g1 = b.build();
+  b.add_edge(2, 3);
+  const CsrGraph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(CsrGraph, CompleteGraphDegrees) {
+  const CsrGraph g = bsr::test::make_complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+class CsrRandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRandomGraphTest, AdjacencySymmetric) {
+  const CsrGraph g = bsr::test::make_random(40, 0.15, GetParam());
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u)) << "edge (" << u << "," << v << ") asymmetric";
+    }
+  }
+}
+
+TEST_P(CsrRandomGraphTest, DegreeSumEqualsTwiceEdges) {
+  const CsrGraph g = bsr::test::make_random(40, 0.15, GetParam());
+  std::uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_vertices(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomGraphTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace bsr::graph

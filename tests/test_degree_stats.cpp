@@ -1,0 +1,78 @@
+#include "graph/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_star;
+
+TEST(DegreeStats, StarGraph) {
+  const CsrGraph g = make_star(11);
+  const auto stats = compute_degree_stats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_NEAR(stats.mean, 20.0 / 11.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.median, 1.0);
+}
+
+TEST(DegreeStats, RegularGraphPercentilesCollapse) {
+  const CsrGraph g = make_complete(9);
+  const auto stats = compute_degree_stats(g);
+  EXPECT_DOUBLE_EQ(stats.median, 8.0);
+  EXPECT_DOUBLE_EQ(stats.p90, 8.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 8.0);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto stats = compute_degree_stats(CsrGraph());
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(DegreeStats, HistogramSumsToVertexCount) {
+  const CsrGraph g = bsr::test::make_random(50, 0.1, 3);
+  const auto hist = degree_histogram(g);
+  const auto total = std::accumulate(hist.begin(), hist.end(), std::uint64_t{0});
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(DegreeStats, HistogramMatchesDegrees) {
+  const CsrGraph g = make_star(5);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 5u);  // max degree 4
+  EXPECT_EQ(hist[1], 4u);      // four leaves
+  EXPECT_EQ(hist[4], 1u);      // one center
+}
+
+TEST(DegreeStats, OrderingByDegreeDescending) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.build();
+  const auto order = vertices_by_degree_desc(g);
+  EXPECT_EQ(order[0], 0u);  // degree 3
+  // Degree-2 tie between 1 and 2 broken by id.
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[4], 4u);  // isolated last
+}
+
+TEST(DegreeStats, PowerLawAlphaOnSyntheticTail) {
+  // A graph with a clear heavy tail should fit alpha in a plausible range;
+  // a regular graph should not produce a fit (too little tail data).
+  const CsrGraph regular = make_complete(8);
+  const auto stats = compute_degree_stats(regular, 10);
+  EXPECT_DOUBLE_EQ(stats.power_law_alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace bsr::graph

@@ -1,0 +1,111 @@
+#include "broker/disjoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "broker/maxsg.hpp"
+#include "broker/verify.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+
+TEST(DisjointPaths, CycleGivesTwoDisjointPaths) {
+  // Cycle of 6 with all vertices brokers: clockwise + counterclockwise.
+  const CsrGraph g = make_cycle(6);
+  BrokerSet b(6);
+  for (NodeId v = 0; v < 6; ++v) b.add(v);
+  const auto result = disjoint_dominating_paths(g, b, 0, 3, 4);
+  EXPECT_EQ(result.count(), 2u);
+  for (const auto& path : result.paths) {
+    EXPECT_TRUE(is_dominating_path(g, b, path));
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 3u);
+  }
+  // Paths must not share edges.
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (const auto& path : result.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      auto e = std::minmax(path[i], path[i + 1]);
+      EXPECT_TRUE(used.emplace(e.first, e.second).second) << "shared edge";
+    }
+  }
+}
+
+TEST(DisjointPaths, PathGraphHasExactlyOne) {
+  const CsrGraph g = make_path(5);
+  BrokerSet b(5);
+  for (NodeId v = 0; v < 5; ++v) b.add(v);
+  const auto result = disjoint_dominating_paths(g, b, 0, 4, 3);
+  EXPECT_EQ(result.count(), 1u);
+}
+
+TEST(DisjointPaths, DominationConstraintRespected) {
+  // Diamond 0-1-3, 0-2-3: only 1 is a broker, so the 0-2-3 route (neither
+  // endpoint of 0-2 and 2-3 in B) is inadmissible — one path only.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 3);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 3);
+  const CsrGraph g = builder.build();
+  BrokerSet b(4);
+  b.add(1);
+  const auto result = disjoint_dominating_paths(g, b, 0, 3, 3);
+  ASSERT_EQ(result.count(), 1u);
+  EXPECT_EQ(result.paths[0], (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(DisjointPaths, TrivialAndInvalidInputs) {
+  const CsrGraph g = make_path(4);
+  BrokerSet b(4);
+  b.add(1);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, 2, 2).count(), 0u);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, 0, 99).count(), 0u);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, 0, 3, 0).count(), 0u);
+}
+
+TEST(DisjointPaths, ShortestFirstOrdering) {
+  const CsrGraph g = make_connected_random(40, 0.15, 5);
+  BrokerSet b(g.num_vertices());
+  for (NodeId v = 0; v < 20; ++v) b.add(v);
+  for (NodeId dst = 20; dst < 30; ++dst) {
+    const auto result = disjoint_dominating_paths(g, b, 35, dst, 3);
+    for (std::size_t i = 1; i < result.count(); ++i) {
+      EXPECT_LE(result.paths[i - 1].size(), result.paths[i].size());
+    }
+    for (const auto& path : result.paths) {
+      EXPECT_TRUE(is_dominating_path(g, b, path));
+    }
+  }
+}
+
+TEST(PathDiversity, MoreBrokersMoreDiversity) {
+  const CsrGraph g = make_connected_random(100, 0.06, 6);
+  const auto small = maxsg(g, 5).brokers;
+  const auto large = maxsg(g, 40).brokers;
+  Rng rng_a(7), rng_b(7);
+  const auto d_small = path_diversity(g, small, rng_a, 300);
+  const auto d_large = path_diversity(g, large, rng_b, 300);
+  EXPECT_GE(d_large.with_one, d_small.with_one - 1e-9);
+  EXPECT_GE(d_large.with_two, d_small.with_two - 1e-9);
+  EXPECT_LE(d_large.with_two, d_large.with_one + 1e-9);
+}
+
+TEST(PathDiversity, DegenerateGraph) {
+  Rng rng(8);
+  const auto stats = path_diversity(make_path(1), BrokerSet(1), rng, 10);
+  EXPECT_EQ(stats.pairs_sampled, 0u);
+}
+
+}  // namespace
+}  // namespace bsr::broker

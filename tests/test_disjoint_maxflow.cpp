@@ -1,0 +1,105 @@
+// Property test: greedy edge-disjoint extraction vs exact max-flow.
+//
+// The number of edge-disjoint B-dominating s-t paths equals the s-t
+// max-flow of G_B with unit edge capacities (Menger). Greedy shortest-path
+// extraction is a lower bound that can be strictly smaller (it may grab an
+// edge two optimal paths needed); this test pins both facts on random small
+// graphs using an independent Edmonds-Karp reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "broker/disjoint.hpp"
+#include "graph/bfs.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+
+/// Unit-capacity undirected max flow on the dominated subgraph, via
+/// Edmonds-Karp over residual capacities.
+int max_flow_dominated(const CsrGraph& g, const BrokerSet& b, NodeId s, NodeId t) {
+  std::map<std::pair<NodeId, NodeId>, int> capacity;
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (b.dominates_edge(u, v)) capacity[{u, v}] = 1;
+    }
+  }
+  int flow = 0;
+  while (true) {
+    // BFS for an augmenting path in the residual graph.
+    std::vector<NodeId> parent(g.num_vertices(), bsr::graph::kUnreachable);
+    std::queue<NodeId> queue;
+    parent[s] = s;
+    queue.push(s);
+    while (!queue.empty() && parent[t] == bsr::graph::kUnreachable) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const NodeId v : g.neighbors(u)) {
+        const auto it = capacity.find({u, v});
+        if (it == capacity.end() || it->second <= 0) continue;
+        if (parent[v] != bsr::graph::kUnreachable) continue;
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+    if (parent[t] == bsr::graph::kUnreachable) break;
+    for (NodeId v = t; v != s; v = parent[v]) {
+      const NodeId u = parent[v];
+      --capacity[{u, v}];
+      ++capacity[{v, u}];  // residual
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+class DisjointFlowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointFlowTest, GreedyLowerBoundsMaxFlow) {
+  const CsrGraph g = make_connected_random(14, 0.3, GetParam());
+  Rng rng(GetParam() * 3 + 1);
+  // Random broker sets of varying density.
+  for (int trial = 0; trial < 6; ++trial) {
+    BrokerSet b(g.num_vertices());
+    const auto count = 2 + rng.uniform(6);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      b.add(static_cast<NodeId>(rng.uniform(g.num_vertices())));
+    }
+    for (NodeId s = 0; s < 4; ++s) {
+      for (NodeId t = 10; t < 14; ++t) {
+        const auto greedy = disjoint_dominating_paths(g, b, s, t, 8);
+        const int flow = max_flow_dominated(g, b, s, t);
+        EXPECT_LE(static_cast<int>(greedy.count()), flow)
+            << "greedy exceeded max flow?!";
+        // Greedy finds at least one path whenever any exists.
+        if (flow > 0) {
+          EXPECT_GE(greedy.count(), 1u);
+        }
+        // Shortest-first greedy on unit capacities finds at least half of
+        // the optimum (classic bound for greedy disjoint paths is weaker in
+        // general; with max_paths=8 >= flow on these tiny graphs, the
+        // empirical check below documents the observed tightness).
+        if (flow > 0) {
+          EXPECT_GE(static_cast<double>(greedy.count()),
+                    0.5 * static_cast<double>(flow))
+              << "s=" << s << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointFlowTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace bsr::broker

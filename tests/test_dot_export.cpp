@@ -1,0 +1,64 @@
+#include "io/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "broker/maxsg.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::io {
+namespace {
+
+bsr::topology::InternetTopology tiny_topo() {
+  auto cfg = bsr::topology::InternetConfig{}.scaled(0.005);
+  cfg.seed = 3;
+  return bsr::topology::make_internet(cfg);
+}
+
+TEST(DotExport, FullGraphStructure) {
+  const auto topo = tiny_topo();
+  std::ostringstream oss;
+  write_dot(oss, topo);
+  const std::string dot = oss.str();
+  EXPECT_NE(dot.find("graph brokerset {"), std::string::npos);
+  EXPECT_NE(dot.find("layout=sfdp"), std::string::npos);
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // One node statement per vertex.
+  std::size_t nodes = 0;
+  for (std::size_t pos = dot.find("\n  n"); pos != std::string::npos;
+       pos = dot.find("\n  n", pos + 1)) {
+    if (dot.compare(pos + 3, 1, "n") == 0) ++nodes;
+  }
+  EXPECT_GE(nodes, topo.num_vertices());  // node lines + edge lines both match
+}
+
+TEST(DotExport, BrokersHighlighted) {
+  const auto topo = tiny_topo();
+  const auto brokers = bsr::broker::maxsg(topo.graph, 5).brokers;
+  std::ostringstream oss;
+  write_dot(oss, topo, &brokers);
+  EXPECT_NE(oss.str().find("doublecircle"), std::string::npos);
+}
+
+TEST(DotExport, SampleBoundsSize) {
+  const auto topo = tiny_topo();
+  bsr::graph::Rng rng(4);
+  std::ostringstream oss;
+  const auto exported = write_dot_sample(oss, topo, nullptr, 10, 20, rng);
+  EXPECT_GE(exported, 10u);
+  EXPECT_LE(exported, 30u);
+  EXPECT_NE(oss.str().find("graph brokerset {"), std::string::npos);
+}
+
+TEST(DotExport, TypePaletteUsed) {
+  const auto topo = tiny_topo();
+  std::ostringstream oss;
+  write_dot(oss, topo);
+  EXPECT_NE(oss.str().find("#6baed6"), std::string::npos);  // transit blue
+  EXPECT_NE(oss.str().find("#9e9ac8"), std::string::npos);  // IXP purple
+}
+
+}  // namespace
+}  // namespace bsr::io

@@ -1,0 +1,79 @@
+#include "econ/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::econ {
+namespace {
+
+StackelbergConfig small_game() {
+  StackelbergConfig game;
+  for (int i = 0; i < 25; ++i) {
+    CustomerParams c;
+    c.v_scale = 0.7 + 0.02 * i;
+    c.a0 = 0.05;
+    c.a_hat = 0.5;
+    c.p_peak = 0.2;
+    game.customers.push_back(c);
+  }
+  return game;
+}
+
+TEST(Dynamics, ConvergesToStackelbergEquilibrium) {
+  const auto game = small_game();
+  const auto equilibrium = solve_stackelberg(game);
+  const auto dynamics = best_response_dynamics(game);
+  ASSERT_TRUE(dynamics.converged);
+  EXPECT_NEAR(dynamics.final_price, equilibrium.price, 1e-2);
+  EXPECT_NEAR(dynamics.final_adoption, equilibrium.total_adoption, 1e-2);
+}
+
+TEST(Dynamics, PathsRecorded) {
+  const auto dynamics = best_response_dynamics(small_game());
+  ASSERT_GT(dynamics.rounds, 1u);
+  EXPECT_EQ(dynamics.price_path.size(), dynamics.rounds);
+  EXPECT_EQ(dynamics.adoption_path.size(), dynamics.rounds);
+  EXPECT_DOUBLE_EQ(dynamics.price_path.front(), DynamicsConfig{}.initial_price);
+}
+
+TEST(Dynamics, MonotoneApproachUnderDamping) {
+  // With damping toward a fixed target, the price moves monotonically.
+  const auto dynamics = best_response_dynamics(small_game());
+  for (std::size_t i = 1; i < dynamics.price_path.size(); ++i) {
+    EXPECT_GE(dynamics.price_path[i] + 1e-12, dynamics.price_path[i - 1]);
+  }
+}
+
+TEST(Dynamics, FullStepJumpsImmediately) {
+  DynamicsConfig config;
+  config.step = 1.0;
+  const auto dynamics = best_response_dynamics(small_game(), config);
+  EXPECT_TRUE(dynamics.converged);
+  EXPECT_LE(dynamics.rounds, 3u);
+}
+
+TEST(Dynamics, SmallStepConvergesSlower) {
+  DynamicsConfig fast, slow;
+  fast.step = 0.8;
+  slow.step = 0.05;
+  slow.max_rounds = 1000;  // (1 - 0.05)^n decay needs ~450 rounds for 1e-6
+  const auto a = best_response_dynamics(small_game(), fast);
+  const auto b = best_response_dynamics(small_game(), slow);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_LT(a.rounds, b.rounds);
+}
+
+TEST(Dynamics, RejectsBadConfig) {
+  DynamicsConfig bad_step;
+  bad_step.step = 0.0;
+  EXPECT_THROW(best_response_dynamics(small_game(), bad_step),
+               std::invalid_argument);
+  DynamicsConfig no_rounds;
+  no_rounds.max_rounds = 0;
+  EXPECT_THROW(best_response_dynamics(small_game(), no_rounds),
+               std::invalid_argument);
+  EXPECT_THROW(best_response_dynamics(StackelbergConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bsr::econ

@@ -1,0 +1,87 @@
+// Fuzz-style round-trip tests over randomized instances.
+//
+// Serialization, edge-list IO and EdgeRelations must survive arbitrary
+// generator outputs, not just the default configuration. Each TEST_P draws
+// a differently-shaped topology (size, tail, IXP ecosystem all varying with
+// the seed) and pushes it through every persistence path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/edge_list_io.hpp"
+#include "topology/serialization.hpp"
+
+namespace bsr {
+namespace {
+
+using bsr::graph::NodeId;
+
+topology::InternetConfig fuzz_config(std::uint64_t seed) {
+  bsr::graph::Rng rng(seed);
+  auto cfg = topology::InternetConfig{}.scaled(0.004 + 0.02 * rng.uniform01());
+  cfg.seed = seed;
+  cfg.remote_fraction = 0.15 * rng.uniform01();
+  cfg.isolated_fraction = 0.02 * rng.uniform01();
+  cfg.ixp_participation = 0.2 + 0.5 * rng.uniform01();
+  cfg.stub_content_fraction = 0.3 * rng.uniform01();
+  cfg.stub_transit_fraction = 0.2 * rng.uniform01();
+  return cfg;
+}
+
+class FuzzRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRoundTripTest, TopologySerializationRoundTrips) {
+  const auto topo = topology::make_internet(fuzz_config(GetParam()));
+  std::ostringstream oss;
+  topology::save_topology(oss, topo);
+  std::istringstream iss(oss.str());
+  const auto loaded = topology::load_topology(iss);
+  EXPECT_EQ(loaded.graph.edges(), topo.graph.edges());
+  EXPECT_EQ(loaded.num_ases, topo.num_ases);
+  // Relationship labels survive for a sample of edges.
+  const auto edges = topo.graph.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 97) {
+    EXPECT_EQ(loaded.relations.rel_canonical(edges[i].u, edges[i].v),
+              topo.relations.rel_canonical(edges[i].u, edges[i].v));
+  }
+}
+
+TEST_P(FuzzRoundTripTest, EdgeListRoundTrips) {
+  const auto topo = topology::make_internet(fuzz_config(GetParam() + 500));
+  std::ostringstream oss;
+  io::write_edge_list(oss, topo.graph);
+  std::istringstream iss(oss.str());
+  const auto loaded = io::read_edge_list(iss);
+  // Isolated vertices are dropped by the edge-list format (no lines), so
+  // compare edge sets after compaction, not vertex counts.
+  EXPECT_EQ(loaded.num_edges(), topo.graph.num_edges());
+}
+
+TEST_P(FuzzRoundTripTest, GeneratorInvariantsHold) {
+  const auto cfg = fuzz_config(GetParam() + 900);
+  const auto topo = topology::make_internet(cfg);
+  EXPECT_EQ(topo.num_vertices(), cfg.num_ases + cfg.num_ixps);
+  // IXPs only peer, and only with ASes.
+  for (NodeId ixp = topo.num_ases; ixp < topo.num_vertices(); ++ixp) {
+    for (const NodeId m : topo.graph.neighbors(ixp)) {
+      ASSERT_LT(m, topo.num_ases);
+      ASSERT_TRUE(topo.relations.is_peer(ixp, m));
+    }
+  }
+  // Relationship labels are total: every edge answers queries both ways.
+  const auto edges = topo.graph.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 131) {
+    const auto rel = topo.relations.rel_canonical(edges[i].u, edges[i].v);
+    if (rel != topology::EdgeRel::kPeer) {
+      EXPECT_NE(topo.relations.is_provider_of(edges[i].u, edges[i].v),
+                topo.relations.is_provider_of(edges[i].v, edges[i].u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTripTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005, 6006,
+                                           7007, 8008));
+
+}  // namespace
+}  // namespace bsr

@@ -1,0 +1,131 @@
+#include "broker/greedy_mcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "broker/coverage.hpp"
+#include "broker/verify.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_complete;
+using bsr::test::make_connected_random;
+using bsr::test::make_random;
+using bsr::test::make_star;
+
+/// Reference eager greedy (no lazy evaluation) — recomputes every marginal
+/// gain each round.
+BrokerSet eager_greedy(const CsrGraph& g, std::uint32_t k) {
+  CoverageTracker tracker(g);
+  BrokerSet brokers(g.num_vertices());
+  for (std::uint32_t round = 0; round < k && !tracker.all_covered(); ++round) {
+    NodeId best = 0;
+    std::uint32_t best_gain = 0;
+    for (NodeId v = 0; v < g.num_vertices(); ++v) {
+      if (tracker.is_broker(v)) continue;
+      const auto gain = tracker.marginal_gain(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best_gain == 0) break;
+    tracker.add(best);
+    brokers.add(best);
+  }
+  return brokers;
+}
+
+TEST(GreedyMcb, StarPicksCenterFirst) {
+  const CsrGraph g = make_star(10);
+  const auto result = greedy_mcb(g, 3);
+  ASSERT_GE(result.brokers.size(), 1u);
+  EXPECT_EQ(result.brokers.members()[0], 0u);
+  EXPECT_EQ(result.coverage, 10u);
+  EXPECT_EQ(result.brokers.size(), 1u);  // early stop: everything covered
+}
+
+TEST(GreedyMcb, ZeroBudget) {
+  const CsrGraph g = make_star(5);
+  const auto result = greedy_mcb(g, 0);
+  EXPECT_TRUE(result.brokers.empty());
+  EXPECT_EQ(result.coverage, 0u);
+}
+
+TEST(GreedyMcb, EmptyGraphThrows) {
+  EXPECT_THROW(greedy_mcb(CsrGraph(), 3), std::invalid_argument);
+}
+
+TEST(GreedyMcb, BudgetRespected) {
+  const CsrGraph g = make_connected_random(60, 0.05, 3);
+  const auto result = greedy_mcb(g, 4);
+  EXPECT_LE(result.brokers.size(), 4u);
+}
+
+TEST(GreedyMcb, CoverageCurveConsistent) {
+  const CsrGraph g = make_connected_random(50, 0.06, 4);
+  const auto result = greedy_mcb(g, 8);
+  ASSERT_EQ(result.coverage_curve.size(), result.brokers.size());
+  for (std::size_t i = 0; i < result.brokers.size(); ++i) {
+    EXPECT_EQ(result.coverage_curve[i],
+              coverage(g, result.brokers.prefix(i + 1)))
+        << "curve entry " << i;
+    if (i > 0) {
+      EXPECT_GE(result.coverage_curve[i], result.coverage_curve[i - 1]);
+    }
+  }
+}
+
+TEST(GreedyMcb, IsolatedVerticesNeedThemselves) {
+  bsr::graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();  // 2 and 3 isolated
+  const auto result = greedy_mcb(g, 4);
+  EXPECT_EQ(result.coverage, 4u);
+  EXPECT_LE(result.brokers.size(), 3u);  // {0 or 1} + {2} + {3}
+}
+
+class GreedyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyPropertyTest, LazyMatchesEagerGreedy) {
+  const CsrGraph g = make_random(70, 0.05, GetParam());
+  for (const std::uint32_t k : {1u, 3u, 8u, 20u}) {
+    const auto lazy = greedy_mcb(g, k);
+    const auto eager = eager_greedy(g, k);
+    // Tie-breaking matches (both prefer the lowest id), so the selections
+    // must be identical, not just equal in value.
+    EXPECT_EQ(std::vector<NodeId>(lazy.brokers.members().begin(),
+                                  lazy.brokers.members().end()),
+              std::vector<NodeId>(eager.members().begin(), eager.members().end()))
+        << "k = " << k;
+  }
+}
+
+TEST_P(GreedyPropertyTest, AchievesOneMinusOneOverEOfOptimum) {
+  // Lemma 4 on brute-forceable graphs.
+  const CsrGraph g = make_random(14, 0.18, GetParam());
+  for (const std::uint32_t k : {1u, 2u, 3u}) {
+    const auto result = greedy_mcb(g, k);
+    const auto optimum = brute_force_mcb_optimum(g, k);
+    EXPECT_GE(static_cast<double>(result.coverage) + 1e-9,
+              (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(optimum))
+        << "k = " << k;
+  }
+}
+
+TEST_P(GreedyPropertyTest, FullBudgetCoversEverything) {
+  const CsrGraph g = make_random(30, 0.08, GetParam());
+  const auto result = greedy_mcb(g, g.num_vertices());
+  EXPECT_EQ(result.coverage, g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPropertyTest,
+                         ::testing::Values(2, 23, 234, 2345, 23456));
+
+}  // namespace
+}  // namespace bsr::broker

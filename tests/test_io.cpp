@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/edge_list_io.hpp"
+#include "io/env.hpp"
+#include "io/table.hpp"
+#include "test_util.hpp"
+
+namespace bsr::io {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"A", "LongHeader"});
+  t.row().cell("x").cell(std::int64_t{42});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsEmptyHeaderAndBadArity) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(format_percent(0.8541), "85.41");
+  EXPECT_EQ(format_percent(1.0), "100.00");
+  EXPECT_EQ(format_percent(0.5313, 1), "53.1");
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+}
+
+TEST(Table, RowBuilderTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.row().cell("s").cell(std::uint64_t{7}).cell(2.5, 1).percent(0.25);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, DocumentSerialization) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({"a,b", "c"});
+  const std::string doc = w.to_string();
+  EXPECT_EQ(doc, "x,y\n1,2\n\"a,b\",c\n");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter w({"x"});
+  EXPECT_THROW(w.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(EdgeList, RoundTrip) {
+  const auto g = bsr::test::make_connected_random(30, 0.1, 5);
+  std::ostringstream oss;
+  write_edge_list(oss, g);
+  std::istringstream iss(oss.str());
+  const auto g2 = read_edge_list(iss);
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.edges(), g.edges());
+}
+
+TEST(EdgeList, SparseIdsCompactedInOrder) {
+  std::istringstream iss("100 5\n7 100\n");
+  const auto g = read_edge_list(iss);
+  EXPECT_EQ(g.num_vertices(), 3u);  // ids 5, 7, 100 -> 0, 1, 2
+  EXPECT_TRUE(g.has_edge(2, 0));    // 100-5
+  EXPECT_TRUE(g.has_edge(1, 2));    // 7-100
+}
+
+TEST(EdgeList, CommentsAndBlanksSkipped) {
+  std::istringstream iss("# header\n\n0 1 # trailing comment\n");
+  const auto g = read_edge_list(iss);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeList, MalformedLinesThrow) {
+  std::istringstream one_token("0\n");
+  EXPECT_THROW(read_edge_list(one_token), std::runtime_error);
+  std::istringstream three_tokens("0 1 2\n");
+  EXPECT_THROW(read_edge_list(three_tokens), std::runtime_error);
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/x.txt"), std::runtime_error);
+}
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Env, Defaults) {
+  unsetenv("REPRO_SCALE");
+  unsetenv("REPRO_SOURCES");
+  unsetenv("REPRO_SEED");
+  const auto env = experiment_env();
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+  EXPECT_EQ(env.bfs_sources, 512u);
+}
+
+TEST(Env, ParsesOverrides) {
+  EnvGuard scale("REPRO_SCALE", "0.25");
+  EnvGuard sources("REPRO_SOURCES", "64");
+  EnvGuard seed("REPRO_SEED", "7");
+  const auto env = experiment_env();
+  EXPECT_DOUBLE_EQ(env.scale, 0.25);
+  EXPECT_EQ(env.bfs_sources, 64u);
+  EXPECT_EQ(env.seed, 7u);
+}
+
+TEST(Env, RejectsGarbage) {
+  EnvGuard scale("REPRO_SCALE", "banana");
+  EXPECT_THROW(experiment_env(), std::runtime_error);
+}
+
+TEST(Env, RejectsOutOfRangeScale) {
+  EnvGuard scale("REPRO_SCALE", "99");
+  EXPECT_THROW(experiment_env(), std::runtime_error);
+}
+
+TEST(Env, ScaledCountsKeepMinimum) {
+  ExperimentEnv env;
+  env.scale = 0.001;
+  EXPECT_EQ(env.scaled(100, 5), 5u);
+  env.scale = 0.5;
+  EXPECT_EQ(env.scaled(100, 5), 50u);
+}
+
+}  // namespace
+}  // namespace bsr::io

@@ -1,0 +1,106 @@
+#include "graph/kcore.hpp"
+
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+using bsr::test::make_random;
+using bsr::test::make_star;
+
+/// Brute-force coreness: repeatedly peel vertices of minimum degree.
+std::vector<std::uint32_t> naive_coreness(const CsrGraph& g) {
+  const NodeId n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (NodeId v = 0; v < n; ++v) degree[v] = g.degree(v);
+  for (NodeId round = 0; round < n; ++round) {
+    NodeId best = kUnreachable;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!removed[v] && (best == kUnreachable || degree[v] < degree[best])) best = v;
+    }
+    if (best == kUnreachable) break;
+    static std::uint32_t running_max;
+    if (round == 0) running_max = 0;
+    running_max = std::max(running_max, degree[best]);
+    core[best] = running_max;
+    removed[best] = true;
+    for (const NodeId w : g.neighbors(best)) {
+      if (!removed[w] && degree[w] > 0) --degree[w];
+    }
+  }
+  return core;
+}
+
+TEST(KCore, CompleteGraph) {
+  const CsrGraph g = make_complete(6);
+  const auto core = coreness(g);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(core[v], 5u);
+  EXPECT_EQ(degeneracy(g), 5u);
+}
+
+TEST(KCore, PathGraphIsOneCore) {
+  const CsrGraph g = make_path(8);
+  const auto core = coreness(g);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(KCore, CycleIsTwoCore) {
+  const CsrGraph g = make_cycle(9);
+  const auto core = coreness(g);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(core[v], 2u);
+}
+
+TEST(KCore, StarIsOneCore) {
+  const CsrGraph g = make_star(10);
+  const auto core = coreness(g);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(KCore, CliqueWithTail) {
+  // K4 (0-3) plus tail 3-4-5: clique is 3-core, tail is 1-core.
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const CsrGraph g = b.build();
+  const auto core = coreness(g);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(core[v], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(KCore, EmptyAndIsolated) {
+  EXPECT_EQ(degeneracy(CsrGraph()), 0u);
+  GraphBuilder b(3);
+  const auto core = coreness(b.build());
+  for (const auto c : core) EXPECT_EQ(c, 0u);
+}
+
+class KCoreRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCoreRandomTest, MatchesNaivePeeling) {
+  const CsrGraph g = make_random(35, 0.12, GetParam());
+  const auto fast = coreness(g);
+  const auto reference = naive_coreness(g);
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(fast[v], reference[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreRandomTest, ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace bsr::graph

@@ -1,0 +1,121 @@
+#include "econ/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/maxsg.hpp"
+#include "test_util.hpp"
+
+namespace bsr::econ {
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_connected_random;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+sim::Flow flow_of(NodeId src, NodeId dst, double volume) {
+  sim::Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.volume = volume;
+  return f;
+}
+
+TEST(Ledger, SingleBrokeredFlowAccounting) {
+  // Star with broker center: path 1-0-2, one broker transit hop, no
+  // employees.
+  const CsrGraph g = make_star(5);
+  BrokerSet b(5);
+  b.add(0);
+  const std::vector<sim::Flow> flows{flow_of(1, 2, 10.0)};
+  LedgerConfig config;
+  config.customer_price = 1.0;
+  config.transit_cost = 0.1;
+  const auto ledger = settle_flows(g, b, flows, config);
+  EXPECT_EQ(ledger.flows_routed, 1u);
+  EXPECT_DOUBLE_EQ(ledger.customer_payments, 20.0);  // both ends pay
+  EXPECT_DOUBLE_EQ(ledger.employee_payouts, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.broker_transit_cost, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.coalition_profit, 19.0);
+  EXPECT_DOUBLE_EQ(ledger.broker_revenue[0], 19.0);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Ledger, EmployeeHopsArePaid) {
+  // Path 0-1-2-3-4 with brokers {1, 3}: the dominating route 0..4 transits
+  // the non-broker 2 — the hired employee (Fig. 6's AS 5).
+  const CsrGraph g = make_path(5);
+  BrokerSet b(5);
+  b.add(1);
+  b.add(3);
+  const std::vector<sim::Flow> flows{flow_of(0, 4, 2.0)};
+  LedgerConfig config;
+  config.customer_price = 1.0;
+  config.employee_price = 0.4;
+  config.transit_cost = 0.05;
+  const auto ledger = settle_flows(g, b, flows, config);
+  EXPECT_EQ(ledger.flows_routed, 1u);
+  EXPECT_EQ(ledger.employee_hops, 1u);
+  EXPECT_DOUBLE_EQ(ledger.customer_payments, 4.0);
+  EXPECT_DOUBLE_EQ(ledger.employee_payouts, 0.8);
+  // Transit brokers: 1 and 3 -> 2 hops * 0.05 * 2.0 volume.
+  EXPECT_DOUBLE_EQ(ledger.broker_transit_cost, 0.2);
+  EXPECT_TRUE(ledger.balanced());
+  // Profit split proportional to transit volume: brokers 1 and 3 equal.
+  EXPECT_DOUBLE_EQ(ledger.broker_revenue[1], ledger.broker_revenue[3]);
+  EXPECT_GT(ledger.broker_revenue[1], 0.0);
+}
+
+TEST(Ledger, UnroutableFlowsCounted) {
+  const CsrGraph g = make_path(4);
+  BrokerSet b(4);
+  b.add(0);  // dominates only edge 0-1
+  const std::vector<sim::Flow> flows{flow_of(0, 3, 1.0), flow_of(0, 1, 1.0)};
+  const auto ledger = settle_flows(g, b, flows);
+  EXPECT_EQ(ledger.flows_unroutable, 1u);
+  EXPECT_EQ(ledger.flows_routed, 1u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Ledger, BooksBalanceOnRandomWorkloads) {
+  const CsrGraph g = make_connected_random(80, 0.07, 11);
+  const auto brokers = bsr::broker::maxsg(g, 12).brokers;
+  bsr::graph::Rng rng(12);
+  sim::DemandConfig demand;
+  demand.num_flows = 400;
+  const auto flows = sim::generate_flows(g, demand, rng);
+  const auto ledger = settle_flows(g, brokers, flows);
+  EXPECT_TRUE(ledger.balanced(1e-6));
+  double distributed = 0.0;
+  for (const double r : ledger.broker_revenue) distributed += r;
+  EXPECT_NEAR(distributed, ledger.coalition_profit, 1e-6);
+  EXPECT_GT(ledger.flows_routed, 0u);
+}
+
+TEST(Ledger, RejectsBadPrices) {
+  const CsrGraph g = make_star(4);
+  BrokerSet b(4);
+  LedgerConfig bad;
+  bad.customer_price = 0.0;
+  EXPECT_THROW(settle_flows(g, b, {}, bad), std::invalid_argument);
+  bad = LedgerConfig{};
+  bad.transit_cost = -1.0;
+  EXPECT_THROW(settle_flows(g, b, {}, bad), std::invalid_argument);
+}
+
+TEST(Ledger, DirectBrokerEdgeHasNoTransit) {
+  // Adjacent pair with a broker endpoint: no transit nodes at all.
+  const CsrGraph g = make_path(3);
+  BrokerSet b(3);
+  b.add(1);
+  const std::vector<sim::Flow> flows{flow_of(1, 2, 5.0)};
+  const auto ledger = settle_flows(g, b, flows);
+  EXPECT_DOUBLE_EQ(ledger.broker_transit_cost, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.coalition_profit, ledger.customer_payments);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+}  // namespace
+}  // namespace bsr::econ

@@ -1,0 +1,95 @@
+#include "broker/length_constrained.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/greedy_mcb.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/path_length.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+using bsr::test::make_star;
+
+TEST(LengthRepair, AlreadyFeasibleIsNoop) {
+  const CsrGraph g = make_star(10);
+  BrokerSet b(10);
+  b.add(0);  // dominates everything: F_B == F
+  Rng rng(1);
+  const auto result = repair_path_lengths(g, b, rng);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.added, 0u);
+  EXPECT_NEAR(result.initial_deviation, 0.0, 1e-12);
+}
+
+TEST(LengthRepair, ReducesDeviation) {
+  const CsrGraph g = make_connected_random(120, 0.05, 2);
+  // A deliberately weak set: a few random low-value brokers.
+  BrokerSet weak(g.num_vertices());
+  weak.add(3);
+  weak.add(77);
+  Rng rng(3);
+  LengthRepairOptions options;
+  options.epsilon = 0.05;
+  options.max_added = 60;
+  options.sources = 120;  // exact on this size
+  const auto result = repair_path_lengths(g, weak, rng, options);
+  EXPECT_LT(result.final_deviation, result.initial_deviation);
+  EXPECT_GT(result.added, 0u);
+  EXPECT_EQ(result.brokers.size(), weak.size() + result.added);
+  // The input brokers are preserved.
+  EXPECT_TRUE(result.brokers.contains(3));
+  EXPECT_TRUE(result.brokers.contains(77));
+}
+
+TEST(LengthRepair, AchievesFeasibilityWithEnoughBudget) {
+  const CsrGraph g = make_connected_random(60, 0.08, 4);
+  const auto seed_set = greedy_mcb(g, 3).brokers;
+  Rng rng(5);
+  LengthRepairOptions options;
+  options.epsilon = 0.05;
+  options.max_added = 60;
+  options.sources = 60;
+  options.max_rounds = 30;
+  const auto result = repair_path_lengths(g, seed_set, rng, options);
+  EXPECT_TRUE(result.feasible) << "final deviation " << result.final_deviation;
+  // Verify independently with the §5.2 evaluator.
+  Rng verify_rng(6);
+  const auto cmp = compare_path_lengths(g, result.brokers, verify_rng, 60);
+  EXPECT_LE(cmp.max_deviation, options.epsilon + 0.02);
+}
+
+TEST(LengthRepair, RespectsBudget) {
+  const CsrGraph g = make_connected_random(100, 0.04, 7);
+  BrokerSet weak(g.num_vertices());
+  weak.add(0);
+  Rng rng(8);
+  LengthRepairOptions options;
+  options.epsilon = 0.001;  // unreachable with the tiny budget below
+  options.max_added = 5;
+  options.sources = 50;
+  const auto result = repair_path_lengths(g, weak, rng, options);
+  EXPECT_LE(result.added, 5u);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(LengthRepair, RejectsBadOptions) {
+  const CsrGraph g = make_star(5);
+  Rng rng(9);
+  LengthRepairOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(repair_path_lengths(g, BrokerSet(5), rng, bad),
+               std::invalid_argument);
+  bad = LengthRepairOptions{};
+  bad.sources = 0;
+  EXPECT_THROW(repair_path_lengths(g, BrokerSet(5), rng, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bsr::broker

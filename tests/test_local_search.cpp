@@ -1,0 +1,68 @@
+#include "broker/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/dominated.hpp"
+#include "broker/maxsg.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_connected_random;
+using bsr::test::make_star;
+
+TEST(LocalSearch, NeverDegrades) {
+  const CsrGraph g = make_connected_random(80, 0.06, 1);
+  const auto initial = maxsg(g, 10).brokers;
+  const auto result = improve_by_swaps(g, initial);
+  EXPECT_GE(result.final_connectivity, result.initial_connectivity - 1e-12);
+  EXPECT_EQ(result.brokers.size(), initial.size());
+}
+
+TEST(LocalSearch, FixesObviouslyBadSeed) {
+  // Star: the optimal single broker is the center; seed with a leaf.
+  const CsrGraph g = make_star(20);
+  BrokerSet bad(20);
+  bad.add(7);
+  const auto result = improve_by_swaps(g, bad);
+  EXPECT_EQ(result.swaps_applied, 1u);
+  EXPECT_TRUE(result.brokers.contains(0));
+  EXPECT_DOUBLE_EQ(result.final_connectivity, 1.0);
+}
+
+TEST(LocalSearch, MaxSgIsNearLocallyOptimal) {
+  // The interesting finding: greedy MaxSG output should admit few or no
+  // improving 1-swaps.
+  const CsrGraph g = make_connected_random(120, 0.05, 3);
+  const auto initial = maxsg(g, 15).brokers;
+  const auto result = improve_by_swaps(g, initial);
+  EXPECT_LE(result.final_connectivity - result.initial_connectivity, 0.05);
+}
+
+TEST(LocalSearch, RespectsSwapBudget) {
+  const CsrGraph g = make_connected_random(60, 0.07, 5);
+  // Deliberately bad seed: the last 8 vertices by id.
+  BrokerSet bad(g.num_vertices());
+  for (NodeId v = g.num_vertices() - 8; v < g.num_vertices(); ++v) bad.add(v);
+  LocalSearchOptions options;
+  options.max_swaps = 2;
+  const auto result = improve_by_swaps(g, bad, options);
+  EXPECT_LE(result.swaps_applied, 2u);
+}
+
+TEST(LocalSearch, DegenerateInputs) {
+  const CsrGraph g = make_star(5);
+  const auto empty = improve_by_swaps(g, BrokerSet(5));
+  EXPECT_EQ(empty.swaps_applied, 0u);
+  BrokerSet all(5);
+  for (NodeId v = 0; v < 5; ++v) all.add(v);
+  const auto full = improve_by_swaps(g, all);
+  EXPECT_EQ(full.swaps_applied, 0u);
+  EXPECT_DOUBLE_EQ(full.final_connectivity, 1.0);
+}
+
+}  // namespace
+}  // namespace bsr::broker

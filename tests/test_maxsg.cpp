@@ -1,0 +1,140 @@
+#include "broker/maxsg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/dominated.hpp"
+#include "graph/components.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_connected_random;
+using bsr::test::make_path;
+using bsr::test::make_random;
+using bsr::test::make_star;
+
+TEST(MaxSg, EmptyGraphThrows) {
+  EXPECT_THROW(maxsg(CsrGraph(), 3), std::invalid_argument);
+}
+
+TEST(MaxSg, ZeroBudget) {
+  const CsrGraph g = make_star(5);
+  const auto result = maxsg(g, 0);
+  EXPECT_TRUE(result.brokers.empty());
+  EXPECT_EQ(result.final_component, 0u);
+}
+
+TEST(MaxSg, StarPicksCenterAndStops) {
+  const CsrGraph g = make_star(12);
+  const auto result = maxsg(g, 5);
+  ASSERT_EQ(result.brokers.size(), 1u);  // center dominates everything
+  EXPECT_EQ(result.brokers.members()[0], 0u);
+  EXPECT_EQ(result.final_component, 12u);
+}
+
+TEST(MaxSg, PathGraphAlternatingSelection) {
+  const CsrGraph g = make_path(9);
+  const auto result = maxsg(g, 9);
+  // Dominating the whole path needs every other vertex, about n/2 - but
+  // never more than the budget, and the component must reach all 9.
+  EXPECT_EQ(result.final_component, 9u);
+  EXPECT_LE(result.brokers.size(), 5u);
+}
+
+TEST(MaxSg, BudgetRespectedWithoutEarlyStop) {
+  const CsrGraph g = make_connected_random(60, 0.05, 5);
+  MaxSgOptions options;
+  options.stop_when_dominating = false;
+  const auto result = maxsg(g, 7, options);
+  EXPECT_EQ(result.brokers.size(), 7u);
+}
+
+TEST(MaxSg, ComponentCurveMatchesIndependentEvaluation) {
+  const CsrGraph g = make_connected_random(40, 0.08, 6);
+  const auto result = maxsg(g, 8);
+  ASSERT_EQ(result.component_curve.size(), result.brokers.size());
+  for (std::size_t i = 0; i < result.brokers.size(); ++i) {
+    const auto prefix = result.brokers.prefix(i + 1);
+    EXPECT_EQ(result.component_curve[i], largest_dominated_component(g, prefix))
+        << "pick " << i;
+    if (i > 0) {
+      EXPECT_GE(result.component_curve[i], result.component_curve[i - 1]);
+    }
+  }
+}
+
+TEST(MaxSg, GreedyStepIsLocallyOptimal) {
+  // At every step, no other candidate would have produced a larger
+  // component than the one the algorithm picked (ties allowed).
+  const CsrGraph g = make_connected_random(25, 0.12, 7);
+  const auto result = maxsg(g, 5);
+  for (std::size_t i = 0; i < result.brokers.size(); ++i) {
+    BrokerSet prefix = result.brokers.prefix(i);
+    const std::uint32_t chosen_value = result.component_curve[i];
+    for (NodeId w = 0; w < g.num_vertices(); ++w) {
+      if (prefix.contains(w)) continue;
+      BrokerSet alternative = prefix;
+      alternative.add(w);
+      EXPECT_GE(chosen_value, largest_dominated_component(g, alternative))
+          << "pick " << i << " alternative " << w;
+    }
+  }
+}
+
+TEST(MaxSg, StopsWhenDominatingMaxSubgraph) {
+  const CsrGraph g = make_connected_random(50, 0.07, 8);
+  const auto result = maxsg(g, 1000);
+  // The "3,540-alliance" behavior: stop once the maximum connected subgraph
+  // is fully dominated.
+  EXPECT_EQ(result.final_component,
+            bsr::graph::connected_components(g).largest_size());
+  EXPECT_LT(result.brokers.size(), 1000u);
+}
+
+TEST(MaxSg, DeterministicSelection) {
+  const CsrGraph g = make_connected_random(40, 0.08, 9);
+  const auto a = maxsg(g, 6);
+  const auto b = maxsg(g, 6);
+  EXPECT_EQ(std::vector<NodeId>(a.brokers.members().begin(), a.brokers.members().end()),
+            std::vector<NodeId>(b.brokers.members().begin(), b.brokers.members().end()));
+}
+
+TEST(MaxSg, DisconnectedGraphCoversLargestPiece) {
+  bsr::graph::GraphBuilder b(9);
+  // Component A: star of 6 (0..5). Component B: triangle (6, 7, 8).
+  for (NodeId v = 1; v < 6; ++v) b.add_edge(0, v);
+  b.add_edge(6, 7);
+  b.add_edge(7, 8);
+  b.add_edge(6, 8);
+  const CsrGraph g = b.build();
+  const auto result = maxsg(g, 1);
+  ASSERT_EQ(result.brokers.size(), 1u);
+  EXPECT_EQ(result.brokers.members()[0], 0u);  // the bigger component's hub
+  EXPECT_EQ(result.final_component, 6u);
+}
+
+class MaxSgPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxSgPropertyTest, ComponentNeverExceedsCoverage) {
+  const CsrGraph g = make_random(45, 0.06, GetParam());
+  const auto result = maxsg(g, 10);
+  EXPECT_LE(result.final_component, result.coverage);
+}
+
+TEST_P(MaxSgPropertyTest, MoreBudgetNeverShrinksComponent) {
+  const CsrGraph g = make_random(45, 0.06, GetParam() + 10);
+  std::uint32_t previous = 0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const auto result = maxsg(g, k);
+    EXPECT_GE(result.final_component, previous);
+    previous = result.final_component;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSgPropertyTest, ::testing::Values(6, 66, 666));
+
+}  // namespace
+}  // namespace bsr::broker

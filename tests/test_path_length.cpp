@@ -1,0 +1,69 @@
+#include "broker/path_length.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/greedy_mcb.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::Rng;
+using bsr::test::make_complete;
+using bsr::test::make_connected_random;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+TEST(PathLength, FullDominationMeansZeroDeviation) {
+  const CsrGraph g = make_star(8);
+  BrokerSet b(8);
+  b.add(0);  // center dominates every edge
+  Rng rng(1);
+  const auto cmp = compare_path_lengths(g, b, rng, 100);
+  EXPECT_NEAR(cmp.max_deviation, 0.0, 1e-12);
+  EXPECT_TRUE(cmp.feasible(0.01));
+}
+
+TEST(PathLength, EmptyBrokerSetMaximallyInfeasible) {
+  const CsrGraph g = make_complete(6);
+  Rng rng(2);
+  const auto cmp = compare_path_lengths(g, BrokerSet(6), rng, 100);
+  EXPECT_NEAR(cmp.max_deviation, 1.0, 1e-12);
+  EXPECT_FALSE(cmp.feasible(0.5));
+}
+
+TEST(PathLength, InflationNonNegativeEverywhere) {
+  const CsrGraph g = make_connected_random(40, 0.08, 3);
+  const auto brokers = greedy_mcb(g, 5).brokers;
+  Rng rng(4);
+  const auto cmp = compare_path_lengths(g, brokers, rng, 1000);
+  for (std::uint32_t l = 0; l < 12; ++l) {
+    EXPECT_GE(cmp.inflation_at(l), -1e-12) << "l = " << l;
+  }
+}
+
+TEST(PathLength, DominatedCdfBelowFreeCdf) {
+  // Restricting edges can only remove or lengthen paths.
+  const CsrGraph g = make_connected_random(50, 0.06, 5);
+  const auto brokers = greedy_mcb(g, 3).brokers;
+  Rng rng(6);
+  const auto cmp = compare_path_lengths(g, brokers, rng, 1000);
+  for (std::uint32_t l = 1; l < 12; ++l) {
+    EXPECT_LE(cmp.dominated_paths.at(l), cmp.free_paths.at(l) + 1e-12);
+  }
+}
+
+TEST(PathLength, MidPathBrokerInflatesButStaysFeasibleWithBigEpsilon) {
+  const CsrGraph g = make_path(6);
+  BrokerSet b(6);
+  b.add(2);
+  b.add(3);
+  Rng rng(7);
+  const auto cmp = compare_path_lengths(g, b, rng, 100);
+  EXPECT_GT(cmp.max_deviation, 0.0);
+  EXPECT_TRUE(cmp.feasible(1.0));
+}
+
+}  // namespace
+}  // namespace bsr::broker

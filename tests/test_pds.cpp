@@ -1,0 +1,110 @@
+#include "broker/pds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/coverage.hpp"
+#include "broker/verify.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::test::make_complete;
+using bsr::test::make_connected_random;
+using bsr::test::make_cycle;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+TEST(Pds, StarHasSizeOneSolution) {
+  const CsrGraph g = make_star(9);
+  const auto witness = solve_pds_exact(g, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 1u);
+  EXPECT_TRUE(witness->contains(0));
+  EXPECT_TRUE(is_path_dominating_set(g, *witness));
+}
+
+TEST(Pds, PathNeedsAlternatingVertices) {
+  // Path of 7: PDS needs ~n/2 brokers; k = 2 must fail, k = 3 suffices
+  // ({1, 3, 5} covers all and keeps one dominated component).
+  const CsrGraph g = make_path(7);
+  EXPECT_FALSE(solve_pds_exact(g, 2).has_value());
+  const auto witness = solve_pds_exact(g, 3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(is_path_dominating_set(g, *witness));
+}
+
+TEST(Pds, CompleteGraphTrivial) {
+  const CsrGraph g = make_complete(6);
+  const auto witness = solve_pds_exact(g, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 1u);
+}
+
+TEST(Pds, DisconnectedGraphHasNoSolution) {
+  bsr::graph::GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);  // vertex 4 isolated, components split
+  const CsrGraph g = b.build();
+  EXPECT_FALSE(solve_pds_exact(g, 5).has_value());
+}
+
+TEST(Pds, IsPathDominatingSetChecks) {
+  const CsrGraph g = make_path(5);
+  BrokerSet full_coverage_split(5);
+  full_coverage_split.add(0);
+  full_coverage_split.add(4);
+  full_coverage_split.add(2);
+  // Covers everything ({0,1} ∪ {3,4} ∪ {1,2,3}) and one component via 2.
+  EXPECT_TRUE(is_path_dominating_set(g, full_coverage_split));
+
+  BrokerSet endpoints_only(5);
+  endpoints_only.add(0);
+  endpoints_only.add(4);
+  EXPECT_FALSE(is_path_dominating_set(g, endpoints_only));  // 2 uncovered
+}
+
+TEST(Pds, GreedyWitnessIsValid) {
+  const CsrGraph g = make_connected_random(60, 0.08, 5);
+  const auto witness = solve_pds_greedy(g, 60);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(is_path_dominating_set(g, *witness));
+}
+
+TEST(Pds, GreedyRespectsBudget) {
+  const CsrGraph g = make_cycle(20);
+  // A cycle of 20 needs ~7 brokers; budget 2 must fail.
+  EXPECT_FALSE(solve_pds_greedy(g, 2).has_value());
+}
+
+TEST(Pds, TheoremOneLink) {
+  // Theorem 1: a PDS solution is an MCBG solution with full coverage.
+  const CsrGraph g = make_connected_random(12, 0.3, 6);
+  const auto witness = solve_pds_exact(g, 4);
+  if (witness.has_value()) {
+    EXPECT_EQ(coverage(g, *witness), g.num_vertices());
+    EXPECT_TRUE(has_pairwise_guarantee(g, *witness));
+  }
+}
+
+TEST(Pds, ExactMatchesGreedyOnEasyInstances) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const CsrGraph g = make_connected_random(12, 0.25, seed);
+    const auto exact = solve_pds_exact(g, 12);
+    const auto greedy = solve_pds_greedy(g, 12);
+    ASSERT_TRUE(exact.has_value());   // k = n always feasible when connected
+    ASSERT_TRUE(greedy.has_value());
+    // Exact finds a minimum; greedy may use more but never fewer.
+    EXPECT_LE(exact->size(), greedy->size());
+  }
+}
+
+TEST(Pds, RejectsOversizedGraphs) {
+  const CsrGraph g = make_connected_random(30, 0.1, 7);
+  EXPECT_THROW((void)solve_pds_exact(g, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bsr::broker

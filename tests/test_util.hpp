@@ -1,0 +1,103 @@
+// Shared fixtures and naive reference implementations for the test suite.
+//
+// Reference implementations here are deliberately simple (quadratic, brute
+// force) and independent of the optimized library code they validate.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/rng.hpp"
+
+namespace bsr::test {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::GraphBuilder;
+using bsr::graph::NodeId;
+
+/// 0-1-2-...-(n-1) path.
+inline CsrGraph make_path(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+/// Cycle over n vertices.
+inline CsrGraph make_cycle(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+/// Star with center 0 and n-1 leaves.
+inline CsrGraph make_star(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+/// Complete graph K_n.
+inline CsrGraph make_complete(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+/// G(n, p) random graph, deterministic in seed. Not necessarily connected.
+inline CsrGraph make_random(NodeId n, double p, std::uint64_t seed) {
+  bsr::graph::Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+/// Connected random graph: G(n, p) plus a random spanning path.
+inline CsrGraph make_connected_random(NodeId n, double p, std::uint64_t seed) {
+  bsr::graph::Rng rng(seed);
+  GraphBuilder b(n);
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(order[v], order[v + 1]);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+/// Naive O(V^2) BFS distances used as the reference.
+inline std::vector<std::uint32_t> naive_bfs(const CsrGraph& g, NodeId source) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+  dist[source] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < g.num_vertices(); ++u) {
+      if (dist[u] == kInf) continue;
+      for (const NodeId v : g.neighbors(u)) {
+        if (dist[v] > dist[u] + 1) {
+          dist[v] = dist[u] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace bsr::test
