@@ -9,10 +9,13 @@
 //   brokerctl eval <in.topo> <algo> <k>       selection + full evaluation
 //   brokerctl export-dot <in.topo> <out.dot> [k]   sampled DOT (brokers marked)
 //   brokerctl stats <in.topo>                 dataset summary (Table-2 style)
+//   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "broker/baselines.hpp"
 #include "broker/coverage.hpp"
@@ -21,10 +24,14 @@
 #include "broker/greedy_mcb.hpp"
 #include "broker/maxsg.hpp"
 #include "broker/mcbg_approx.hpp"
+#include "broker/resilience.hpp"
 #include "broker/weighted.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/sampling.hpp"
 #include "io/dot_export.hpp"
 #include "io/env.hpp"
 #include "io/table.hpp"
+#include "sim/router.hpp"
 #include "topology/caida_import.hpp"
 #include "topology/serialization.hpp"
 #include "topology/stats.hpp"
@@ -42,7 +49,8 @@ int usage() {
          "  brokerctl select <in.topo> <maxsg|mcbg|greedy|db|prb|weighted> <k>\n"
          "  brokerctl eval <in.topo> <algo> <k>\n"
          "  brokerctl export-dot <in.topo> <out.dot> [k]\n"
-         "  brokerctl stats <in.topo>\n";
+         "  brokerctl stats <in.topo>\n"
+         "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n";
   return 2;
 }
 
@@ -156,6 +164,90 @@ int cmd_export_dot(int argc, char** argv) {
   return 0;
 }
 
+// Correlated IXP-outage sweep: fail growing fractions of the IXPs (every
+// membership edge of a failed IXP drops at once), report the degradation
+// tier mix under a bounded heal budget, and the connectivity recovered by
+// greedy repair on the damaged graph.
+int cmd_faults(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto& g = topo.graph;
+  const auto k = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  double max_frac = 0.5;
+  if (argc > 5) {
+    try {
+      max_frac = std::stod(argv[5]);
+    } catch (const std::exception&) {
+      std::cerr << "brokerctl faults: max-failed-ixp-frac must be a number, got '"
+                << argv[5] << "'\n";
+      return 1;
+    }
+    if (max_frac < 0.0 || max_frac > 1.0) {
+      std::cerr << "brokerctl faults: max-failed-ixp-frac must be in [0, 1], got "
+                << max_frac << '\n';
+      return 1;
+    }
+  }
+  const BrokerSet brokers = run_algorithm(topo, argv[3], k, env.seed);
+
+  if (topo.num_ixps == 0) {
+    std::cerr << "brokerctl faults: topology has no IXPs to fail\n";
+    return 1;
+  }
+  std::vector<bsr::graph::FailureGroup> groups;
+  groups.reserve(topo.num_ixps);
+  for (bsr::graph::NodeId v = topo.num_ases; v < topo.num_vertices(); ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+  bsr::graph::Rng rng(env.seed + 50);
+  std::vector<bsr::graph::NodeId> order(groups.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<bsr::graph::NodeId>(i);
+  }
+  bsr::graph::shuffle(rng, order);
+
+  const std::uint32_t repair_budget = std::max<std::uint32_t>(k / 20, 2);
+  const bsr::sim::DegradationPolicy policy;
+  bsr::graph::FaultPlane plane(g);
+  bsr::sim::Router router(g, brokers, &plane);
+
+  std::cout << "broker set: " << brokers.size() << " members; heal budget "
+            << policy.heal_attempts << " links/route; repair budget "
+            << repair_budget << " brokers\n";
+  bsr::io::Table table({"failed IXPs", "failed edges", "connectivity",
+                        "dominated", "degraded", "fallback", "unreachable",
+                        "repaired"});
+  std::size_t failed = 0;
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto target = std::min(
+        static_cast<std::size_t>(frac * max_frac * static_cast<double>(groups.size())),
+        groups.size());
+    while (failed < target) plane.fail_group(groups[order[failed++]]);
+
+    const double damaged = bsr::broker::saturated_connectivity(g, brokers, plane);
+    const auto repaired_set =
+        bsr::broker::repair_brokers(g, brokers, repair_budget, plane);
+    const double repaired =
+        bsr::broker::saturated_connectivity(g, repaired_set, plane);
+    bsr::graph::Rng pair_rng(env.seed + 51);
+    const auto shares = bsr::sim::sample_tier_shares(
+        router, pair_rng, std::max<std::size_t>(env.bfs_sources, 200), policy);
+
+    table.row()
+        .cell(std::to_string(failed))
+        .cell(plane.num_failed_edges())
+        .percent(damaged)
+        .percent(shares.fraction(shares.dominated))
+        .percent(shares.fraction(shares.degraded))
+        .percent(shares.fraction(shares.free_fallback))
+        .percent(shares.fraction(shares.unreachable))
+        .percent(repaired);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto env = bsr::io::experiment_env();
@@ -185,6 +277,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_select(argc, argv, /*full_eval=*/true);
     if (cmd == "export-dot") return cmd_export_dot(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "faults") return cmd_faults(argc, argv);
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "brokerctl: " << error.what() << '\n';

@@ -31,15 +31,7 @@ UnionFind dominated_union_find(const CsrGraph& g, const BrokerSet& b) {
   return uf;
 }
 
-}  // namespace
-
-double saturated_connectivity(const CsrGraph& g, const BrokerSet& b) {
-  if (b.num_vertices() != g.num_vertices()) {
-    throw std::invalid_argument("saturated_connectivity: size mismatch");
-  }
-  const NodeId n = g.num_vertices();
-  if (n < 2) return 0.0;
-  UnionFind uf = dominated_union_find(g, b);
+double connectivity_from(UnionFind& uf, NodeId n) {
   // Sum of (component size choose 2) over component roots.
   double connected_pairs = 0.0;
   for (NodeId v = 0; v < n; ++v) {
@@ -50,6 +42,38 @@ double saturated_connectivity(const CsrGraph& g, const BrokerSet& b) {
   }
   const double total_pairs = static_cast<double>(n) * (n - 1.0) / 2.0;
   return connected_pairs / total_pairs;
+}
+
+}  // namespace
+
+double saturated_connectivity(const CsrGraph& g, const BrokerSet& b) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("saturated_connectivity: size mismatch");
+  }
+  const NodeId n = g.num_vertices();
+  if (n < 2) return 0.0;
+  UnionFind uf = dominated_union_find(g, b);
+  return connectivity_from(uf, n);
+}
+
+double saturated_connectivity(const CsrGraph& g, const BrokerSet& b,
+                              const bsr::graph::FaultPlane& faults) {
+  if (b.num_vertices() != g.num_vertices() ||
+      &faults.graph() != &g) {
+    throw std::invalid_argument("saturated_connectivity: size mismatch");
+  }
+  const NodeId n = g.num_vertices();
+  if (n < 2) return 0.0;
+  UnionFind uf(n);
+  for (const NodeId u : b.members()) {
+    if (!faults.vertex_ok(u)) continue;
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (faults.vertex_ok(v) && faults.edge_up_at(u, i)) uf.unite(u, v);
+    }
+  }
+  return connectivity_from(uf, n);
 }
 
 bsr::graph::DistanceCdf dominated_distance_cdf(const CsrGraph& g, const BrokerSet& b,

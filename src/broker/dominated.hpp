@@ -18,6 +18,7 @@
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/distance_histogram.hpp"
+#include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
 
 namespace bsr::broker {
@@ -30,6 +31,13 @@ namespace bsr::broker {
 /// (over all |V| choose 2 pairs) connected in G_B. O(|V| + |E|).
 [[nodiscard]] double saturated_connectivity(const bsr::graph::CsrGraph& g,
                                             const BrokerSet& b);
+
+/// Saturated connectivity of the *damaged* dominated subgraph: only edges
+/// the fault plane reports usable (both endpoints up, link up) count. The
+/// plane must be bound to `g`. O(|V| + sum of broker degrees).
+[[nodiscard]] double saturated_connectivity(const bsr::graph::CsrGraph& g,
+                                            const BrokerSet& b,
+                                            const bsr::graph::FaultPlane& faults);
 
 /// l-hop connectivity curve in G_B from sampled BFS sources.
 [[nodiscard]] bsr::graph::DistanceCdf dominated_distance_cdf(

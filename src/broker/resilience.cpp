@@ -62,17 +62,39 @@ ResilienceCurve resilience_curve(const CsrGraph& g, const BrokerSet& b,
   return curve;
 }
 
-BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
-                         std::uint32_t budget) {
+namespace {
+
+using bsr::graph::FailureGroup;
+using bsr::graph::FaultPlane;
+
+/// MaxSG-style greedy repair; `faults == nullptr` means the pristine graph.
+BrokerSet repair_impl(const CsrGraph& g, const BrokerSet& survivors,
+                      std::uint32_t budget, const FaultPlane* faults) {
   const NodeId n = g.num_vertices();
   BrokerSet repaired = survivors;
+
+  const auto vertex_ok = [&](NodeId v) {
+    return faults == nullptr || faults->vertex_ok(v);
+  };
+  // Unites w with its usable neighborhood; no-op edges skipped under faults.
+  const auto unite_neighborhood = [&](UnionFind& uf, NodeId w) {
+    const auto nbrs = g.neighbors(w);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (faults != nullptr &&
+          (!faults->vertex_ok(v) || !faults->edge_up_at(w, i))) {
+        continue;
+      }
+      uf.unite(w, v);
+    }
+  };
 
   // Same incremental machinery as MaxSG, seeded with the survivors.
   UnionFind uf(n);
   std::vector<bool> is_broker(n, false);
   for (const NodeId b : survivors.members()) {
     is_broker[b] = true;
-    for (const NodeId v : g.neighbors(b)) uf.unite(b, v);
+    if (vertex_ok(b)) unite_neighborhood(uf, b);
   }
   std::vector<std::uint32_t> stamp(n, 0);
   std::uint32_t epoch = 0;
@@ -82,7 +104,13 @@ BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
     const NodeId rw = uf.find(w);
     stamp[rw] = epoch;
     merged += uf.component_size(rw);
-    for (const NodeId v : g.neighbors(w)) {
+    const auto nbrs = g.neighbors(w);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (faults != nullptr &&
+          (!faults->vertex_ok(v) || !faults->edge_up_at(w, i))) {
+        continue;
+      }
       const NodeId r = uf.find(v);
       if (stamp[r] != epoch) {
         stamp[r] = epoch;
@@ -96,7 +124,7 @@ BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
     NodeId best = bsr::graph::kUnreachable;
     std::uint32_t best_gain = 0;
     for (NodeId w = 0; w < n; ++w) {
-      if (is_broker[w]) continue;
+      if (is_broker[w] || !vertex_ok(w)) continue;
       const auto gain = gain_of(w);
       if (gain > best_gain) {
         best_gain = gain;
@@ -106,9 +134,74 @@ BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
     if (best == bsr::graph::kUnreachable) break;
     is_broker[best] = true;
     repaired.add(best);
-    for (const NodeId v : g.neighbors(best)) uf.unite(best, v);
+    unite_neighborhood(uf, best);
   }
   return repaired;
+}
+
+}  // namespace
+
+BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
+                         std::uint32_t budget) {
+  return repair_impl(g, survivors, budget, nullptr);
+}
+
+BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
+                         std::uint32_t budget, const FaultPlane& faults) {
+  if (&faults.graph() != &g) {
+    throw std::invalid_argument("repair_brokers: fault plane bound to another graph");
+  }
+  return repair_impl(g, survivors, budget, &faults);
+}
+
+LinkResilienceCurve link_resilience_curve(const CsrGraph& g, const BrokerSet& b,
+                                          std::span<const FailureGroup> groups,
+                                          std::span<const std::size_t> steps,
+                                          std::uint32_t repair_budget, Rng& rng) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("link_resilience_curve: size mismatch");
+  }
+  // Deterministic outage order shared by every step: step s fails the
+  // prefix of length s, so curves are nested (connectivity non-increasing).
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+
+  LinkResilienceCurve curve;
+  FaultPlane plane(g);
+  for (const std::size_t step : steps) {
+    const std::size_t failed = std::min(step, groups.size());
+    plane.heal_all();
+    for (std::size_t i = 0; i < failed; ++i) plane.fail_group(groups[order[i]]);
+
+    LinkResiliencePoint point;
+    point.failed_groups = failed;
+    point.failed_edges = plane.num_failed_edges();
+    point.connectivity = saturated_connectivity(g, b, plane);
+    const BrokerSet repaired = repair_impl(g, b, repair_budget, &plane);
+    point.repaired_connectivity = saturated_connectivity(g, repaired, plane);
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<FailureGroup> random_link_groups(const CsrGraph& g, std::size_t count,
+                                             Rng& rng) {
+  auto edges = g.edges();
+  count = std::min(count, edges.size());
+  std::vector<FailureGroup> groups;
+  groups.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    FailureGroup group;
+    group.center = edges[i].u;
+    group.edges = {edges[i]};
+    groups.push_back(std::move(group));
+  }
+  return groups;
 }
 
 }  // namespace bsr::broker

@@ -1,7 +1,8 @@
 #include "graph/bfs.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "graph/check.hpp"
 
 namespace bsr::graph {
 
@@ -11,7 +12,7 @@ void BfsRunner::reset_touched() {
 }
 
 std::span<const std::uint32_t> BfsRunner::run(const CsrGraph& g, NodeId source) {
-  assert(source < g.num_vertices());
+  BSR_DCHECK(source < g.num_vertices());
   reset_touched();
   std::size_t head = 0, tail = 0;
   dist_[source] = 0;
@@ -34,7 +35,7 @@ std::span<const std::uint32_t> BfsRunner::run(const CsrGraph& g, NodeId source) 
 std::span<const std::uint32_t> BfsRunner::run_filtered(
     const CsrGraph& g, NodeId source,
     const std::function<bool(NodeId, NodeId)>& edge_ok) {
-  assert(source < g.num_vertices());
+  BSR_DCHECK(source < g.num_vertices());
   reset_touched();
   std::size_t head = 0, tail = 0;
   dist_[source] = 0;
@@ -56,7 +57,7 @@ std::span<const std::uint32_t> BfsRunner::run_filtered(
 
 std::span<const std::uint32_t> BfsRunner::run_bounded(const CsrGraph& g, NodeId source,
                                                       std::uint32_t max_depth) {
-  assert(source < g.num_vertices());
+  BSR_DCHECK(source < g.num_vertices());
   reset_touched();
   std::size_t head = 0, tail = 0;
   dist_[source] = 0;
@@ -84,7 +85,7 @@ std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source) {
 }
 
 std::vector<NodeId> bfs_shortest_path(const CsrGraph& g, NodeId source, NodeId target) {
-  assert(source < g.num_vertices() && target < g.num_vertices());
+  BSR_DCHECK(source < g.num_vertices() && target < g.num_vertices());
   if (source == target) return {source};
   std::vector<NodeId> parent(g.num_vertices(), kUnreachable);
   std::vector<NodeId> queue;

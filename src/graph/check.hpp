@@ -1,0 +1,33 @@
+// Debug-mode invariant checking for the graph layer.
+//
+// BSR_DCHECK(cond) aborts with file/line context when `cond` is false. It is
+// compiled away in optimized builds (NDEBUG) unless BSR_ENABLE_DCHECKS is
+// defined, so hot loops pay nothing in release while debug and sanitizer
+// builds catch out-of-range NodeIds at the call site instead of as silent UB
+// deep inside a flat-array read. Prefer this over <cassert> everywhere in
+// src/graph so the whole layer toggles with one macro.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(NDEBUG) || defined(BSR_ENABLE_DCHECKS)
+#define BSR_DCHECK_ENABLED 1
+#else
+#define BSR_DCHECK_ENABLED 0
+#endif
+
+#if BSR_DCHECK_ENABLED
+#define BSR_DCHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BSR_DCHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+#else
+#define BSR_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif

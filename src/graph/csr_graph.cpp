@@ -36,6 +36,7 @@ CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjac
 }
 
 bool CsrGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  BSR_DCHECK(u < num_vertices() && v < num_vertices());
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }

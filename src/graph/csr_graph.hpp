@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "graph/check.hpp"
+
 namespace bsr::graph {
 
 using NodeId = std::uint32_t;
@@ -43,11 +45,13 @@ class CsrGraph {
   [[nodiscard]] std::uint64_t num_edges() const noexcept { return adjacency_.size() / 2; }
 
   [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    BSR_DCHECK(v < num_vertices());
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
   /// Neighbors of v, sorted ascending, no duplicates, no self-loops.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    BSR_DCHECK(v < num_vertices());
     return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
   }
 

@@ -1,14 +1,14 @@
 #include "graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "graph/check.hpp"
 #include <queue>
 #include <stdexcept>
 
 namespace bsr::graph {
 
 DijkstraResult dijkstra(const CsrGraph& g, NodeId source, const EdgeWeightFn& weight) {
-  assert(source < g.num_vertices());
+  BSR_DCHECK(source < g.num_vertices());
   DijkstraResult result;
   result.distance.assign(g.num_vertices(), kInfDistance);
   result.parent.assign(g.num_vertices(), kNoParent);

@@ -1,12 +1,13 @@
 #include "graph/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "graph/check.hpp"
 
 namespace bsr::graph {
 
 std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
-  assert(bound > 0 && "uniform() requires a positive bound");
+  BSR_DCHECK(bound > 0 && "uniform() requires a positive bound");
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
@@ -23,13 +24,13 @@ std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
 }
 
 std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) noexcept {
-  assert(lo <= hi && "uniform_in() requires lo <= hi");
+  BSR_DCHECK(lo <= hi && "uniform_in() requires lo <= hi");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(uniform(span));
 }
 
 double Rng::exponential(double rate) noexcept {
-  assert(rate > 0.0);
+  BSR_DCHECK(rate > 0.0);
   // Guard against log(0): uniform01() can return exactly 0.
   double u = uniform01();
   while (u <= 0.0) u = uniform01();
@@ -37,7 +38,7 @@ double Rng::exponential(double rate) noexcept {
 }
 
 double Rng::pareto(double alpha, double lo, double hi) noexcept {
-  assert(alpha > 0.0 && lo > 0.0 && hi >= lo);
+  BSR_DCHECK(alpha > 0.0 && lo > 0.0 && hi >= lo);
   // Inverse-CDF sampling of a Pareto truncated to [lo, hi]:
   //   F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha)
   //   x    = lo * (1 - U (1 - (lo/hi)^alpha))^(-1/alpha)

@@ -14,6 +14,7 @@ void UnionFind::reset(NodeId n) {
 }
 
 NodeId UnionFind::find(NodeId v) noexcept {
+  BSR_DCHECK(v < parent_.size());
   while (parent_[v] != v) {
     parent_[v] = parent_[parent_[v]];  // path halving
     v = parent_[v];

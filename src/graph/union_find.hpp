@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/check.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace bsr::graph {

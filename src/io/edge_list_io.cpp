@@ -1,11 +1,13 @@
 #include "io/edge_list_io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <map>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph_builder.hpp"
@@ -33,6 +35,49 @@ void write_edge_list_file(const std::string& path, const CsrGraph& g) {
   if (!out) throw std::runtime_error("write_edge_list_file: write failed for " + path);
 }
 
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_number, const std::string& what) {
+  throw std::runtime_error("read_edge_list: line " + std::to_string(line_number) +
+                           ": " + what);
+}
+
+/// Splits on spaces/tabs. Stream extraction (>>) silently skips lines whose
+/// ids overflow 64 bits and wraps negative ids modulo 2^64; from_chars lets
+/// us reject both with line context instead.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t start = line.find_first_not_of(" \t", pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = line.find_first_of(" \t", start);
+    if (end == std::string_view::npos) end = line.size();
+    tokens.push_back(line.substr(start, end - start));
+    pos = end;
+  }
+  return tokens;
+}
+
+std::uint64_t parse_vertex_id(std::string_view token, std::size_t line_number) {
+  if (!token.empty() && token.front() == '-') {
+    parse_error(line_number, "negative vertex id '" + std::string(token) + "'");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    parse_error(line_number,
+                "vertex id '" + std::string(token) + "' overflows 64 bits");
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    parse_error(line_number, "malformed vertex id '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 CsrGraph read_edge_list(std::istream& is) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
   std::map<std::uint64_t, NodeId> id_map;  // ordered => dense ids keep order
@@ -40,23 +85,21 @@ CsrGraph read_edge_list(std::istream& is) {
   std::size_t line_number = 0;
   while (std::getline(is, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::uint64_t a = 0, b = 0;
-    if (!(ls >> a)) continue;  // blank or comment-only line
-    if (!(ls >> b)) {
-      throw std::runtime_error("read_edge_list: line " + std::to_string(line_number) +
-                               ": expected two vertex ids");
-    }
-    std::uint64_t extra = 0;
-    if (ls >> extra) {
-      throw std::runtime_error("read_edge_list: line " + std::to_string(line_number) +
-                               ": trailing tokens");
-    }
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;  // blank or comment-only line
+    if (tokens.size() == 1) parse_error(line_number, "expected two vertex ids");
+    if (tokens.size() > 2) parse_error(line_number, "trailing tokens");
+    const std::uint64_t a = parse_vertex_id(tokens[0], line_number);
+    const std::uint64_t b = parse_vertex_id(tokens[1], line_number);
     raw_edges.emplace_back(a, b);
     id_map.emplace(a, 0);
     id_map.emplace(b, 0);
+    if (id_map.size() > std::numeric_limits<NodeId>::max()) {
+      parse_error(line_number, "more distinct vertex ids than NodeId can address");
+    }
   }
   NodeId next = 0;
   for (auto& [raw, dense] : id_map) dense = next++;

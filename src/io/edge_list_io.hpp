@@ -21,7 +21,10 @@ void write_edge_list_file(const std::string& path, const bsr::graph::CsrGraph& g
 
 /// Parses an edge list. Vertex ids may be sparse/arbitrary non-negative
 /// integers; they are compacted to dense ids preserving numeric order.
-/// Throws std::runtime_error with line context on malformed input.
+/// Tolerates CRLF line endings. Throws std::runtime_error with line context
+/// on malformed input: non-numeric or negative ids, ids overflowing the
+/// 64-bit raw range, missing/trailing tokens, or more distinct vertices
+/// than NodeId can address.
 [[nodiscard]] bsr::graph::CsrGraph read_edge_list(std::istream& is);
 
 [[nodiscard]] bsr::graph::CsrGraph read_edge_list_file(const std::string& path);

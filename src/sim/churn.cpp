@@ -1,5 +1,8 @@
 #include "sim/churn.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <queue>
 #include <stdexcept>
 
 #include "broker/dominated.hpp"
@@ -8,22 +11,52 @@
 namespace bsr::sim {
 
 using bsr::broker::BrokerSet;
+using bsr::graph::FailureGroup;
+using bsr::graph::FaultPlane;
 using bsr::graph::NodeId;
 using bsr::graph::Rng;
 
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Pending heal, earliest first.
+struct Heal {
+  double time = 0.0;
+  std::size_t group = 0;
+  friend bool operator>(const Heal& a, const Heal& b) { return a.time > b.time; }
+};
+
+}  // namespace
+
 ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initial,
                            const ChurnConfig& config, Rng& rng) {
+  return simulate_churn(g, initial, config, LinkChurnConfig{}, {}, rng);
+}
+
+ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initial,
+                           const ChurnConfig& config, const LinkChurnConfig& link,
+                           std::span<const FailureGroup> groups, Rng& rng) {
   if (config.departure_rate <= 0.0 || config.repair_interval <= 0.0 ||
       config.horizon <= 0.0) {
     throw std::invalid_argument("simulate_churn: rates/horizon must be positive");
   }
+  const bool link_churn = link.outage_rate > 0.0;
+  if (link_churn && (groups.empty() || link.mean_downtime <= 0.0)) {
+    throw std::invalid_argument(
+        "simulate_churn: link churn needs failure groups and positive downtime");
+  }
 
   ChurnResult result;
   BrokerSet current = initial;
+  FaultPlane faults(g);
+  std::priority_queue<Heal, std::vector<Heal>, std::greater<Heal>> heals;
+
   double now = 0.0;
   double next_departure = rng.exponential(config.departure_rate);
   double next_repair = config.repair_interval;
-  double connectivity = bsr::broker::saturated_connectivity(g, current);
+  double next_outage = link_churn ? rng.exponential(link.outage_rate) : kNever;
+  double connectivity = bsr::broker::saturated_connectivity(g, current, faults);
   result.min_connectivity = connectivity;
   double weighted_sum = 0.0;
 
@@ -31,37 +64,54 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
     weighted_sum += connectivity * (t - now);
     now = t;
   };
+  const auto record = [&](ChurnEvent::Kind kind) {
+    connectivity = bsr::broker::saturated_connectivity(g, current, faults);
+    result.events.push_back({now, kind, current.size(), connectivity,
+                             faults.num_failed_edges()});
+    result.min_connectivity = std::min(result.min_connectivity, connectivity);
+  };
 
   while (true) {
-    const double next_time = std::min(next_departure, next_repair);
+    const double next_heal = heals.empty() ? kNever : heals.top().time;
+    const double next_time =
+        std::min(std::min(next_departure, next_repair),
+                 std::min(next_outage, next_heal));
     if (next_time > config.horizon) {
       advance_to(config.horizon);
       break;
     }
     advance_to(next_time);
 
-    if (next_departure <= next_repair) {
+    if (next_heal <= next_time) {
+      const Heal heal = heals.top();
+      heals.pop();
+      faults.heal_group(groups[heal.group]);
+      ++result.link_heals;
+      record(ChurnEvent::Kind::kLinkHeal);
+    } else if (next_outage <= next_time) {
+      const auto group = static_cast<std::size_t>(rng.uniform(groups.size()));
+      faults.fail_group(groups[group]);
+      heals.push({now + rng.exponential(1.0 / link.mean_downtime), group});
+      ++result.link_outages;
+      record(ChurnEvent::Kind::kLinkOutage);
+      next_outage = now + rng.exponential(link.outage_rate);
+    } else if (next_departure <= next_repair) {
       // One uniformly random broker departs (if any remain).
       if (!current.empty()) {
         current = bsr::broker::fail_brokers(g, current, 1,
                                             bsr::broker::FailureMode::kRandom, rng);
         ++result.departures;
-        connectivity = bsr::broker::saturated_connectivity(g, current);
-        result.events.push_back(
-            {now, ChurnEvent::Kind::kDeparture, current.size(), connectivity});
+        record(ChurnEvent::Kind::kDeparture);
       }
       next_departure = now + rng.exponential(config.departure_rate);
     } else {
       const std::size_t before = current.size();
-      current = bsr::broker::repair_brokers(g, current, config.repair_budget);
+      current = bsr::broker::repair_brokers(g, current, config.repair_budget, faults);
       ++result.repairs;
       result.replacements_added += current.size() - before;
-      connectivity = bsr::broker::saturated_connectivity(g, current);
-      result.events.push_back(
-          {now, ChurnEvent::Kind::kRepair, current.size(), connectivity});
+      record(ChurnEvent::Kind::kRepair);
       next_repair = now + config.repair_interval;
     }
-    result.min_connectivity = std::min(result.min_connectivity, connectivity);
   }
 
   result.mean_connectivity = weighted_sum / config.horizon;

@@ -4,13 +4,20 @@
 // exponential rate and the coalition repairs itself periodically with a
 // bounded replacement budget. Tracks the connectivity trajectory — the
 // operator's "how bad does it get between maintenance windows" question.
+//
+// The link-churn extension interleaves *edge* outages with broker
+// departures: correlated failure groups (e.g. whole IXPs) go down as a
+// Poisson process and heal after an exponential downtime, while periodic
+// repairs re-select replacements on the damaged graph.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
 
 namespace bsr::sim {
@@ -25,11 +32,26 @@ struct ChurnConfig {
   double horizon = 100.0;  // simulated time units
 };
 
+/// Link-outage process layered on top of broker churn. A rate of zero
+/// disables link churn entirely.
+struct LinkChurnConfig {
+  /// Mean correlated-group outages per time unit.
+  double outage_rate = 0.0;
+  /// Mean exponential downtime of one outage.
+  double mean_downtime = 5.0;
+};
+
 struct ChurnEvent {
   double time = 0.0;
-  enum class Kind : std::uint8_t { kDeparture, kRepair } kind = Kind::kDeparture;
+  enum class Kind : std::uint8_t {
+    kDeparture,
+    kRepair,
+    kLinkOutage,
+    kLinkHeal,
+  } kind = Kind::kDeparture;
   std::size_t brokers_after = 0;
   double connectivity_after = 0.0;
+  std::uint64_t failed_edges_after = 0;  // distinct edges down after the event
 };
 
 struct ChurnResult {
@@ -39,13 +61,26 @@ struct ChurnResult {
   std::size_t departures = 0;
   std::size_t repairs = 0;
   std::size_t replacements_added = 0;
+  std::size_t link_outages = 0;
+  std::size_t link_heals = 0;
 };
 
-/// Simulates churn on `initial` brokers over the horizon. Deterministic in
-/// rng. Throws std::invalid_argument on non-positive rates/intervals.
+/// Simulates broker churn on `initial` brokers over the horizon.
+/// Deterministic in rng. Throws std::invalid_argument on non-positive
+/// rates/intervals.
 [[nodiscard]] ChurnResult simulate_churn(const bsr::graph::CsrGraph& g,
                                          const bsr::broker::BrokerSet& initial,
                                          const ChurnConfig& config,
                                          bsr::graph::Rng& rng);
+
+/// Broker churn with interleaved link churn: each outage fails a uniformly
+/// random group from `groups` (refcounted, so overlapping outages compose)
+/// and heals after an exponential downtime. Connectivity and repairs are
+/// computed on the damaged graph. `link.outage_rate > 0` requires a
+/// non-empty `groups`.
+[[nodiscard]] ChurnResult simulate_churn(
+    const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& initial,
+    const ChurnConfig& config, const LinkChurnConfig& link,
+    std::span<const bsr::graph::FailureGroup> groups, bsr::graph::Rng& rng);
 
 }  // namespace bsr::sim

@@ -1,22 +1,47 @@
 #include "sim/router.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "graph/check.hpp"
+#include "graph/sampling.hpp"
 
 namespace bsr::sim {
 
 using bsr::graph::kUnreachable;
 using bsr::graph::NodeId;
 
+const char* to_string(RouteTier tier) noexcept {
+  switch (tier) {
+    case RouteTier::kDominated: return "dominated";
+    case RouteTier::kDegraded: return "degraded";
+    case RouteTier::kFreeFallback: return "free-fallback";
+    case RouteTier::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
 Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers)
+    : Router(g, brokers, nullptr) {}
+
+Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers,
+               const bsr::graph::FaultPlane* faults)
     : graph_(&g), brokers_(&brokers) {
   parent_.resize(g.num_vertices());
   queue_.reserve(g.num_vertices());
+  set_fault_plane(faults);
+}
+
+void Router::set_fault_plane(const bsr::graph::FaultPlane* faults) {
+  BSR_DCHECK(faults == nullptr || &faults->graph() == graph_);
+  faults_ = faults;
 }
 
 Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
-  assert(src < graph_->num_vertices() && dst < graph_->num_vertices());
+  BSR_DCHECK(src < graph_->num_vertices() && dst < graph_->num_vertices());
   Route route;
+  if (faults_ != nullptr && (!faults_->vertex_ok(src) || !faults_->vertex_ok(dst))) {
+    return route;  // a down endpoint cannot originate or terminate traffic
+  }
   if (src == dst) {
     route.path = {src};
     return route;
@@ -27,9 +52,15 @@ Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
   queue_.push_back(src);
   for (std::size_t head = 0; head < queue_.size(); ++head) {
     const NodeId u = queue_[head];
-    for (const NodeId v : graph_->neighbors(u)) {
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
       if (parent_[v] != kUnreachable) continue;
       if (dominated && !brokers_->dominates_edge(u, v)) continue;
+      if (faults_ != nullptr &&
+          (!faults_->vertex_ok(v) || !faults_->edge_up_at(u, i))) {
+        continue;
+      }
       parent_[v] = u;
       if (v == dst) {
         route.path.push_back(dst);
@@ -43,6 +74,58 @@ Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
   return route;  // unreachable
 }
 
+Route Router::route_healed(NodeId src, NodeId dst, std::uint32_t max_heals,
+                           std::uint32_t& healed_links) {
+  // BFS over (vertex, heals-used) states: dominated edges only, vertices
+  // must be up, and crossing a *failed* dominated link consumes one heal.
+  // First arrival at dst (any heal count) is the min-hop degraded route.
+  healed_links = 0;
+  Route route;
+  const std::uint32_t layers = max_heals + 1;
+  const std::size_t num_states =
+      static_cast<std::size_t>(graph_->num_vertices()) * layers;
+  BSR_DCHECK(num_states < kUnreachable);
+  state_parent_.assign(num_states, kUnreachable);
+  state_queue_.clear();
+
+  const auto state_of = [layers](NodeId v, std::uint32_t heals) {
+    return static_cast<std::uint32_t>(v) * layers + heals;
+  };
+  const std::uint32_t start = state_of(src, 0);
+  state_parent_[start] = start;
+  state_queue_.push_back(start);
+  for (std::size_t head = 0; head < state_queue_.size(); ++head) {
+    const std::uint32_t s = state_queue_[head];
+    const NodeId u = s / layers;
+    const std::uint32_t heals = s % layers;
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (!brokers_->dominates_edge(u, v)) continue;
+      if (!faults_->vertex_ok(v)) continue;
+      std::uint32_t next_heals = heals;
+      if (!faults_->edge_up_at(u, i)) {
+        if (heals == max_heals) continue;  // heal budget exhausted
+        ++next_heals;
+      }
+      const std::uint32_t t = state_of(v, next_heals);
+      if (state_parent_[t] != kUnreachable) continue;
+      state_parent_[t] = s;
+      if (v == dst) {
+        healed_links = next_heals;
+        for (std::uint32_t w = t; w != start; w = state_parent_[w]) {
+          route.path.push_back(w / layers);
+        }
+        route.path.push_back(src);
+        std::reverse(route.path.begin(), route.path.end());
+        return route;
+      }
+      state_queue_.push_back(t);
+    }
+  }
+  return route;  // unreachable within the heal budget
+}
+
 Route Router::route_free(NodeId src, NodeId dst) {
   return route_impl(src, dst, /*dominated=*/false);
 }
@@ -51,12 +134,59 @@ Route Router::route_dominated(NodeId src, NodeId dst) {
   return route_impl(src, dst, /*dominated=*/true);
 }
 
+TieredRoute Router::route_with_degradation(NodeId src, NodeId dst,
+                                           const DegradationPolicy& policy) {
+  TieredRoute out;
+  out.route = route_dominated(src, dst);
+  if (out.route.reachable()) {
+    out.tier = RouteTier::kDominated;
+    return out;
+  }
+  if (faults_ != nullptr && !faults_->pristine() && policy.heal_attempts > 0 &&
+      faults_->vertex_ok(src) && faults_->vertex_ok(dst) && src != dst) {
+    out.route = route_healed(src, dst, policy.heal_attempts, out.healed_links);
+    if (out.route.reachable()) {
+      out.tier = RouteTier::kDegraded;
+      return out;
+    }
+    out.healed_links = 0;
+  }
+  if (policy.allow_free_fallback) {
+    out.route = route_free(src, dst);
+    if (out.route.reachable()) {
+      out.tier = RouteTier::kFreeFallback;
+      return out;
+    }
+  }
+  out.tier = RouteTier::kUnreachable;
+  return out;
+}
+
 std::optional<std::uint32_t> Router::stretch(NodeId src, NodeId dst) {
   const Route free_route = route_free(src, dst);
   if (!free_route.reachable()) return std::nullopt;
   const Route dominated_route = route_dominated(src, dst);
   if (!dominated_route.reachable()) return std::nullopt;
   return dominated_route.hops() - free_route.hops();
+}
+
+TierShares sample_tier_shares(Router& router, bsr::graph::Rng& rng,
+                              std::size_t num_pairs,
+                              const DegradationPolicy& policy) {
+  TierShares shares;
+  const auto pairs =
+      bsr::graph::sample_pairs(rng, router.graph().num_vertices(), num_pairs);
+  for (const auto& [src, dst] : pairs) {
+    const TieredRoute r = router.route_with_degradation(src, dst, policy);
+    ++shares.pairs;
+    switch (r.tier) {
+      case RouteTier::kDominated: ++shares.dominated; break;
+      case RouteTier::kDegraded: ++shares.degraded; break;
+      case RouteTier::kFreeFallback: ++shares.free_fallback; break;
+      case RouteTier::kUnreachable: ++shares.unreachable; break;
+    }
+  }
+  return shares;
 }
 
 }  // namespace bsr::sim

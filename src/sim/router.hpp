@@ -5,6 +5,15 @@
 //     process would produce (no QoS control beyond the first hop);
 //   * the "brokered" plane — shortest B-dominating path, where every hop is
 //     supervised by a broker endpoint and thus QoS-controllable.
+//
+// A Router may additionally be bound to a graph::FaultPlane; all routes then
+// avoid failed links and vertices, and route_with_degradation() reports
+// *how* service degraded when the brokered plane loses a pair:
+//   kDominated    — brokered route on the damaged graph, full QoS;
+//   kDegraded     — brokered route that crosses up to `heal_attempts` failed
+//                   links (the operator expedites those repairs);
+//   kFreeFallback — only the unsupervised free plane still connects the pair;
+//   kUnreachable  — nothing does.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,8 @@
 #include "broker/broker_set.hpp"
 #include "graph/bfs.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
 
 namespace bsr::sim {
 
@@ -25,16 +36,57 @@ struct Route {
   }
 };
 
-/// Reusable router bound to one graph + broker set.
+/// Service tier a pair ends up on, best first.
+enum class RouteTier : std::uint8_t {
+  kDominated,     // brokered plane intact
+  kDegraded,      // brokered plane with <= n expedited link heals
+  kFreeFallback,  // unsupervised BGP-like plane only
+  kUnreachable,
+};
+
+[[nodiscard]] const char* to_string(RouteTier tier) noexcept;
+
+/// How far the router may degrade before declaring a pair lost.
+struct DegradationPolicy {
+  /// Failed links a kDegraded route may cross (expedited heals per route).
+  std::uint32_t heal_attempts = 2;
+  /// Whether the unsupervised free plane may serve as a last resort.
+  bool allow_free_fallback = true;
+};
+
+struct TieredRoute {
+  Route route;
+  RouteTier tier = RouteTier::kUnreachable;
+  /// Failed links the route crosses (> 0 only for kDegraded).
+  std::uint32_t healed_links = 0;
+};
+
+/// Reusable router bound to one graph + broker set (+ optional fault plane).
 class Router {
  public:
   Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers);
+
+  /// Fault-aware router: all routes respect the plane's failures. The plane
+  /// must be bound to `g` and outlive the router; nullptr detaches.
+  Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers,
+         const bsr::graph::FaultPlane* faults);
+
+  void set_fault_plane(const bsr::graph::FaultPlane* faults);
+
+  [[nodiscard]] const bsr::graph::CsrGraph& graph() const noexcept { return *graph_; }
 
   /// Shortest path in the full graph (the BGP-like reference).
   [[nodiscard]] Route route_free(bsr::graph::NodeId src, bsr::graph::NodeId dst);
 
   /// Shortest B-dominating path (every hop has a broker endpoint).
   [[nodiscard]] Route route_dominated(bsr::graph::NodeId src, bsr::graph::NodeId dst);
+
+  /// Graceful degradation: dominated, then dominated-with-heals, then free
+  /// fallback, reporting which tier served the pair. Without a fault plane
+  /// this collapses to kDominated / kFreeFallback / kUnreachable.
+  [[nodiscard]] TieredRoute route_with_degradation(bsr::graph::NodeId src,
+                                                   bsr::graph::NodeId dst,
+                                                   const DegradationPolicy& policy);
 
   /// Hop inflation of the brokered route vs the free route for one pair;
   /// nullopt when either plane is unreachable.
@@ -43,11 +95,34 @@ class Router {
 
  private:
   Route route_impl(bsr::graph::NodeId src, bsr::graph::NodeId dst, bool dominated);
+  Route route_healed(bsr::graph::NodeId src, bsr::graph::NodeId dst,
+                     std::uint32_t max_heals, std::uint32_t& healed_links);
 
   const bsr::graph::CsrGraph* graph_;
   const bsr::broker::BrokerSet* brokers_;
+  const bsr::graph::FaultPlane* faults_ = nullptr;
   std::vector<bsr::graph::NodeId> parent_;
   std::vector<bsr::graph::NodeId> queue_;
+  std::vector<std::uint32_t> state_parent_;  // (vertex, heals) product BFS
+  std::vector<std::uint32_t> state_queue_;
 };
+
+/// Tier composition over sampled (src != dst) pairs — the operator's
+/// degradation dashboard.
+struct TierShares {
+  std::size_t pairs = 0;
+  std::size_t dominated = 0;
+  std::size_t degraded = 0;
+  std::size_t free_fallback = 0;
+  std::size_t unreachable = 0;
+
+  [[nodiscard]] double fraction(std::size_t count) const noexcept {
+    return pairs == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(pairs);
+  }
+};
+
+[[nodiscard]] TierShares sample_tier_shares(Router& router, bsr::graph::Rng& rng,
+                                            std::size_t num_pairs,
+                                            const DegradationPolicy& policy);
 
 }  // namespace bsr::sim

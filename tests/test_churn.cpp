@@ -99,5 +99,107 @@ TEST(Churn, RejectsBadConfig) {
   EXPECT_THROW(simulate_churn(g, b, bad, rng), std::invalid_argument);
 }
 
+TEST(Churn, HorizonShorterThanRepairIntervalNeverRepairs) {
+  const CsrGraph g = make_connected_random(50, 0.08, 13);
+  const auto brokers = bsr::broker::maxsg(g, 10).brokers;
+  Rng rng(14);
+  ChurnConfig config;
+  config.departure_rate = 2.0;
+  config.repair_interval = 10.0;
+  config.repair_budget = 4;
+  config.horizon = 5.0;  // first repair would land at t = 10 > horizon
+  const auto result = simulate_churn(g, brokers, config, rng);
+  EXPECT_EQ(result.repairs, 0u);
+  EXPECT_EQ(result.replacements_added, 0u);
+  for (const auto& event : result.events) {
+    EXPECT_NE(event.kind, ChurnEvent::Kind::kRepair);
+    EXPECT_LE(event.time, config.horizon);
+  }
+}
+
+TEST(LinkChurn, RecordsOutagesAndHeals) {
+  const CsrGraph g = make_connected_random(60, 0.08, 15);
+  const auto brokers = bsr::broker::maxsg(g, 12).brokers;
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (bsr::graph::NodeId v = 0; v < 6; ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+  ChurnConfig config;
+  config.departure_rate = 0.2;
+  config.horizon = 60.0;
+  LinkChurnConfig link;
+  link.outage_rate = 0.5;
+  link.mean_downtime = 4.0;
+  Rng rng(16);
+  const auto result = simulate_churn(g, brokers, config, link, groups, rng);
+
+  EXPECT_GT(result.link_outages, 0u);
+  EXPECT_LE(result.link_heals, result.link_outages);
+  std::size_t outages = 0, heals = 0;
+  double prev = 0.0;
+  for (const auto& event : result.events) {
+    EXPECT_GE(event.time, prev);
+    prev = event.time;
+    if (event.kind == ChurnEvent::Kind::kLinkOutage) {
+      ++outages;
+      EXPECT_GT(event.failed_edges_after, 0u);
+    } else if (event.kind == ChurnEvent::Kind::kLinkHeal) {
+      ++heals;
+    }
+  }
+  EXPECT_EQ(outages, result.link_outages);
+  EXPECT_EQ(heals, result.link_heals);
+  EXPECT_LE(result.min_connectivity, result.mean_connectivity + 1e-12);
+}
+
+TEST(LinkChurn, ZeroRateMatchesBrokerOnlyChurn) {
+  const CsrGraph g = make_connected_random(50, 0.08, 17);
+  const auto brokers = bsr::broker::maxsg(g, 10).brokers;
+  Rng a(18), b(18);
+  const auto legacy = simulate_churn(g, brokers, {}, a);
+  const auto unified =
+      simulate_churn(g, brokers, {}, LinkChurnConfig{}, {}, b);
+  ASSERT_EQ(legacy.events.size(), unified.events.size());
+  EXPECT_DOUBLE_EQ(legacy.mean_connectivity, unified.mean_connectivity);
+  EXPECT_EQ(unified.link_outages, 0u);
+  EXPECT_EQ(unified.link_heals, 0u);
+}
+
+TEST(LinkChurn, DeterministicInSeed) {
+  const CsrGraph g = make_connected_random(50, 0.08, 19);
+  const auto brokers = bsr::broker::maxsg(g, 10).brokers;
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (bsr::graph::NodeId v = 0; v < 4; ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+  LinkChurnConfig link;
+  link.outage_rate = 0.4;
+  Rng a(20), b(20);
+  const auto r1 = simulate_churn(g, brokers, {}, link, groups, a);
+  const auto r2 = simulate_churn(g, brokers, {}, link, groups, b);
+  ASSERT_EQ(r1.events.size(), r2.events.size());
+  for (std::size_t i = 0; i < r1.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.events[i].time, r2.events[i].time);
+    EXPECT_EQ(r1.events[i].kind, r2.events[i].kind);
+    EXPECT_EQ(r1.events[i].failed_edges_after, r2.events[i].failed_edges_after);
+  }
+}
+
+TEST(LinkChurn, RejectsBadLinkConfig) {
+  const CsrGraph g = make_connected_random(20, 0.2, 21);
+  const auto brokers = bsr::broker::maxsg(g, 4).brokers;
+  Rng rng(22);
+  LinkChurnConfig link;
+  link.outage_rate = 1.0;
+  // Outages enabled but no groups to fail.
+  EXPECT_THROW(simulate_churn(g, brokers, {}, link, {}, rng),
+               std::invalid_argument);
+  std::vector<bsr::graph::FailureGroup> groups{
+      bsr::graph::incident_group(g, 0)};
+  link.mean_downtime = 0.0;
+  EXPECT_THROW(simulate_churn(g, brokers, {}, link, groups, rng),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bsr::sim

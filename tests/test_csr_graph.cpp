@@ -139,5 +139,19 @@ TEST_P(CsrRandomGraphTest, DegreeSumEqualsTwiceEdges) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomGraphTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+#if BSR_DCHECK_ENABLED
+// Debug / BSR_ENABLE_DCHECKS builds abort on out-of-range accessor use; in
+// release builds the checks compile away and these tests vanish with them.
+TEST(CsrGraphDeathTest, DegreeOutOfRangeAborts) {
+  const CsrGraph g = bsr::test::make_path(3);
+  EXPECT_DEATH((void)g.degree(3), "BSR_DCHECK");
+}
+
+TEST(CsrGraphDeathTest, NeighborsOutOfRangeAborts) {
+  const CsrGraph g = bsr::test::make_path(3);
+  EXPECT_DEATH((void)g.neighbors(99), "BSR_DCHECK");
+}
+#endif
+
 }  // namespace
 }  // namespace bsr::graph

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "broker/dominated.hpp"
 #include "broker/maxsg.hpp"
+#include "graph/fault_plane.hpp"
 #include "test_util.hpp"
 
 namespace bsr::broker {
@@ -111,6 +115,113 @@ TEST(Repair, RepairedBrokersAreNew) {
   // Members appended after the survivors must not duplicate them.
   std::size_t new_members = repaired.size() - survivors.size();
   EXPECT_GT(new_members, 0u);
+}
+
+TEST(FailBrokers, FailuresEqualToSetSizeEmptiesIt) {
+  const CsrGraph g = make_connected_random(30, 0.15, 13);
+  const auto brokers = maxsg(g, 6).brokers;
+  ASSERT_EQ(brokers.size(), 6u);
+  Rng rng(14);
+  const auto none =
+      fail_brokers(g, brokers, static_cast<std::uint32_t>(brokers.size()),
+                   FailureMode::kRandom, rng);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.num_vertices(), g.num_vertices());
+}
+
+TEST(Repair, ZeroBudgetIsIdentityUnderFaults) {
+  const CsrGraph g = make_connected_random(30, 0.15, 15);
+  BrokerSet b(g.num_vertices());
+  b.add(3);
+  bsr::graph::FaultPlane plane(g);
+  plane.fail_group(bsr::graph::incident_group(g, 7));
+  const auto repaired = repair_brokers(g, b, 0, plane);
+  EXPECT_EQ(repaired.size(), b.size());
+  EXPECT_TRUE(repaired.contains(3));
+}
+
+TEST(Repair, DamagedGraphRepairAvoidsFailedVertices) {
+  const CsrGraph g = make_connected_random(60, 0.08, 16);
+  const auto brokers = maxsg(g, 12).brokers;
+  bsr::graph::FaultPlane plane(g);
+  // Kill a few non-broker vertices outright: repair must not pick them.
+  std::vector<NodeId> dead;
+  for (NodeId v = 0; v < g.num_vertices() && dead.size() < 5; ++v) {
+    if (!brokers.contains(v)) dead.push_back(v);
+  }
+  for (const NodeId v : dead) plane.fail_vertex(v);
+  const auto repaired = repair_brokers(g, brokers, 6, plane);
+  for (const NodeId v : dead) EXPECT_FALSE(repaired.contains(v));
+  EXPECT_GE(repaired.size(), brokers.size());
+}
+
+TEST(Repair, DamagedGraphRepairImprovesDamagedConnectivity) {
+  const CsrGraph g = make_connected_random(80, 0.06, 17);
+  const auto brokers = maxsg(g, 16).brokers;
+  Rng rng(18);
+  const auto survivors = fail_brokers(g, brokers, 8, FailureMode::kTargetedTop, rng);
+  bsr::graph::FaultPlane plane(g);
+  Rng edge_rng(19);
+  for (const bsr::graph::Edge& e : g.edges()) {
+    if (edge_rng.bernoulli(0.15)) plane.fail_edge(e.u, e.v);
+  }
+  const double damaged = saturated_connectivity(g, survivors, plane);
+  const auto repaired = repair_brokers(g, survivors, 8, plane);
+  const double after = saturated_connectivity(g, repaired, plane);
+  EXPECT_GE(after, damaged);
+  // On a connected 80-vertex graph with only 15% of links down there is
+  // always *something* a fresh broker can reconnect.
+  EXPECT_GT(after, damaged);
+}
+
+TEST(LinkResilience, CurveIsNonIncreasingAndRepairHelps) {
+  const CsrGraph g = make_connected_random(80, 0.06, 20);
+  const auto brokers = maxsg(g, 16).brokers;
+  Rng group_rng(21);
+  const auto groups = random_link_groups(g, 30, group_rng);
+  ASSERT_EQ(groups.size(), 30u);
+  const std::vector<std::size_t> steps{0, 5, 15, 30};
+  Rng rng(22);
+  const auto curve = link_resilience_curve(g, brokers, groups, steps, 6, rng);
+  ASSERT_EQ(curve.points.size(), steps.size());
+
+  EXPECT_EQ(curve.points[0].failed_groups, 0u);
+  EXPECT_EQ(curve.points[0].failed_edges, 0u);
+  EXPECT_NEAR(curve.points[0].connectivity, saturated_connectivity(g, brokers),
+              1e-12);
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    const auto& p = curve.points[i];
+    EXPECT_EQ(p.failed_groups, steps[i]);
+    // Repair adds brokers under the same faults, so it can never hurt.
+    EXPECT_GE(p.repaired_connectivity, p.connectivity - 1e-12);
+    if (i > 0) {
+      // Nested failure prefixes: damage only accumulates.
+      EXPECT_LE(p.connectivity, curve.points[i - 1].connectivity + 1e-12);
+      EXPECT_GE(p.failed_edges, curve.points[i - 1].failed_edges);
+    }
+  }
+}
+
+TEST(LinkResilience, RandomLinkGroupsAreDistinctSingleEdges) {
+  const CsrGraph g = make_connected_random(40, 0.1, 23);
+  Rng rng(24);
+  const auto groups = random_link_groups(g, 10, rng);
+  ASSERT_EQ(groups.size(), 10u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& group : groups) {
+    ASSERT_EQ(group.edges.size(), 1u);
+    const auto& e = group.edges.front();
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    seen.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  EXPECT_EQ(seen.size(), 10u);  // sampled without replacement
+}
+
+TEST(LinkResilience, GroupCountClampedToEdgeCount) {
+  const CsrGraph g = make_star(5);  // 4 edges
+  Rng rng(25);
+  const auto groups = random_link_groups(g, 100, rng);
+  EXPECT_EQ(groups.size(), 4u);
 }
 
 }  // namespace
