@@ -1,0 +1,301 @@
+// perf_engine — old-vs-new dispatch comparison for the traversal engine.
+//
+// Two head-to-head measurements on the standard synthetic topology:
+//   1. filtered BFS edge throughput: legacy BfsRunner::run_filtered (one
+//      std::function indirect call per edge relaxation, dense export) vs
+//      engine::bfs with an inlined DominatedEdgeFilter;
+//   2. MaxSG end-to-end wall time: the pre-engine implementation (verbatim
+//      copy below, per-candidate union-find finds with path compression) vs
+//      the engine-era snapshot-sweep broker::maxsg.
+// Both comparisons first verify bit-identical results — the speedup claims
+// are only meaningful because the outputs are exactly equal.
+//
+// Emits BENCH_engine.json (override the path with BENCH_ENGINE_JSON) for the
+// CI artifact.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "broker/baselines.hpp"
+#include "broker/broker_set.hpp"
+#include "broker/coverage.hpp"
+#include "broker/maxsg.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/engine.hpp"
+#include "graph/sampling.hpp"
+#include "graph/union_find.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::kUnreachable;
+using bsr::graph::NodeId;
+
+namespace legacy {
+
+// The pre-engine MaxSG, kept verbatim as the baseline under test: a plain
+// path-compressing UnionFind with two find() calls per candidate neighbor,
+// instead of the snapshot root/size arrays the live implementation uses.
+bsr::broker::MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k) {
+  using bsr::graph::UnionFind;
+  const NodeId n = g.num_vertices();
+
+  bsr::broker::MaxSgResult result;
+  result.brokers = bsr::broker::BrokerSet(n);
+  if (k == 0) return result;
+
+  const std::uint32_t reachable_ceiling =
+      bsr::graph::connected_components(g).largest_size();
+
+  UnionFind uf(n);
+  std::vector<bool> is_broker(n, false);
+  std::uint32_t largest = 0;
+
+  std::vector<std::uint32_t> root_stamp(n, 0);
+  std::uint32_t epoch = 0;
+
+  const auto candidate_gain = [&](NodeId w) -> std::uint32_t {
+    ++epoch;
+    std::uint32_t merged = 0;
+    const NodeId rw = uf.find(w);
+    root_stamp[rw] = epoch;
+    merged += uf.component_size(rw);
+    for (const NodeId v : g.neighbors(w)) {
+      const NodeId r = uf.find(v);
+      if (root_stamp[r] != epoch) {
+        root_stamp[r] = epoch;
+        merged += uf.component_size(r);
+      }
+    }
+    return merged;
+  };
+
+  while (result.brokers.size() < k) {
+    NodeId best_vertex = kUnreachable;
+    std::uint32_t best_gain = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (is_broker[w]) continue;
+      const std::uint32_t gain = candidate_gain(w);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_vertex = w;
+      }
+    }
+    if (best_vertex == kUnreachable) break;
+
+    is_broker[best_vertex] = true;
+    result.brokers.add(best_vertex);
+    for (const NodeId v : g.neighbors(best_vertex)) uf.unite(best_vertex, v);
+    largest = std::max(largest, uf.component_size(best_vertex));
+    result.component_curve.push_back(largest);
+
+    if (largest >= reachable_ceiling) break;
+  }
+
+  result.final_component = largest;
+  result.coverage = bsr::broker::coverage(g, result.brokers);
+  return result;
+}
+
+}  // namespace legacy
+
+struct BfsBench {
+  double legacy_seconds = 0.0;
+  double engine_seconds = 0.0;
+  std::uint64_t edges_scanned = 0;  // per repetition, identical for both
+  int reps = 0;
+
+  [[nodiscard]] double legacy_meps() const {
+    return double(edges_scanned) * reps / legacy_seconds / 1e6;
+  }
+  [[nodiscard]] double engine_meps() const {
+    return double(edges_scanned) * reps / engine_seconds / 1e6;
+  }
+  [[nodiscard]] double speedup() const { return legacy_seconds / engine_seconds; }
+};
+
+/// Times `reps` sweeps over the same sources through both dispatch paths and
+/// cross-checks that every dense distance array is bit-identical.
+template <class StructFilter>
+BfsBench bench_filtered_bfs(const CsrGraph& g,
+                            const std::function<bool(NodeId, NodeId)>& fn_filter,
+                            StructFilter struct_filter,
+                            const std::vector<NodeId>& sources, int reps) {
+  namespace engine = bsr::graph::engine;
+  const NodeId n = g.num_vertices();
+
+  bsr::graph::BfsRunner runner(n);
+  engine::Workspace ws(n);
+
+  BfsBench out;
+  out.reps = reps;
+
+  // Verification + edge accounting pass (untimed): identical dists per
+  // source, and edges scanned = sum of deg(u) over visited vertices.
+  for (const NodeId s : sources) {
+    const auto dense = runner.run_filtered(g, s, fn_filter);
+    engine::bfs(g, s, ws, struct_filter);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t d = ws.visited(v) ? ws.dist_unchecked(v) : kUnreachable;
+      if (d != dense[v]) {
+        std::cerr << "MISMATCH: source " << s << " vertex " << v << ": engine "
+                  << d << " vs legacy " << dense[v] << "\n";
+        std::exit(1);
+      }
+    }
+    for (const NodeId v : ws.visit_order()) out.edges_scanned += g.degree(v);
+  }
+
+  std::uint64_t sink = 0;  // defeats dead-code elimination
+  bsr::bench::Stopwatch legacy_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const NodeId s : sources) {
+      const auto dense = runner.run_filtered(g, s, fn_filter);
+      sink += dense[n - 1];
+    }
+  }
+  out.legacy_seconds = legacy_watch.seconds();
+
+  bsr::bench::Stopwatch engine_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const NodeId s : sources) {
+      engine::bfs(g, s, ws, struct_filter);
+      sink += ws.visit_order().size();
+    }
+  }
+  out.engine_seconds = engine_watch.seconds();
+
+  if (sink == 0xdeadbeef) std::cerr << "";  // keep `sink` observable
+  return out;
+}
+
+void print_bfs(const char* label, const BfsBench& b, std::size_t num_sources) {
+  std::cout << label << " (" << num_sources << " sources x " << b.reps << " reps, "
+            << b.edges_scanned << " edge scans/rep):\n"
+            << "  legacy std::function: "
+            << bsr::io::format_double(b.legacy_seconds, 3) << "s  ("
+            << bsr::io::format_double(b.legacy_meps(), 1) << " Medges/s)\n"
+            << "  engine static:        "
+            << bsr::io::format_double(b.engine_seconds, 3) << "s  ("
+            << bsr::io::format_double(b.engine_meps(), 1) << " Medges/s)\n"
+            << "  speedup:              x"
+            << bsr::io::format_double(b.speedup(), 2) << "\n\n";
+}
+
+void json_bfs(std::ofstream& json, const BfsBench& b, std::size_t num_sources) {
+  json << "{\n"
+       << "    \"sources\": " << num_sources << ",\n"
+       << "    \"reps\": " << b.reps << ",\n"
+       << "    \"edge_scans_per_rep\": " << b.edges_scanned << ",\n"
+       << "    \"legacy_seconds\": " << b.legacy_seconds << ",\n"
+       << "    \"engine_seconds\": " << b.engine_seconds << ",\n"
+       << "    \"legacy_medges_per_sec\": " << b.legacy_meps() << ",\n"
+       << "    \"engine_medges_per_sec\": " << b.engine_meps() << ",\n"
+       << "    \"speedup\": " << b.speedup() << "\n"
+       << "  }";
+}
+
+}  // namespace
+
+int main() {
+  const auto ctx = bsr::bench::make_context(
+      "perf_engine: static dispatch vs std::function traversal");
+  const CsrGraph& g = ctx.topo.graph;
+  const NodeId n = g.num_vertices();
+  namespace engine = bsr::graph::engine;
+  std::cout << "threads: " << engine::num_threads() << " (BSR_THREADS)\n\n";
+
+  // --- filtered BFS throughput --------------------------------------------
+  bsr::graph::Rng rng(ctx.env.seed);
+  const auto sources = bsr::graph::sample_distinct(
+      rng, n, static_cast<NodeId>(std::min<std::size_t>(ctx.env.bfs_sources, n)));
+  const int reps = 3;
+
+  // Headline: fault-aware traversal. The legacy path is FaultPlane::filter()
+  // — a std::function doing an O(log d) binary-search edge lookup per scan —
+  // vs the engine's O(1) slot-indexed FaultAwareFilter.
+  bsr::graph::FaultPlane plane(g);
+  {
+    bsr::graph::Rng fault_rng(ctx.env.seed + 1);
+    for (const auto& e : g.edges()) {
+      if (fault_rng.bernoulli(0.05)) plane.fail_edge(e.u, e.v);
+    }
+  }
+  const BfsBench fault_bfs = bench_filtered_bfs(
+      g, plane.filter(), engine::FaultAwareFilter{&plane}, sources, reps);
+  print_bfs("fault-aware BFS", fault_bfs, sources.size());
+
+  // Dispatch-only comparison: same O(1) predicate body on both sides, so the
+  // gap isolates std::function call overhead + dense export.
+  // Broker set: top 5% by degree — a realistic dominated subgraph density.
+  const auto brokers =
+      bsr::broker::db_top_degree(g, std::max<std::uint32_t>(1, n / 20));
+  const std::function<bool(NodeId, NodeId)> dominated_fn =
+      [&brokers](NodeId u, NodeId v) { return brokers.dominates_edge(u, v); };
+  const BfsBench dom_bfs = bench_filtered_bfs(
+      g, dominated_fn, engine::DominatedEdgeFilter{&brokers.mask()}, sources, reps);
+  print_bfs("dominated BFS (dispatch only)", dom_bfs, sources.size());
+
+  // --- MaxSG end-to-end ----------------------------------------------------
+  const auto k = static_cast<std::uint32_t>(std::max<NodeId>(32, n / 100));
+  bsr::bench::Stopwatch legacy_watch;
+  const auto legacy_result = legacy::maxsg(g, k);
+  const double legacy_maxsg_s = legacy_watch.seconds();
+
+  bsr::bench::Stopwatch engine_watch;
+  const auto engine_result = bsr::broker::maxsg(g, k);
+  const double engine_maxsg_s = engine_watch.seconds();
+
+  if (!std::ranges::equal(legacy_result.brokers.members(),
+                          engine_result.brokers.members()) ||
+      legacy_result.component_curve != engine_result.component_curve) {
+    std::cerr << "MISMATCH: MaxSG selections diverged between implementations\n";
+    return 1;
+  }
+  const double maxsg_speedup = legacy_maxsg_s / engine_maxsg_s;
+  std::cout << "MaxSG (k=" << k << ", " << engine_result.brokers.size()
+            << " picked, final component " << engine_result.final_component
+            << "):\n"
+            << "  legacy union-find:    "
+            << bsr::io::format_double(legacy_maxsg_s, 3) << "s\n"
+            << "  engine snapshot:      "
+            << bsr::io::format_double(engine_maxsg_s, 3) << "s\n"
+            << "  speedup:              x"
+            << bsr::io::format_double(maxsg_speedup, 2) << "\n";
+
+  // --- JSON artifact -------------------------------------------------------
+  const char* json_path_env = std::getenv("BENCH_ENGINE_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_engine.json";
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"scale\": " << ctx.env.scale << ",\n"
+       << "  \"seed\": " << ctx.env.seed << ",\n"
+       << "  \"threads\": " << engine::num_threads() << ",\n"
+       << "  \"vertices\": " << n << ",\n"
+       << "  \"edges\": " << g.num_edges() << ",\n"
+       << "  \"filtered_bfs\": ";
+  json_bfs(json, fault_bfs, sources.size());
+  json << ",\n"
+       << "  \"dominated_bfs\": ";
+  json_bfs(json, dom_bfs, sources.size());
+  json << ",\n"
+       << "  \"maxsg\": {\n"
+       << "    \"k\": " << k << ",\n"
+       << "    \"picked\": " << engine_result.brokers.size() << ",\n"
+       << "    \"final_component\": " << engine_result.final_component << ",\n"
+       << "    \"legacy_seconds\": " << legacy_maxsg_s << ",\n"
+       << "    \"engine_seconds\": " << engine_maxsg_s << ",\n"
+       << "    \"speedup\": " << maxsg_speedup << "\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "broker/coverage.hpp"
 
-#include <cassert>
+#include "graph/check.hpp"
+#include "graph/engine.hpp"
 
 namespace bsr::broker {
 
@@ -8,18 +9,17 @@ using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
 
 std::uint32_t coverage(const CsrGraph& g, const BrokerSet& b) {
-  assert(b.num_vertices() == g.num_vertices());
-  std::vector<bool> covered(g.num_vertices(), false);
+  BSR_DCHECK(b.num_vertices() == g.num_vertices());
+  // The thread-local workspace's mark domain replaces a per-call
+  // vector<bool> allocation — coverage() sits inside greedy inner loops.
+  auto& ws = bsr::graph::engine::tls_workspace();
+  ws.begin_marks(g.num_vertices());
   std::uint32_t count = 0;
-  const auto mark = [&](NodeId v) {
-    if (!covered[v]) {
-      covered[v] = true;
-      ++count;
-    }
-  };
   for (const NodeId v : b.members()) {
-    mark(v);
-    for (const NodeId w : g.neighbors(v)) mark(w);
+    if (ws.mark(v)) ++count;
+    for (const NodeId w : g.neighbors(v)) {
+      if (ws.mark(w)) ++count;
+    }
   }
   return count;
 }
@@ -30,7 +30,7 @@ CoverageTracker::CoverageTracker(const CsrGraph& g)
       covered_(g.num_vertices(), false) {}
 
 std::uint32_t CoverageTracker::marginal_gain(NodeId v) const {
-  assert(v < graph_->num_vertices());
+  BSR_DCHECK(v < graph_->num_vertices());
   std::uint32_t gain = covered_[v] ? 0 : 1;
   for (const NodeId w : graph_->neighbors(v)) {
     if (!covered_[w]) ++gain;
@@ -39,7 +39,7 @@ std::uint32_t CoverageTracker::marginal_gain(NodeId v) const {
 }
 
 std::uint32_t CoverageTracker::add(NodeId v) {
-  assert(v < graph_->num_vertices());
+  BSR_DCHECK(v < graph_->num_vertices());
   if (brokers_[v]) return 0;
   brokers_[v] = true;
   std::uint32_t gain = 0;

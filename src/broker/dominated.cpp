@@ -1,10 +1,9 @@
 #include "broker/dominated.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <numeric>
 #include <stdexcept>
 
-#include "graph/bfs.hpp"
 #include "graph/sampling.hpp"
 #include "graph/union_find.hpp"
 
@@ -15,71 +14,61 @@ using bsr::graph::NodeId;
 using bsr::graph::Rng;
 using bsr::graph::UnionFind;
 
+namespace engine = bsr::graph::engine;
+
 bsr::graph::EdgeFilter dominated_edge_filter(const BrokerSet& b) {
   return [&b](NodeId u, NodeId v) { return b.dominates_edge(u, v); };
 }
 
-namespace {
-
-UnionFind dominated_union_find(const CsrGraph& g, const BrokerSet& b) {
-  UnionFind uf(g.num_vertices());
-  // Only edges incident to a broker are active; iterating brokers' adjacency
-  // touches each active edge at least once — O(sum of broker degrees).
-  for (const NodeId u : b.members()) {
-    for (const NodeId v : g.neighbors(u)) uf.unite(u, v);
+DominatedEvaluator::DominatedEvaluator(const CsrGraph& g, const BrokerSet& b,
+                                       const bsr::graph::FaultPlane* faults)
+    : graph_(&g), brokers_(&b), faults_(faults), uf_(g.num_vertices()) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("DominatedEvaluator: size mismatch");
   }
-  return uf;
+  if (faults != nullptr && &faults->graph() != &g) {
+    throw std::invalid_argument("DominatedEvaluator: fault plane bound to another graph");
+  }
+  build_dominated_uf(g, b, uf_, faults_);
 }
 
-double connectivity_from(UnionFind& uf, NodeId n) {
-  // Sum of (component size choose 2) over component roots.
-  double connected_pairs = 0.0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (uf.find(v) == v) {
-      const double s = uf.component_size(v);
-      connected_pairs += s * (s - 1.0) / 2.0;
-    }
-  }
+void DominatedEvaluator::rebuild() {
+  uf_.reset(graph_->num_vertices());
+  build_dominated_uf(*graph_, *brokers_, uf_, faults_);
+}
+
+double DominatedEvaluator::connectivity() const noexcept {
+  const NodeId n = graph_->num_vertices();
+  if (n < 2) return 0.0;
+  // connected_pairs() is an exact integer < 2^53 for any realistic |V|, so
+  // this matches the legacy per-component double summation bit-for-bit.
   const double total_pairs = static_cast<double>(n) * (n - 1.0) / 2.0;
-  return connected_pairs / total_pairs;
+  return static_cast<double>(uf_.connected_pairs()) / total_pairs;
 }
-
-}  // namespace
 
 double saturated_connectivity(const CsrGraph& g, const BrokerSet& b) {
-  if (b.num_vertices() != g.num_vertices()) {
-    throw std::invalid_argument("saturated_connectivity: size mismatch");
-  }
-  const NodeId n = g.num_vertices();
-  if (n < 2) return 0.0;
-  UnionFind uf = dominated_union_find(g, b);
-  return connectivity_from(uf, n);
+  const DominatedEvaluator evaluator(g, b);
+  return evaluator.connectivity();
 }
 
 double saturated_connectivity(const CsrGraph& g, const BrokerSet& b,
                               const bsr::graph::FaultPlane& faults) {
-  if (b.num_vertices() != g.num_vertices() ||
-      &faults.graph() != &g) {
-    throw std::invalid_argument("saturated_connectivity: size mismatch");
-  }
-  const NodeId n = g.num_vertices();
-  if (n < 2) return 0.0;
-  UnionFind uf(n);
-  for (const NodeId u : b.members()) {
-    if (!faults.vertex_ok(u)) continue;
-    const auto nbrs = g.neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      if (faults.vertex_ok(v) && faults.edge_up_at(u, i)) uf.unite(u, v);
-    }
-  }
-  return connectivity_from(uf, n);
+  const DominatedEvaluator evaluator(g, b, &faults);
+  return evaluator.connectivity();
 }
 
 bsr::graph::DistanceCdf dominated_distance_cdf(const CsrGraph& g, const BrokerSet& b,
                                                Rng& rng, std::size_t num_sources) {
-  return bsr::graph::distance_cdf_sampled(g, rng, num_sources,
-                                          dominated_edge_filter(b));
+  const NodeId n = g.num_vertices();
+  const engine::DominatedEdgeFilter filter{&b.mask()};
+  if (num_sources >= n) {
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), NodeId{0});
+    return bsr::graph::distance_cdf_from_sources_with(g, all, filter);
+  }
+  const auto sources =
+      bsr::graph::sample_distinct(rng, n, static_cast<NodeId>(num_sources));
+  return bsr::graph::distance_cdf_from_sources_with(g, sources, filter);
 }
 
 BrokerOnlyShare broker_only_share(const CsrGraph& g, const BrokerSet& b, Rng& rng,
@@ -89,7 +78,7 @@ BrokerOnlyShare broker_only_share(const CsrGraph& g, const BrokerSet& b, Rng& rn
   if (n < 2 || b.empty()) return out;
 
   // Components of G_B (any dominating path) ...
-  UnionFind dominated_uf = dominated_union_find(g, b);
+  const DominatedEvaluator dominated(g, b);
   // ... and components of the broker-induced subgraph (edges inside B only).
   UnionFind broker_uf(n);
   for (const NodeId u : b.members()) {
@@ -119,7 +108,7 @@ BrokerOnlyShare broker_only_share(const CsrGraph& g, const BrokerSet& b, Rng& rn
   out.pairs_sampled = pairs.size();
   std::size_t broker_only_count = 0;
   for (const auto& [u, v] : pairs) {
-    if (dominated_uf.find(u) != dominated_uf.find(v)) continue;
+    if (!dominated.uf().connected(u, v)) continue;
     ++out.pairs_connected;
     const auto roots_u = attached_roots(u);
     const auto roots_v = attached_roots(v);
@@ -137,12 +126,8 @@ BrokerOnlyShare broker_only_share(const CsrGraph& g, const BrokerSet& b, Rng& rn
 
 std::uint32_t largest_dominated_component(const CsrGraph& g, const BrokerSet& b) {
   if (g.num_vertices() == 0) return 0;
-  UnionFind uf = dominated_union_find(g, b);
-  std::uint32_t best = 0;
-  for (NodeId v = 0; v < g.num_vertices(); ++v) {
-    if (uf.find(v) == v) best = std::max(best, uf.component_size(v));
-  }
-  return best;
+  const DominatedEvaluator evaluator(g, b);
+  return evaluator.largest_component();
 }
 
 }  // namespace bsr::broker

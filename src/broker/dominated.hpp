@@ -10,6 +10,11 @@
 //     (sampled BFS, see graph/distance_histogram.hpp);
 //   * broker-only connectivity (Fig. 5a) — pairs connected using no
 //     non-broker intermediate node.
+//
+// DominatedEvaluator is the engine-era entry point: it builds the union-find
+// over G_B once and serves every metric from it (the free functions below
+// are one-shot shims). Its RollbackUnionFind supports checkpoint/rollback,
+// so callers can probe "what if broker w joined?" without rebuilding.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +23,74 @@
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/distance_histogram.hpp"
+#include "graph/engine.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
+#include "graph/rollback_union_find.hpp"
 
 namespace bsr::broker {
 
 /// Edge filter selecting exactly the dominated edges of B. Bind-by-reference:
 /// the BrokerSet must outlive the returned filter.
 [[nodiscard]] bsr::graph::EdgeFilter dominated_edge_filter(const BrokerSet& b);
+
+/// Unions the endpoints of every active edge of G_B into `uf` by iterating
+/// each broker's star — O(|V| + sum of broker degrees), touching each active
+/// edge at least once. With a fault plane, only usable edges (both endpoints
+/// up, link up) count. Works with both UnionFind and RollbackUnionFind.
+template <class UF>
+void build_dominated_uf(const bsr::graph::CsrGraph& g, const BrokerSet& b, UF& uf,
+                        const bsr::graph::FaultPlane* faults = nullptr) {
+  namespace engine = bsr::graph::engine;
+  if (faults == nullptr) {
+    for (const bsr::graph::NodeId u : b.members()) {
+      engine::unite_star(g, uf, u, engine::AllEdges{});
+    }
+  } else {
+    const engine::FaultAwareFilter admit{faults};
+    for (const bsr::graph::NodeId u : b.members()) {
+      if (!faults->vertex_ok(u)) continue;
+      engine::unite_star(g, uf, u, admit);
+    }
+  }
+}
+
+/// Persistent evaluator over G_B: one union-find build serves connectivity,
+/// largest-component, and component queries (the legacy free functions each
+/// rebuilt it from scratch). The graph/broker set (and fault plane, if any)
+/// are held by reference and re-read on rebuild(), so a caller mutating them
+/// between events just calls rebuild() — the arrays are reused, not
+/// reallocated. uf() exposes checkpoint/rollback for speculative probing.
+class DominatedEvaluator {
+ public:
+  DominatedEvaluator(const bsr::graph::CsrGraph& g, const BrokerSet& b,
+                     const bsr::graph::FaultPlane* faults = nullptr);
+
+  /// Re-derives the union-find from the current broker/fault state.
+  void rebuild();
+
+  /// Exact saturated E2E connectivity (fraction of all |V| choose 2 pairs
+  /// connected in G_B). O(1) — served from the incremental pair count.
+  [[nodiscard]] double connectivity() const noexcept;
+
+  /// Size of the largest dominated component. O(|V|).
+  [[nodiscard]] std::uint32_t largest_component() const noexcept {
+    return uf_.largest_component_size();
+  }
+
+  [[nodiscard]] bsr::graph::RollbackUnionFind& uf() noexcept { return uf_; }
+  [[nodiscard]] const bsr::graph::RollbackUnionFind& uf() const noexcept {
+    return uf_;
+  }
+
+  [[nodiscard]] const bsr::graph::CsrGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const bsr::graph::CsrGraph* graph_;
+  const BrokerSet* brokers_;
+  const bsr::graph::FaultPlane* faults_;
+  bsr::graph::RollbackUnionFind uf_;
+};
 
 /// Exact saturated E2E connectivity: fraction of unordered vertex pairs
 /// (over all |V| choose 2 pairs) connected in G_B. O(|V| + |E|).

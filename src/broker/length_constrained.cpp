@@ -6,6 +6,7 @@
 #include "broker/dominated.hpp"
 #include "broker/path_length.hpp"
 #include "graph/bfs.hpp"
+#include "graph/engine.hpp"
 #include "graph/sampling.hpp"
 
 namespace bsr::broker {
@@ -37,8 +38,13 @@ LengthRepairResult repair_path_lengths(const CsrGraph& g, const BrokerSet& b,
   result.initial_deviation = evaluate();
   result.final_deviation = result.initial_deviation;
 
-  bsr::graph::BfsRunner free_runner(g.num_vertices());
-  bsr::graph::BfsRunner dom_runner(g.num_vertices());
+  // Two independent workspaces: the free and dominated BFS results must stay
+  // live simultaneously for the inflation scan (no dense copy needed).
+  bsr::graph::engine::Workspace free_ws(g.num_vertices());
+  bsr::graph::engine::Workspace dom_ws(g.num_vertices());
+  // BrokerSet::add never reallocates the mask, so this filter tracks every
+  // promotion made below — matching the legacy by-reference std::function.
+  const bsr::graph::engine::DominatedEdgeFilter filter{&result.brokers.mask()};
 
   for (std::uint32_t round = 0;
        round < options.max_rounds && result.final_deviation > options.epsilon &&
@@ -47,24 +53,23 @@ LengthRepairResult repair_path_lengths(const CsrGraph& g, const BrokerSet& b,
     ++result.rounds;
     // Find inflated pairs: free distance finite, dominating distance larger
     // (or absent). Sample sources; for each, pick the worst-inflated target.
-    const auto filter = dominated_edge_filter(result.brokers);
     const auto sources = bsr::graph::sample_distinct(
         rng, g.num_vertices(),
         static_cast<NodeId>(std::min<std::size_t>(options.pairs_per_round,
                                                   g.num_vertices())));
     for (const NodeId src : sources) {
       if (result.added >= options.max_added) break;
-      const auto free_dist = free_runner.run(g, src);
-      std::vector<std::uint32_t> free_copy(free_dist.begin(), free_dist.end());
-      const auto dom_dist = dom_runner.run_filtered(g, src, filter);
+      bsr::graph::engine::bfs(g, src, free_ws, bsr::graph::engine::AllEdges{});
+      bsr::graph::engine::bfs(g, src, dom_ws, filter);
 
       NodeId worst = kUnreachable;
       std::int64_t worst_inflation = 0;
       for (NodeId v = 0; v < g.num_vertices(); ++v) {
-        if (v == src || free_copy[v] == kUnreachable) continue;
+        if (v == src || !free_ws.visited(v)) continue;
         const std::int64_t dominated =
-            dom_dist[v] == kUnreachable ? g.num_vertices() : dom_dist[v];
-        const std::int64_t inflation = dominated - static_cast<std::int64_t>(free_copy[v]);
+            dom_ws.visited(v) ? dom_ws.dist_unchecked(v) : g.num_vertices();
+        const std::int64_t inflation =
+            dominated - static_cast<std::int64_t>(free_ws.dist_unchecked(v));
         if (inflation > worst_inflation) {
           worst_inflation = inflation;
           worst = v;

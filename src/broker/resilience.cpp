@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "broker/dominated.hpp"
-#include "graph/bfs.hpp"
+#include "graph/engine.hpp"
 #include "graph/union_find.hpp"
 
 namespace bsr::broker {
@@ -13,6 +13,8 @@ using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
 using bsr::graph::Rng;
 using bsr::graph::UnionFind;
+
+namespace engine = bsr::graph::engine;
 
 BrokerSet fail_brokers(const CsrGraph& g, const BrokerSet& b, std::size_t failures,
                        FailureMode mode, Rng& rng) {
@@ -67,60 +69,57 @@ namespace {
 using bsr::graph::FailureGroup;
 using bsr::graph::FaultPlane;
 
-/// MaxSG-style greedy repair; `faults == nullptr` means the pristine graph.
-BrokerSet repair_impl(const CsrGraph& g, const BrokerSet& survivors,
-                      std::uint32_t budget, const FaultPlane* faults) {
+/// MaxSG-style greedy repair seeded with the survivors. The edge filter is a
+/// template parameter so the fault checks fold into the scan loops (AllEdges
+/// on the pristine graph, FaultAwareFilter under damage); like maxsg(), each
+/// round snapshots the union-find into flat root/size arrays so candidate
+/// gains are array loads, not find() chains.
+template <class Filter>
+BrokerSet repair_sweep(const CsrGraph& g, const BrokerSet& survivors,
+                       std::uint32_t budget, const FaultPlane* faults,
+                       Filter admit) {
   const NodeId n = g.num_vertices();
   BrokerSet repaired = survivors;
 
   const auto vertex_ok = [&](NodeId v) {
     return faults == nullptr || faults->vertex_ok(v);
   };
-  // Unites w with its usable neighborhood; no-op edges skipped under faults.
-  const auto unite_neighborhood = [&](UnionFind& uf, NodeId w) {
-    const auto nbrs = g.neighbors(w);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      if (faults != nullptr &&
-          (!faults->vertex_ok(v) || !faults->edge_up_at(w, i))) {
-        continue;
-      }
-      uf.unite(w, v);
-    }
-  };
 
-  // Same incremental machinery as MaxSG, seeded with the survivors.
   UnionFind uf(n);
   std::vector<bool> is_broker(n, false);
   for (const NodeId b : survivors.members()) {
     is_broker[b] = true;
-    if (vertex_ok(b)) unite_neighborhood(uf, b);
+    if (vertex_ok(b)) engine::unite_star(g, uf, b, admit);
   }
+
+  std::vector<NodeId> root_of(n);
+  std::vector<std::uint32_t> size_of(n);
   std::vector<std::uint32_t> stamp(n, 0);
   std::uint32_t epoch = 0;
   const auto gain_of = [&](NodeId w) {
     ++epoch;
     std::uint32_t merged = 0;
-    const NodeId rw = uf.find(w);
+    const NodeId rw = root_of[w];
     stamp[rw] = epoch;
-    merged += uf.component_size(rw);
+    merged += size_of[rw];
     const auto nbrs = g.neighbors(w);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const NodeId v = nbrs[i];
-      if (faults != nullptr &&
-          (!faults->vertex_ok(v) || !faults->edge_up_at(w, i))) {
-        continue;
-      }
-      const NodeId r = uf.find(v);
+      if (!admit(w, i, v)) continue;
+      const NodeId r = root_of[v];
       if (stamp[r] != epoch) {
         stamp[r] = epoch;
-        merged += uf.component_size(r);
+        merged += size_of[r];
       }
     }
     return merged;
   };
 
   for (std::uint32_t round = 0; round < budget; ++round) {
+    for (NodeId v = 0; v < n; ++v) root_of[v] = uf.find(v);
+    for (NodeId v = 0; v < n; ++v) {
+      if (root_of[v] == v) size_of[v] = uf.root_size(v);
+    }
     NodeId best = bsr::graph::kUnreachable;
     std::uint32_t best_gain = 0;
     for (NodeId w = 0; w < n; ++w) {
@@ -134,9 +133,18 @@ BrokerSet repair_impl(const CsrGraph& g, const BrokerSet& survivors,
     if (best == bsr::graph::kUnreachable) break;
     is_broker[best] = true;
     repaired.add(best);
-    unite_neighborhood(uf, best);
+    engine::unite_star(g, uf, best, admit);
   }
   return repaired;
+}
+
+BrokerSet repair_impl(const CsrGraph& g, const BrokerSet& survivors,
+                      std::uint32_t budget, const FaultPlane* faults) {
+  if (faults == nullptr) {
+    return repair_sweep(g, survivors, budget, nullptr, engine::AllEdges{});
+  }
+  return repair_sweep(g, survivors, budget, faults,
+                      engine::FaultAwareFilter{faults});
 }
 
 }  // namespace

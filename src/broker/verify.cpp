@@ -6,13 +6,12 @@
 
 #include "broker/coverage.hpp"
 #include "graph/bfs.hpp"
-#include "graph/union_find.hpp"
+#include "graph/rollback_union_find.hpp"
 
 namespace bsr::broker {
 
 using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
-using bsr::graph::UnionFind;
 
 bool is_dominating_path(const CsrGraph& g, const BrokerSet& b,
                         std::span<const NodeId> path) {
@@ -28,7 +27,9 @@ bool is_dominating_path(const CsrGraph& g, const BrokerSet& b,
 
 bool has_pairwise_guarantee(const CsrGraph& g, const BrokerSet& b) {
   if (b.empty()) return true;  // vacuous: B ∪ N(B) pairs need B non-empty
-  UnionFind uf(g.num_vertices());
+  // Rollback flavor: find() is const, so the component scan below can't
+  // mutate the forest out from under the covered bitmap pass.
+  bsr::graph::RollbackUnionFind uf(g.num_vertices());
   std::vector<bool> covered(g.num_vertices(), false);
   for (const NodeId u : b.members()) {
     covered[u] = true;

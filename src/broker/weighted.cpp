@@ -4,7 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
-#include "graph/bfs.hpp"
+#include "broker/dominated.hpp"
+#include "graph/engine.hpp"
 #include "graph/union_find.hpp"
 
 namespace bsr::broker {
@@ -12,6 +13,8 @@ namespace bsr::broker {
 using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
 using bsr::graph::UnionFind;
+
+namespace engine = bsr::graph::engine;
 
 namespace {
 
@@ -29,17 +32,14 @@ void validate_weights(const CsrGraph& g, std::span<const double> weight) {
 double weighted_coverage(const CsrGraph& g, const BrokerSet& b,
                          std::span<const double> weight) {
   validate_weights(g, weight);
-  std::vector<bool> covered(g.num_vertices(), false);
+  auto& ws = engine::tls_workspace();
+  ws.begin_marks(g.num_vertices());
   double total = 0.0;
-  const auto mark = [&](NodeId v) {
-    if (!covered[v]) {
-      covered[v] = true;
-      total += weight[v];
-    }
-  };
   for (const NodeId v : b.members()) {
-    mark(v);
-    for (const NodeId w : g.neighbors(v)) mark(w);
+    if (ws.mark(v)) total += weight[v];
+    for (const NodeId w : g.neighbors(v)) {
+      if (ws.mark(w)) total += weight[w];
+    }
   }
   return total;
 }
@@ -116,10 +116,12 @@ double weighted_saturated_connectivity(const CsrGraph& g, const BrokerSet& b,
   const NodeId n = g.num_vertices();
   if (n < 2) return 0.0;
 
+  // UnionFind (not Rollback) on purpose: the double sums below are indexed
+  // by root id and accumulated in vertex-scan order, so root identity —
+  // which both UF flavors derive from the same merge rule — fixes the
+  // floating-point result.
   UnionFind uf(n);
-  for (const NodeId u : b.members()) {
-    for (const NodeId v : g.neighbors(u)) uf.unite(u, v);
-  }
+  build_dominated_uf(g, b, uf);
   // Σ_{pairs in same component} w_u w_v = Σ_c (S_c² - Q_c) / 2 with
   // S_c = Σ w, Q_c = Σ w² over the component.
   std::vector<double> sum(n, 0.0), sum_sq(n, 0.0);
@@ -158,23 +160,35 @@ WeightedMaxSgResult weighted_maxsg(const CsrGraph& g, std::uint32_t k,
   std::uint32_t epoch = 0;
   double heaviest = 0.0;
 
+  // Per-round root/weight snapshot, as in maxsg(): no unions happen during
+  // a sweep, so candidate gains are flat array loads. Roots snapshotted
+  // before a sweep equal live find() results, so the stamp-dedup visits
+  // roots in the same first-encounter order — the double accumulation
+  // order (and thus the result) is unchanged.
+  std::vector<NodeId> root_of(n);
+  std::vector<double> weight_of(n);
+
   const auto candidate_gain = [&](NodeId w) {
     ++epoch;
     double merged = 0.0;
-    const NodeId rw = uf.find(w);
+    const NodeId rw = root_of[w];
     stamp[rw] = epoch;
-    merged += component_weight[rw];
+    merged += weight_of[rw];
     for (const NodeId v : g.neighbors(w)) {
-      const NodeId r = uf.find(v);
+      const NodeId r = root_of[v];
       if (stamp[r] != epoch) {
         stamp[r] = epoch;
-        merged += component_weight[r];
+        merged += weight_of[r];
       }
     }
     return merged;
   };
 
   while (result.brokers.size() < k) {
+    for (NodeId v = 0; v < n; ++v) root_of[v] = uf.find(v);
+    for (NodeId v = 0; v < n; ++v) {
+      if (root_of[v] == v) weight_of[v] = component_weight[v];
+    }
     NodeId best = bsr::graph::kUnreachable;
     double best_gain = heaviest;  // only picks growing the heaviest component help
     for (NodeId w = 0; w < n; ++w) {

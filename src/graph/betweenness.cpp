@@ -3,54 +3,55 @@
 #include <algorithm>
 #include <numeric>
 
-#include "graph/bfs.hpp"
 #include "graph/sampling.hpp"
+#include "graph/workspace.hpp"
 
 namespace bsr::graph {
 
 namespace {
 
 /// One Brandes pivot: accumulates pair dependencies of `source` into
-/// `score`. Scratch buffers are caller-owned to avoid reallocation.
+/// `score`. The workspace's epoch stamps replace the three O(V) clears the
+/// previous implementation paid per pivot: sigma/delta entries are
+/// (re)initialized lazily at discovery, so a pivot touches only the
+/// vertices it actually reaches.
 struct BrandesScratch {
-  std::vector<NodeId> order;            // vertices in BFS visit order
-  std::vector<std::uint32_t> distance;  // hop distance
-  std::vector<double> sigma;            // # shortest paths from source
-  std::vector<double> delta;            // dependency accumulator
+  engine::Workspace ws;
+  std::vector<double> sigma;  // # shortest paths from source
+  std::vector<double> delta;  // dependency accumulator
 
-  explicit BrandesScratch(NodeId n)
-      : distance(n), sigma(n), delta(n) {
-    order.reserve(n);
-  }
+  explicit BrandesScratch(NodeId n) : ws(n), sigma(n), delta(n) {}
 };
 
 void brandes_pivot(const CsrGraph& g, NodeId source, BrandesScratch& scratch,
                    std::vector<double>& score) {
-  constexpr auto kInf = kUnreachable;
-  auto& [order, distance, sigma, delta] = scratch;
-  order.clear();
-  std::fill(distance.begin(), distance.end(), kInf);
-  std::fill(sigma.begin(), sigma.end(), 0.0);
-  std::fill(delta.begin(), delta.end(), 0.0);
+  auto& ws = scratch.ws;
+  auto& sigma = scratch.sigma;
+  auto& delta = scratch.delta;
 
-  distance[source] = 0;
+  ws.begin(g.num_vertices());
+  ws.discover(source, 0);
   sigma[source] = 1.0;
-  order.push_back(source);
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    const NodeId u = order[head];
+  delta[source] = 0.0;
+  for (std::size_t head = 0; head < ws.frontier_size(); ++head) {
+    const NodeId u = ws.frontier_at(head);
+    const std::uint32_t du = ws.dist_unchecked(u);
     for (const NodeId v : g.neighbors(u)) {
-      if (distance[v] == kInf) {
-        distance[v] = distance[u] + 1;
-        order.push_back(v);
+      if (!ws.visited(v)) {
+        ws.discover(v, du + 1);
+        sigma[v] = 0.0;
+        delta[v] = 0.0;
       }
-      if (distance[v] == distance[u] + 1) sigma[v] += sigma[u];
+      if (ws.dist_unchecked(v) == du + 1) sigma[v] += sigma[u];
     }
   }
-  // Reverse order: accumulate dependencies.
+  // Reverse visit order: accumulate dependencies.
+  const auto order = ws.visit_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId w = *it;
+    const std::uint32_t dw = ws.dist_unchecked(w);
     for (const NodeId v : g.neighbors(w)) {
-      if (distance[v] + 1 == distance[w]) {
+      if (ws.visited(v) && ws.dist_unchecked(v) + 1 == dw) {
         delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
       }
     }

@@ -3,110 +3,58 @@
 #include <algorithm>
 
 #include "graph/check.hpp"
+#include "graph/engine.hpp"
 
 namespace bsr::graph {
 
-void BfsRunner::reset_touched() {
+std::span<const std::uint32_t> BfsRunner::export_dense() {
   for (const NodeId v : touched_) dist_[v] = kUnreachable;
-  touched_.clear();
+  const auto order = ws_.visit_order();
+  touched_.assign(order.begin(), order.end());
+  for (const NodeId v : touched_) dist_[v] = ws_.dist_unchecked(v);
+  return dist_;
 }
 
 std::span<const std::uint32_t> BfsRunner::run(const CsrGraph& g, NodeId source) {
-  BSR_DCHECK(source < g.num_vertices());
-  reset_touched();
-  std::size_t head = 0, tail = 0;
-  dist_[source] = 0;
-  touched_.push_back(source);
-  queue_[tail++] = source;
-  while (head < tail) {
-    const NodeId u = queue_[head++];
-    const std::uint32_t du = dist_[u];
-    for (const NodeId v : g.neighbors(u)) {
-      if (dist_[v] == kUnreachable) {
-        dist_[v] = du + 1;
-        touched_.push_back(v);
-        queue_[tail++] = v;
-      }
-    }
-  }
-  return dist_;
+  // A runner sized for a smaller graph would write dist_ out of bounds.
+  BSR_DCHECK(g.num_vertices() <= dist_.size());
+  engine::bfs(g, source, ws_, engine::AllEdges{});
+  return export_dense();
 }
 
 std::span<const std::uint32_t> BfsRunner::run_filtered(
     const CsrGraph& g, NodeId source,
     const std::function<bool(NodeId, NodeId)>& edge_ok) {
-  BSR_DCHECK(source < g.num_vertices());
-  reset_touched();
-  std::size_t head = 0, tail = 0;
-  dist_[source] = 0;
-  touched_.push_back(source);
-  queue_[tail++] = source;
-  while (head < tail) {
-    const NodeId u = queue_[head++];
-    const std::uint32_t du = dist_[u];
-    for (const NodeId v : g.neighbors(u)) {
-      if (dist_[v] == kUnreachable && edge_ok(u, v)) {
-        dist_[v] = du + 1;
-        touched_.push_back(v);
-        queue_[tail++] = v;
-      }
-    }
-  }
-  return dist_;
+  BSR_DCHECK(g.num_vertices() <= dist_.size());
+  engine::bfs(g, source, ws_, engine::FnFilter{&edge_ok});
+  return export_dense();
 }
 
 std::span<const std::uint32_t> BfsRunner::run_bounded(const CsrGraph& g, NodeId source,
                                                       std::uint32_t max_depth) {
-  BSR_DCHECK(source < g.num_vertices());
-  reset_touched();
-  std::size_t head = 0, tail = 0;
-  dist_[source] = 0;
-  touched_.push_back(source);
-  queue_[tail++] = source;
-  while (head < tail) {
-    const NodeId u = queue_[head++];
-    const std::uint32_t du = dist_[u];
-    if (du == max_depth) continue;
-    for (const NodeId v : g.neighbors(u)) {
-      if (dist_[v] == kUnreachable) {
-        dist_[v] = du + 1;
-        touched_.push_back(v);
-        queue_[tail++] = v;
-      }
-    }
-  }
-  return dist_;
+  BSR_DCHECK(g.num_vertices() <= dist_.size());
+  engine::bfs_bounded(g, source, max_depth, ws_, engine::AllEdges{});
+  return export_dense();
 }
 
 std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source) {
-  BfsRunner runner(g.num_vertices());
-  const auto view = runner.run(g, source);
-  return {view.begin(), view.end()};
+  auto& ws = engine::tls_workspace();
+  engine::bfs(g, source, ws, engine::AllEdges{});
+  std::vector<std::uint32_t> dense(g.num_vertices(), kUnreachable);
+  for (const NodeId v : ws.visit_order()) dense[v] = ws.dist_unchecked(v);
+  return dense;
 }
 
 std::vector<NodeId> bfs_shortest_path(const CsrGraph& g, NodeId source, NodeId target) {
   BSR_DCHECK(source < g.num_vertices() && target < g.num_vertices());
   if (source == target) return {source};
-  std::vector<NodeId> parent(g.num_vertices(), kUnreachable);
-  std::vector<NodeId> queue;
-  queue.reserve(g.num_vertices());
-  parent[source] = source;
-  queue.push_back(source);
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const NodeId u = queue[head];
-    for (const NodeId v : g.neighbors(u)) {
-      if (parent[v] != kUnreachable) continue;
-      parent[v] = u;
-      if (v == target) {
-        std::vector<NodeId> path{target};
-        for (NodeId w = target; w != source; w = parent[w]) path.push_back(parent[w]);
-        std::reverse(path.begin(), path.end());
-        return path;
-      }
-      queue.push_back(v);
-    }
-  }
-  return {};
+  auto& ws = engine::tls_workspace();
+  engine::bfs(g, source, ws, engine::AllEdges{});
+  if (!ws.visited(target)) return {};
+  std::vector<NodeId> path{target};
+  for (NodeId w = target; w != source; w = ws.parent(w)) path.push_back(ws.parent(w));
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 }  // namespace bsr::graph

@@ -5,27 +5,30 @@
 // restricted by a caller predicate — this is how the dominated subgraph
 // G_B (edges with at least one broker endpoint) is traversed without
 // materializing it.
+//
+// BfsRunner is the legacy dense-array API, kept as a thin shim over the
+// engine kernels (graph/engine.hpp). New code that runs many traversals
+// should use engine::bfs with a Workspace directly: it skips the dense
+// export entirely and supports inlinable filter structs instead of the
+// std::function predicate taken here.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <limits>
 #include <span>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "graph/workspace.hpp"
 
 namespace bsr::graph {
-
-/// Sentinel distance for unreachable vertices.
-inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
 
 /// Reusable BFS workspace. Construct once per graph size and reuse across
 /// many runs to avoid reallocating the frontier/distance arrays (matters
 /// when sampling thousands of sources).
 class BfsRunner {
  public:
-  explicit BfsRunner(NodeId n) : dist_(n, kUnreachable), queue_(n) {}
+  explicit BfsRunner(NodeId n) : ws_(n), dist_(n, kUnreachable) {}
 
   /// Full BFS from `source`. Returns distances (kUnreachable if not reached).
   /// The returned span is valid until the next run.
@@ -44,10 +47,12 @@ class BfsRunner {
   [[nodiscard]] std::span<const std::uint32_t> distances() const noexcept { return dist_; }
 
  private:
-  void reset_touched();
+  /// Copies the workspace's sparse result into the dense dist_ array,
+  /// un-writing only the vertices the *previous* run touched.
+  std::span<const std::uint32_t> export_dense();
 
+  engine::Workspace ws_;
   std::vector<std::uint32_t> dist_;
-  std::vector<NodeId> queue_;
   std::vector<NodeId> touched_;  // vertices whose dist_ entries need resetting
 };
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "graph/bfs.hpp"
-#include "graph/union_find.hpp"
+#include "graph/engine.hpp"
+#include "graph/rollback_union_find.hpp"
 
 namespace bsr::graph {
 
@@ -21,7 +21,9 @@ std::uint32_t Components::largest_size() const {
 
 namespace {
 
-Components from_union_find(const CsrGraph& g, UnionFind& uf) {
+// Labels components in ascending-vertex scan order, so labels are canonical:
+// any union-find that produces the same partition yields identical output.
+Components from_union_find(const CsrGraph& g, const RollbackUnionFind& uf) {
   Components out;
   const NodeId n = g.num_vertices();
   out.label.assign(n, 0);
@@ -41,23 +43,15 @@ Components from_union_find(const CsrGraph& g, UnionFind& uf) {
 }  // namespace
 
 Components connected_components(const CsrGraph& g) {
-  UnionFind uf(g.num_vertices());
-  for (NodeId u = 0; u < g.num_vertices(); ++u) {
-    for (const NodeId v : g.neighbors(u)) {
-      if (u < v) uf.unite(u, v);
-    }
-  }
+  RollbackUnionFind uf(g.num_vertices());
+  engine::unite_edges(g, uf, engine::AllEdges{});
   return from_union_find(g, uf);
 }
 
 Components connected_components_filtered(
     const CsrGraph& g, const std::function<bool(NodeId, NodeId)>& edge_ok) {
-  UnionFind uf(g.num_vertices());
-  for (NodeId u = 0; u < g.num_vertices(); ++u) {
-    for (const NodeId v : g.neighbors(u)) {
-      if (u < v && edge_ok(u, v)) uf.unite(u, v);
-    }
-  }
+  RollbackUnionFind uf(g.num_vertices());
+  engine::unite_edges(g, uf, engine::FnFilter{&edge_ok});
   return from_union_find(g, uf);
 }
 

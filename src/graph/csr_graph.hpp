@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,9 @@
 namespace bsr::graph {
 
 using NodeId = std::uint32_t;
+
+/// Sentinel distance/id for unreachable or unset vertices.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
 
 /// An undirected edge as a canonical (min, max) vertex pair.
 struct Edge {

@@ -1,37 +1,21 @@
 #include "graph/distance_histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
-#include <stdexcept>
 
-#include "graph/bfs.hpp"
 #include "graph/sampling.hpp"
 
 namespace bsr::graph {
 
-DistanceCdf distance_cdf_from_sources(const CsrGraph& g,
-                                      std::span<const NodeId> sources,
-                                      const EdgeFilter& filter) {
-  const NodeId n = g.num_vertices();
-  if (n < 2) throw std::invalid_argument("distance_cdf: need at least 2 vertices");
-  if (sources.empty()) throw std::invalid_argument("distance_cdf: no sources");
+namespace detail {
 
-  BfsRunner runner(n);
-  std::vector<std::uint64_t> histogram;  // histogram[l] = #targets at distance l
-  for (const NodeId s : sources) {
-    const auto dist = filter ? runner.run_filtered(g, s, filter) : runner.run(g, s);
-    for (NodeId v = 0; v < n; ++v) {
-      const std::uint32_t d = dist[v];
-      if (d == 0 || d == kUnreachable) continue;
-      if (d >= histogram.size()) histogram.resize(d + 1, 0);
-      ++histogram[d];
-    }
-  }
-
+DistanceCdf cdf_from_histogram(std::vector<std::uint64_t> histogram,
+                               std::size_t sources_used, NodeId n) {
   DistanceCdf out;
-  out.sources_used = sources.size();
+  out.sources_used = sources_used;
   const double denom =
-      static_cast<double>(sources.size()) * static_cast<double>(n - 1);
+      static_cast<double>(sources_used) * static_cast<double>(n - 1);
   out.cdf.resize(std::max<std::size_t>(histogram.size(), 1), 0.0);
   std::uint64_t running = 0;
   for (std::size_t l = 1; l < histogram.size(); ++l) {
@@ -40,6 +24,17 @@ DistanceCdf distance_cdf_from_sources(const CsrGraph& g,
   }
   out.reachable = out.cdf.back();
   return out;
+}
+
+}  // namespace detail
+
+DistanceCdf distance_cdf_from_sources(const CsrGraph& g,
+                                      std::span<const NodeId> sources,
+                                      const EdgeFilter& filter) {
+  if (filter) {
+    return distance_cdf_from_sources_with(g, sources, engine::FnFilter{&filter});
+  }
+  return distance_cdf_from_sources_with(g, sources, engine::AllEdges{});
 }
 
 DistanceCdf distance_cdf_sampled(const CsrGraph& g, Rng& rng, std::size_t num_sources,

@@ -8,20 +8,26 @@
 // its exact distance profile, making the estimator unbiased. The paper's
 // reported resolution (two decimals in percent) is far above the sampling
 // error at >= 512 sources.
+//
+// distance_cdf_from_sources_with<Filter> is the engine-native entry point:
+// the filter struct inlines into the BFS loop and sources are split across
+// BSR_THREADS shards. Per-shard histograms are integer counts merged in
+// shard order, and the shard partition depends only on the source count, so
+// the result is bit-identical at any thread count. The EdgeFilter overloads
+// below are shims over it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "graph/edge_filter.hpp"
+#include "graph/engine.hpp"
 #include "graph/rng.hpp"
 
 namespace bsr::graph {
-
-/// Optional edge admission predicate; nullptr-like (empty) means all edges.
-using EdgeFilter = std::function<bool(NodeId, NodeId)>;
 
 struct DistanceCdf {
   /// cdf[l] = estimated fraction of ordered (u, v), u != v, with d(u, v) <= l.
@@ -39,6 +45,49 @@ struct DistanceCdf {
     return l < cdf.size() ? cdf[l] : cdf.back();
   }
 };
+
+namespace detail {
+
+/// Normalizes a per-distance target count into a DistanceCdf.
+[[nodiscard]] DistanceCdf cdf_from_histogram(std::vector<std::uint64_t> histogram,
+                                             std::size_t sources_used, NodeId n);
+
+}  // namespace detail
+
+/// Distance CDF from explicit BFS sources with a static-dispatch edge filter.
+/// Sources are sharded across engine::num_threads() workers; bit-identical
+/// at any thread count.
+template <class Filter>
+[[nodiscard]] DistanceCdf distance_cdf_from_sources_with(
+    const CsrGraph& g, std::span<const NodeId> sources, Filter filter) {
+  const NodeId n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("distance_cdf: need at least 2 vertices");
+  if (sources.empty()) throw std::invalid_argument("distance_cdf: no sources");
+
+  const std::size_t shards = engine::plan_shards(sources.size());
+  std::vector<std::vector<std::uint64_t>> partial(shards);
+  engine::for_each_shard(
+      sources.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        auto& ws = engine::tls_workspace();
+        auto& hist = partial[shard];
+        for (std::size_t i = begin; i < end; ++i) {
+          engine::bfs(g, sources[i], ws, filter);
+          for (const NodeId v : ws.visit_order()) {
+            const std::uint32_t d = ws.dist_unchecked(v);
+            if (d == 0) continue;  // the source itself
+            if (d >= hist.size()) hist.resize(d + 1, 0);
+            ++hist[d];
+          }
+        }
+      });
+
+  std::vector<std::uint64_t> histogram = std::move(partial[0]);
+  for (std::size_t s = 1; s < shards; ++s) {
+    if (partial[s].size() > histogram.size()) histogram.resize(partial[s].size(), 0);
+    for (std::size_t l = 0; l < partial[s].size(); ++l) histogram[l] += partial[s][l];
+  }
+  return detail::cdf_from_histogram(std::move(histogram), sources.size(), n);
+}
 
 /// Distance CDF from explicit BFS sources. If `filter` is non-empty, edges
 /// are admitted per the filter (e.g. dominated-subgraph traversal).

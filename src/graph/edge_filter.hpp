@@ -1,0 +1,19 @@
+// Type-erased edge admission predicate.
+//
+// This is the *legacy* dynamic-dispatch filter type: one indirect call per
+// edge relaxation. New code should prefer the inlinable filter structs in
+// graph/engine.hpp (DominatedEdgeFilter, FaultAwareFilter, ...) which the
+// template-dispatched kernels fold into the traversal loop; EdgeFilter
+// remains the public API for callers whose predicate is genuinely dynamic.
+#pragma once
+
+#include <functional>
+
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+/// Optional edge admission predicate; nullptr-like (empty) means all edges.
+using EdgeFilter = std::function<bool(NodeId, NodeId)>;
+
+}  // namespace bsr::graph

@@ -1,0 +1,186 @@
+// Static-dispatch traversal engine.
+//
+// The legacy traversal entry points (BfsRunner::run_filtered,
+// connected_components_filtered, distance_cdf_from_sources) accept a
+// std::function edge predicate — one indirect call per edge relaxation, which
+// the compiler cannot inline or vectorize around. This header replaces that
+// with *filter structs* passed to function templates: the predicate body is
+// known at instantiation time and folds into the scan loop, so a dominated-
+// subgraph BFS costs the same as an unfiltered BFS plus two bitmask loads.
+//
+// Filters implement
+//     bool operator()(NodeId u, std::size_t slot, NodeId v) const
+// where `slot` indexes v within g.neighbors(u) — that is what lets
+// FaultAwareFilter answer link-state queries in O(1) via
+// FaultPlane::edge_up_at(u, slot) instead of an O(log d) edge lookup.
+//
+// Determinism contract (see docs/ENGINE.md): every kernel visits vertices in
+// exactly the order the legacy code did — queue order for BFS, ascending
+// (u, slot) order for edge scans — so dist arrays, component labels, greedy
+// tie-breaks, and double accumulation orders are bit-identical to the
+// pre-engine implementation, and invariant under BSR_THREADS (parallel
+// reductions are integer-only and merged in shard order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/check.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/workspace.hpp"
+
+namespace bsr::graph::engine {
+
+// --- filter structs --------------------------------------------------------
+
+/// Admits every structural edge.
+struct AllEdges {
+  bool operator()(NodeId, std::size_t, NodeId) const noexcept { return true; }
+};
+
+/// Admits edge {u, v} iff at least one endpoint is a broker — the dominated
+/// subgraph G_B of the paper. Holds the broker membership bitmap by pointer
+/// so the filter is trivially copyable and register-resident.
+struct DominatedEdgeFilter {
+  const std::vector<bool>* broker_mask = nullptr;
+
+  bool operator()(NodeId u, std::size_t, NodeId v) const noexcept {
+    BSR_DCHECK(broker_mask != nullptr);
+    BSR_DCHECK(u < broker_mask->size() && v < broker_mask->size());
+    return (*broker_mask)[u] || (*broker_mask)[v];
+  }
+};
+
+/// Admits edge {u, v} iff both endpoints and the link itself are up.
+struct FaultAwareFilter {
+  const FaultPlane* faults = nullptr;
+
+  bool operator()(NodeId u, std::size_t slot, NodeId v) const noexcept {
+    BSR_DCHECK(faults != nullptr);
+    return faults->vertex_ok(u) && faults->vertex_ok(v) &&
+           faults->edge_up_at(u, slot);
+  }
+};
+
+/// Conjunction of two filters; A is evaluated first.
+template <class A, class B>
+struct BothFilters {
+  A a;
+  B b;
+
+  bool operator()(NodeId u, std::size_t slot, NodeId v) const noexcept {
+    return a(u, slot, v) && b(u, slot, v);
+  }
+};
+
+/// Adapter for genuinely dynamic predicates (legacy EdgeFilter callers).
+/// Still one indirect call per edge — prefer the structs above on hot paths.
+struct FnFilter {
+  const std::function<bool(NodeId, NodeId)>* fn = nullptr;
+
+  bool operator()(NodeId u, std::size_t, NodeId v) const {
+    BSR_DCHECK(fn != nullptr);
+    return (*fn)(u, v);
+  }
+};
+
+// --- traversal kernels -----------------------------------------------------
+
+/// BFS from `source` over edges admitted by `admit`, writing dist/visit-order
+/// into `ws`. Visit order is identical to the legacy BfsRunner: FIFO queue,
+/// neighbors scanned in ascending adjacency order.
+template <class Filter>
+void bfs(const CsrGraph& g, NodeId source, Workspace& ws, Filter admit) {
+  BSR_DCHECK(source < g.num_vertices());
+  ws.begin(g.num_vertices());
+  ws.discover(source, 0);
+  for (std::size_t head = 0; head < ws.frontier_size(); ++head) {
+    const NodeId u = ws.frontier_at(head);
+    const std::uint32_t du = ws.dist_unchecked(u);
+    const auto neigh = g.neighbors(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId v = neigh[i];
+      if (!ws.visited(v) && admit(u, i, v)) ws.discover(v, du + 1, u);
+    }
+  }
+}
+
+/// BFS truncated at distance `max_depth` (vertices at dist == max_depth are
+/// discovered but not expanded).
+template <class Filter>
+void bfs_bounded(const CsrGraph& g, NodeId source, std::uint32_t max_depth,
+                 Workspace& ws, Filter admit) {
+  BSR_DCHECK(source < g.num_vertices());
+  ws.begin(g.num_vertices());
+  ws.discover(source, 0);
+  for (std::size_t head = 0; head < ws.frontier_size(); ++head) {
+    const NodeId u = ws.frontier_at(head);
+    const std::uint32_t du = ws.dist_unchecked(u);
+    if (du >= max_depth) continue;
+    const auto neigh = g.neighbors(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId v = neigh[i];
+      if (!ws.visited(v) && admit(u, i, v)) ws.discover(v, du + 1, u);
+    }
+  }
+}
+
+/// Unions the endpoints of every admitted edge into `uf`. Edges are scanned
+/// in canonical ascending (u, v) order with u < v — the same order every
+/// legacy union-find construction loop used, so root identities match.
+/// Works with both UnionFind and RollbackUnionFind.
+template <class UF, class Filter>
+void unite_edges(const CsrGraph& g, UF& uf, Filter admit) {
+  const NodeId n = g.num_vertices();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neigh = g.neighbors(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId v = neigh[i];
+      if (u < v && admit(u, i, v)) uf.unite(u, v);
+    }
+  }
+}
+
+/// Unions `center` with every neighbor reachable through an admitted edge —
+/// the incremental "add one broker" step of greedy sweeps.
+template <class UF, class Filter>
+void unite_star(const CsrGraph& g, UF& uf, NodeId center, Filter admit) {
+  const auto neigh = g.neighbors(center);
+  for (std::size_t i = 0; i < neigh.size(); ++i) {
+    const NodeId v = neigh[i];
+    if (admit(center, i, v)) uf.unite(center, v);
+  }
+}
+
+// --- parallel driver -------------------------------------------------------
+
+/// Effective worker count: BSR_THREADS env var (clamped to [1, 256]) unless
+/// overridden by set_num_threads(). 1 (the default) means fully serial.
+[[nodiscard]] int num_threads();
+
+/// Overrides the worker count for this process; n <= 0 restores the
+/// environment-derived value. Intended for tests and benchmarks.
+void set_num_threads(int n);
+
+/// Number of shards to split `count` independent work items into:
+/// min(num_threads(), count), at least 1.
+[[nodiscard]] std::size_t plan_shards(std::size_t count);
+
+/// Runs body(shard, begin, end) for each of plan_shards(count) contiguous
+/// blocks [begin, end) of [0, count). Shard 0 runs on the calling thread;
+/// the rest on std::threads. The partition depends only on `count` and the
+/// shard count — never on timing — so any reduction merged in shard order
+/// is deterministic.
+void for_each_shard(
+    std::size_t count,
+    const std::function<void(std::size_t shard, std::size_t begin,
+                             std::size_t end)>& body);
+
+/// Per-thread scratch workspace for one-shot convenience wrappers. Grows to
+/// the largest graph seen on this thread and is reused across calls.
+[[nodiscard]] Workspace& tls_workspace();
+
+}  // namespace bsr::graph::engine

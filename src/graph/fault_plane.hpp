@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
-#include "graph/distance_histogram.hpp"
+#include "graph/edge_filter.hpp"
 #include "graph/rng.hpp"
 
 namespace bsr::graph {

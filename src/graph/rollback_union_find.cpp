@@ -1,0 +1,25 @@
+#include "graph/rollback_union_find.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bsr::graph {
+
+void RollbackUnionFind::reset(NodeId n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  size_.assign(n, 1);
+  log_.clear();
+  num_components_ = n;
+  connected_pairs_ = 0;
+}
+
+std::uint32_t RollbackUnionFind::largest_component_size() const noexcept {
+  std::uint32_t best = parent_.empty() ? 0u : 1u;
+  for (NodeId v = 0; v < parent_.size(); ++v) {
+    if (parent_[v] == v) best = std::max(best, size_[v]);
+  }
+  return best;
+}
+
+}  // namespace bsr::graph

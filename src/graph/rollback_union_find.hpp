@@ -1,0 +1,125 @@
+// Rollback-capable disjoint-set forest (union by size + undo log).
+//
+// The classic union-find trade-off: path compression makes find O(alpha)
+// but destroys the information needed to undo a union. This variant keeps
+// union by size only (find is O(log n)) and records every successful unite
+// in an undo log, so any suffix of unions can be rolled back in O(1) each.
+// That turns "evaluate candidate C against the current dominated subgraph"
+// from a full O(|E_B|) reconstruction into
+//     checkpoint -> unite C's star -> read metrics -> rollback,
+// which is what MaxSG candidate probing, 1-swap local search, and
+// damage-aware repair all need.
+//
+// The merge rule (attach the smaller root under the larger; ties attach the
+// second root under the first) is byte-identical to graph::UnionFind, so the
+// two produce the same root ids and component sizes for the same unite
+// sequence — a property the dedup between the exact-connectivity and
+// component-histogram paths relies on.
+//
+// connected_pairs() maintains Σ_c (|c| choose 2) incrementally as an exact
+// 64-bit integer; saturated connectivity is then a single O(1) division
+// instead of an O(V) component scan. For |V| ≤ ~90M the count is below 2^53,
+// so converting to double is exact and matches the legacy per-component
+// double summation bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/check.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+
+class RollbackUnionFind {
+ public:
+  explicit RollbackUnionFind(NodeId n) { reset(n); }
+
+  /// Resets to n singleton components and clears the undo log.
+  void reset(NodeId n);
+
+  [[nodiscard]] NodeId size() const noexcept {
+    return static_cast<NodeId>(parent_.size());
+  }
+
+  /// Root of v's component. No path compression, so const; O(log n).
+  [[nodiscard]] NodeId find(NodeId v) const noexcept {
+    BSR_DCHECK(v < parent_.size());
+    while (parent_[v] != v) v = parent_[v];
+    return v;
+  }
+
+  /// Merges the components of u and v; returns true if they were distinct.
+  bool unite(NodeId u, NodeId v) noexcept {
+    NodeId ru = find(u);
+    NodeId rv = find(v);
+    if (ru == rv) return false;
+    if (size_[ru] < size_[rv]) std::swap(ru, rv);  // same rule as UnionFind
+    parent_[rv] = ru;
+    connected_pairs_ +=
+        static_cast<std::uint64_t>(size_[ru]) * static_cast<std::uint64_t>(size_[rv]);
+    size_[ru] += size_[rv];
+    --num_components_;
+    log_.push_back({rv, ru});
+    return true;
+  }
+
+  [[nodiscard]] bool connected(NodeId u, NodeId v) const noexcept {
+    return find(u) == find(v);
+  }
+
+  [[nodiscard]] std::uint32_t component_size(NodeId v) const noexcept {
+    return size_[find(v)];
+  }
+
+  /// Size of the component rooted at r; precondition: r is a root.
+  [[nodiscard]] std::uint32_t root_size(NodeId r) const noexcept {
+    BSR_DCHECK(r < parent_.size() && parent_[r] == r);
+    return size_[r];
+  }
+
+  [[nodiscard]] NodeId num_components() const noexcept { return num_components_; }
+
+  /// Σ over components of (size choose 2) — pairs connected right now.
+  [[nodiscard]] std::uint64_t connected_pairs() const noexcept {
+    return connected_pairs_;
+  }
+
+  /// Size of the largest component (0 iff empty). O(V).
+  [[nodiscard]] std::uint32_t largest_component_size() const noexcept;
+
+  // --- rollback ------------------------------------------------------------
+
+  /// Opaque undo-log position; capture before speculative unions.
+  using Checkpoint = std::size_t;
+
+  [[nodiscard]] Checkpoint checkpoint() const noexcept { return log_.size(); }
+
+  /// Undoes every union applied after `mark`, most recent first. O(undone).
+  void rollback(Checkpoint mark) noexcept {
+    BSR_DCHECK(mark <= log_.size());
+    while (log_.size() > mark) {
+      const UndoEntry e = log_.back();
+      log_.pop_back();
+      parent_[e.child] = e.child;
+      size_[e.parent] -= size_[e.child];
+      connected_pairs_ -= static_cast<std::uint64_t>(size_[e.parent]) *
+                          static_cast<std::uint64_t>(size_[e.child]);
+      ++num_components_;
+    }
+  }
+
+ private:
+  struct UndoEntry {
+    NodeId child;   // root that was attached ...
+    NodeId parent;  // ... under this root
+  };
+
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::vector<UndoEntry> log_;
+  NodeId num_components_ = 0;
+  std::uint64_t connected_pairs_ = 0;
+};
+
+}  // namespace bsr::graph

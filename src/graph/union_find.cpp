@@ -13,24 +13,4 @@ void UnionFind::reset(NodeId n) {
   num_components_ = n;
 }
 
-NodeId UnionFind::find(NodeId v) noexcept {
-  BSR_DCHECK(v < parent_.size());
-  while (parent_[v] != v) {
-    parent_[v] = parent_[parent_[v]];  // path halving
-    v = parent_[v];
-  }
-  return v;
-}
-
-bool UnionFind::unite(NodeId u, NodeId v) noexcept {
-  NodeId ru = find(u);
-  NodeId rv = find(v);
-  if (ru == rv) return false;
-  if (size_[ru] < size_[rv]) std::swap(ru, rv);
-  parent_[rv] = ru;
-  size_[ru] += size_[rv];
-  --num_components_;
-  return true;
-}
-
 }  // namespace bsr::graph

@@ -2,10 +2,18 @@
 //
 // Used heavily: saturated E2E connectivity, MaxSG's incremental dominated-
 // subgraph maintenance, and connected-component extraction. Tracks component
-// sizes so "size of the merged component" queries are O(alpha).
+// sizes so "size of the merged component" queries are O(alpha). find/unite
+// are defined inline — greedy sweeps call them per edge, and the call
+// overhead is measurable at that frequency.
+//
+// The merge rule (smaller root attaches under larger; ties attach the second
+// root under the first) is shared with RollbackUnionFind, so both produce
+// identical roots and sizes for the same unite sequence. Path halving only
+// shortcuts paths — it never changes which vertex is a root or any size.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/check.hpp"
@@ -23,16 +31,38 @@ class UnionFind {
   [[nodiscard]] NodeId size() const noexcept { return static_cast<NodeId>(parent_.size()); }
 
   /// Root of v's component (with path halving, so non-const).
-  [[nodiscard]] NodeId find(NodeId v) noexcept;
+  [[nodiscard]] NodeId find(NodeId v) noexcept {
+    BSR_DCHECK(v < parent_.size());
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
 
   /// Merges the components of u and v; returns true if they were distinct.
-  bool unite(NodeId u, NodeId v) noexcept;
+  bool unite(NodeId u, NodeId v) noexcept {
+    NodeId ru = find(u);
+    NodeId rv = find(v);
+    if (ru == rv) return false;
+    if (size_[ru] < size_[rv]) std::swap(ru, rv);
+    parent_[rv] = ru;
+    size_[ru] += size_[rv];
+    --num_components_;
+    return true;
+  }
 
   [[nodiscard]] bool connected(NodeId u, NodeId v) noexcept { return find(u) == find(v); }
 
   /// Number of vertices in v's component.
   [[nodiscard]] std::uint32_t component_size(NodeId v) noexcept {
     return size_[find(v)];
+  }
+
+  /// Size of the component rooted at r; precondition: r is a root.
+  [[nodiscard]] std::uint32_t root_size(NodeId r) const noexcept {
+    BSR_DCHECK(r < parent_.size() && parent_[r] == r);
+    return size_[r];
   }
 
   [[nodiscard]] NodeId num_components() const noexcept { return num_components_; }

@@ -1,0 +1,35 @@
+#include "graph/workspace.hpp"
+
+#include <algorithm>
+
+namespace bsr::graph::engine {
+
+void Workspace::ensure(NodeId n) {
+  if (n <= capacity()) return;
+  // New entries get stamp 0, which never equals a live epoch (epochs start
+  // at 1), so grown slots read as unvisited/unmarked.
+  dist_.resize(n, kUnreachable);
+  parent_.resize(n, kUnreachable);
+  stamp_.resize(n, 0);
+  mark_stamp_.resize(n, 0);
+  queue_.reserve(n);
+}
+
+void Workspace::begin(NodeId n) {
+  ensure(n);
+  if (++epoch_ == 0) {  // wrap: re-zero once per ~4B traversals
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  queue_.clear();
+}
+
+void Workspace::begin_marks(NodeId n) {
+  ensure(n);
+  if (++mark_epoch_ == 0) {
+    std::fill(mark_stamp_.begin(), mark_stamp_.end(), 0u);
+    mark_epoch_ = 1;
+  }
+}
+
+}  // namespace bsr::graph::engine

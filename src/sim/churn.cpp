@@ -52,11 +52,17 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
   FaultPlane faults(g);
   std::priority_queue<Heal, std::vector<Heal>, std::greater<Heal>> heals;
 
+  // One persistent evaluator for the whole simulation: `current` and
+  // `faults` are held by reference and re-read on rebuild(), so per-event
+  // connectivity costs a union-find reset + broker-star sweep with zero
+  // allocations (the legacy path constructed a fresh UnionFind per event).
+  bsr::broker::DominatedEvaluator evaluator(g, current, &faults);
+
   double now = 0.0;
   double next_departure = rng.exponential(config.departure_rate);
   double next_repair = config.repair_interval;
   double next_outage = link_churn ? rng.exponential(link.outage_rate) : kNever;
-  double connectivity = bsr::broker::saturated_connectivity(g, current, faults);
+  double connectivity = evaluator.connectivity();
   result.min_connectivity = connectivity;
   double weighted_sum = 0.0;
 
@@ -65,7 +71,8 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
     now = t;
   };
   const auto record = [&](ChurnEvent::Kind kind) {
-    connectivity = bsr::broker::saturated_connectivity(g, current, faults);
+    evaluator.rebuild();
+    connectivity = evaluator.connectivity();
     result.events.push_back({now, kind, current.size(), connectivity,
                              faults.num_failed_edges()});
     result.min_connectivity = std::min(result.min_connectivity, connectivity);

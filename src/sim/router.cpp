@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/check.hpp"
+#include "graph/engine.hpp"
 #include "graph/sampling.hpp"
 
 namespace bsr::sim {
@@ -25,15 +26,39 @@ Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brok
 
 Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers,
                const bsr::graph::FaultPlane* faults)
-    : graph_(&g), brokers_(&brokers) {
-  parent_.resize(g.num_vertices());
-  queue_.reserve(g.num_vertices());
+    : graph_(&g), brokers_(&brokers), ws_(g.num_vertices()) {
   set_fault_plane(faults);
 }
 
 void Router::set_fault_plane(const bsr::graph::FaultPlane* faults) {
   BSR_DCHECK(faults == nullptr || &faults->graph() == graph_);
   faults_ = faults;
+}
+
+template <class Filter>
+Route Router::route_scan(NodeId src, NodeId dst, Filter admit) {
+  Route route;
+  ws_.begin(graph_->num_vertices());
+  ws_.discover(src, 0, src);
+  for (std::size_t head = 0; head < ws_.frontier_size(); ++head) {
+    const NodeId u = ws_.frontier_at(head);
+    const std::uint32_t du = ws_.dist_unchecked(u);
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (ws_.visited(v) || !admit(u, i, v)) continue;
+      ws_.discover(v, du + 1, u);
+      if (v == dst) {
+        route.path.push_back(dst);
+        for (NodeId w = dst; w != src; w = ws_.parent(w)) {
+          route.path.push_back(ws_.parent(w));
+        }
+        std::reverse(route.path.begin(), route.path.end());
+        return route;
+      }
+    }
+  }
+  return route;  // unreachable
 }
 
 Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
@@ -46,32 +71,21 @@ Route Router::route_impl(NodeId src, NodeId dst, bool dominated) {
     route.path = {src};
     return route;
   }
-  std::fill(parent_.begin(), parent_.end(), kUnreachable);
-  queue_.clear();
-  parent_[src] = src;
-  queue_.push_back(src);
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const NodeId u = queue_[head];
-    const auto nbrs = graph_->neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      if (parent_[v] != kUnreachable) continue;
-      if (dominated && !brokers_->dominates_edge(u, v)) continue;
-      if (faults_ != nullptr &&
-          (!faults_->vertex_ok(v) || !faults_->edge_up_at(u, i))) {
-        continue;
-      }
-      parent_[v] = u;
-      if (v == dst) {
-        route.path.push_back(dst);
-        for (NodeId w = dst; w != src; w = parent_[w]) route.path.push_back(parent_[w]);
-        std::reverse(route.path.begin(), route.path.end());
-        return route;
-      }
-      queue_.push_back(v);
+  // Static four-way dispatch: the filter inlines into the scan loop, so the
+  // plain free-route case pays nothing for broker/fault support.
+  namespace engine = bsr::graph::engine;
+  const engine::DominatedEdgeFilter dom{&brokers_->mask()};
+  if (dominated) {
+    if (faults_ != nullptr) {
+      return route_scan(src, dst,
+                        engine::BothFilters{dom, engine::FaultAwareFilter{faults_}});
     }
+    return route_scan(src, dst, dom);
   }
-  return route;  // unreachable
+  if (faults_ != nullptr) {
+    return route_scan(src, dst, engine::FaultAwareFilter{faults_});
+  }
+  return route_scan(src, dst, engine::AllEdges{});
 }
 
 Route Router::route_healed(NodeId src, NodeId dst, std::uint32_t max_heals,

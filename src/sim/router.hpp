@@ -21,10 +21,10 @@
 #include <vector>
 
 #include "broker/broker_set.hpp"
-#include "graph/bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
+#include "graph/workspace.hpp"
 
 namespace bsr::sim {
 
@@ -95,14 +95,17 @@ class Router {
 
  private:
   Route route_impl(bsr::graph::NodeId src, bsr::graph::NodeId dst, bool dominated);
+  /// Early-exit BFS with a static-dispatch edge filter; defined in router.cpp
+  /// (all four instantiations live there).
+  template <class Filter>
+  Route route_scan(bsr::graph::NodeId src, bsr::graph::NodeId dst, Filter admit);
   Route route_healed(bsr::graph::NodeId src, bsr::graph::NodeId dst,
                      std::uint32_t max_heals, std::uint32_t& healed_links);
 
   const bsr::graph::CsrGraph* graph_;
   const bsr::broker::BrokerSet* brokers_;
   const bsr::graph::FaultPlane* faults_ = nullptr;
-  std::vector<bsr::graph::NodeId> parent_;
-  std::vector<bsr::graph::NodeId> queue_;
+  bsr::graph::engine::Workspace ws_;          // epoch-stamped; no O(V) clears
   std::vector<std::uint32_t> state_parent_;  // (vertex, heals) product BFS
   std::vector<std::uint32_t> state_queue_;
 };

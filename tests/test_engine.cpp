@@ -1,0 +1,211 @@
+#include "graph/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/check.hpp"
+#include "graph/components.hpp"
+#include "graph/distance_histogram.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
+#include "graph/rollback_union_find.hpp"
+#include "test_util.hpp"
+
+namespace bsr::graph {
+namespace {
+
+using bsr::test::make_connected_random;
+using bsr::test::make_path;
+using bsr::test::make_random;
+using bsr::test::naive_bfs;
+
+std::vector<bool> random_mask(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> mask(n, false);
+  for (NodeId v = 0; v < n; ++v) mask[v] = rng.bernoulli(p);
+  return mask;
+}
+
+/// Dense distances out of a workspace, kUnreachable where unvisited.
+std::vector<std::uint32_t> dense_dist(const engine::Workspace& ws, NodeId n) {
+  std::vector<std::uint32_t> out(n);
+  for (NodeId v = 0; v < n; ++v) out[v] = ws.dist(v);
+  return out;
+}
+
+TEST(Engine, UnfilteredBfsMatchesNaive) {
+  engine::Workspace ws;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const CsrGraph g = make_random(80, 0.04, seed);
+    for (NodeId s = 0; s < g.num_vertices(); s += 17) {
+      engine::bfs(g, s, ws, engine::AllEdges{});
+      EXPECT_EQ(dense_dist(ws, g.num_vertices()), naive_bfs(g, s));
+    }
+  }
+}
+
+TEST(Engine, FilteredKernelBitIdenticalToStdFunctionPath) {
+  // The static-dispatch kernel and the legacy std::function BfsRunner must
+  // produce identical dense distance arrays for the same admission rule.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const CsrGraph g = make_connected_random(120, 0.03, seed);
+    const std::vector<bool> mask = random_mask(g.num_vertices(), 0.3, seed + 100);
+    const std::function<bool(NodeId, NodeId)> legacy_filter =
+        [&mask](NodeId u, NodeId v) { return mask[u] || mask[v]; };
+
+    BfsRunner runner(g.num_vertices());
+    engine::Workspace ws;
+    for (NodeId s = 0; s < g.num_vertices(); s += 23) {
+      const auto legacy = runner.run_filtered(g, s, legacy_filter);
+      engine::bfs(g, s, ws, engine::DominatedEdgeFilter{&mask});
+      const auto fast = dense_dist(ws, g.num_vertices());
+      EXPECT_EQ(fast, std::vector<std::uint32_t>(legacy.begin(), legacy.end()));
+    }
+  }
+}
+
+TEST(Engine, FnFilterAdapterMatchesStructFilter) {
+  const CsrGraph g = make_connected_random(90, 0.04, 7);
+  const std::vector<bool> mask = random_mask(g.num_vertices(), 0.25, 8);
+  const std::function<bool(NodeId, NodeId)> fn = [&mask](NodeId u, NodeId v) {
+    return mask[u] || mask[v];
+  };
+  engine::Workspace ws_fn, ws_struct;
+  engine::bfs(g, 0, ws_fn, engine::FnFilter{&fn});
+  engine::bfs(g, 0, ws_struct, engine::DominatedEdgeFilter{&mask});
+  EXPECT_EQ(dense_dist(ws_fn, g.num_vertices()),
+            dense_dist(ws_struct, g.num_vertices()));
+}
+
+TEST(Engine, FaultAwareFilterMatchesMaterializedGraph) {
+  const CsrGraph g = make_connected_random(60, 0.06, 3);
+  FaultPlane plane(g);
+  Rng rng(42);
+  for (const Edge& e : g.edges()) {
+    if (rng.bernoulli(0.2)) plane.fail_edge(e.u, e.v);
+  }
+  plane.fail_vertex(5);
+  const CsrGraph survivors = plane.materialize();
+
+  engine::Workspace ws;
+  for (NodeId s = 0; s < g.num_vertices(); s += 11) {
+    if (!plane.vertex_ok(s)) continue;
+    engine::bfs(g, s, ws, engine::FaultAwareFilter{&plane});
+    EXPECT_EQ(dense_dist(ws, g.num_vertices()), naive_bfs(survivors, s));
+  }
+}
+
+TEST(Engine, BothFiltersIsConjunction) {
+  const CsrGraph g = make_path(6);
+  FaultPlane plane(g);
+  plane.fail_edge(3, 4);
+  std::vector<bool> mask(6, true);
+  mask[0] = false;  // edge 0-1 still dominated via vertex 1
+  engine::Workspace ws;
+  engine::bfs(g, 0, ws,
+              engine::BothFilters{engine::DominatedEdgeFilter{&mask},
+                                  engine::FaultAwareFilter{&plane}});
+  EXPECT_EQ(ws.dist(3), 3u);
+  EXPECT_EQ(ws.dist(4), kUnreachable);  // blocked by the fault, not the mask
+}
+
+TEST(Engine, BoundedBfsStopsAtDepth) {
+  const CsrGraph g = make_path(10);
+  engine::Workspace ws;
+  engine::bfs_bounded(g, 0, 3, ws, engine::AllEdges{});
+  EXPECT_EQ(ws.dist(3), 3u);
+  EXPECT_EQ(ws.dist(4), kUnreachable);
+}
+
+TEST(Engine, UniteEdgesMatchesConnectedComponents) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const CsrGraph g = make_random(70, 0.03, seed);
+    RollbackUnionFind uf(g.num_vertices());
+    engine::unite_edges(g, uf, engine::AllEdges{});
+    const Components comps = connected_components(g);
+    EXPECT_EQ(uf.num_components(), comps.count);
+    for (NodeId u = 0; u < g.num_vertices(); ++u) {
+      for (NodeId v = u + 1; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(uf.connected(u, v), comps.label[u] == comps.label[v]);
+      }
+    }
+  }
+}
+
+TEST(Engine, TemplatedCdfBitIdenticalToLegacyFilterPath) {
+  const CsrGraph g = make_connected_random(150, 0.03, 11);
+  const std::vector<bool> mask = random_mask(g.num_vertices(), 0.35, 12);
+  const EdgeFilter legacy = [&mask](NodeId u, NodeId v) { return mask[u] || mask[v]; };
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.num_vertices(); v += 3) sources.push_back(v);
+
+  const DistanceCdf via_fn = distance_cdf_from_sources(g, sources, legacy);
+  const DistanceCdf via_struct =
+      distance_cdf_from_sources_with(g, sources, engine::DominatedEdgeFilter{&mask});
+  ASSERT_EQ(via_fn.cdf.size(), via_struct.cdf.size());
+  for (std::size_t l = 0; l < via_fn.cdf.size(); ++l) {
+    EXPECT_EQ(via_fn.cdf[l], via_struct.cdf[l]);  // bit-identical, not approx
+  }
+  EXPECT_EQ(via_fn.reachable, via_struct.reachable);
+}
+
+TEST(EngineWorkspace, ReusableAcrossTraversalsAndGraphSizes) {
+  engine::Workspace ws;
+  const CsrGraph small = make_path(4);
+  engine::bfs(small, 0, ws, engine::AllEdges{});
+  EXPECT_EQ(ws.dist(3), 3u);
+  // Larger graph: the workspace must grow, and stale small-graph state must
+  // not leak into the new traversal.
+  const CsrGraph big = make_path(12);
+  engine::bfs(big, 11, ws, engine::AllEdges{});
+  EXPECT_EQ(ws.dist(0), 11u);
+  EXPECT_EQ(ws.visit_order().size(), 12u);
+  // Back to the small graph; distances are fresh again.
+  engine::bfs(small, 3, ws, engine::AllEdges{});
+  EXPECT_EQ(ws.dist(0), 3u);
+}
+
+TEST(EngineWorkspace, MarkDomainIsIndependentOfTraversals) {
+  engine::Workspace ws;
+  ws.begin_marks(5);
+  EXPECT_TRUE(ws.mark(2));
+  EXPECT_FALSE(ws.mark(2));  // second mark in the same round
+  const CsrGraph g = make_path(5);
+  engine::bfs(g, 0, ws, engine::AllEdges{});  // traversal must not clear marks
+  EXPECT_TRUE(ws.marked(2));
+  EXPECT_FALSE(ws.marked(3));
+  ws.begin_marks(5);
+  EXPECT_FALSE(ws.marked(2));  // new round forgets
+  EXPECT_TRUE(ws.mark(2));
+}
+
+TEST(EngineWorkspace, ParentChainReconstructsShortestPath) {
+  const CsrGraph g = make_connected_random(40, 0.05, 21);
+  const auto path = bfs_shortest_path(g, 0, 39);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 39u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(path.size(), dist[39] + 1);
+}
+
+#if BSR_DCHECK_ENABLED
+// Debug / BSR_ENABLE_DCHECKS builds abort on out-of-range accessor use; in
+// release builds the checks compile away and these tests vanish with them.
+TEST(EngineDeathTest, BfsRunnerRejectsOversizedGraph) {
+  // A BfsRunner sized for a small graph used to scribble past its dense
+  // arrays when run on a larger one; the export is now guarded.
+  const CsrGraph big = make_path(16);
+  BfsRunner small_runner(4);
+  EXPECT_DEATH((void)small_runner.run(big, 0), "BSR_DCHECK");
+}
+#endif
+
+}  // namespace
+}  // namespace bsr::graph
