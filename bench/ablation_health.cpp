@@ -1,0 +1,208 @@
+// Ablation: the health control plane — detection latency, false positives,
+// and the price of believing stale views.
+//
+// Every other ablation hands the router and repair loop an oracle: failures
+// are visible the instant they happen. This one interposes the probe-based
+// detector of sim/health and asks the operator's questions: how long does a
+// dead broker stay *believed-routable* (the misrouting exposure window), how
+// often does the detector condemn a broker that was merely unreachable
+// (false quarantine), and how much l-hop connectivity does the believed
+// plane preserve relative to the oracle? The sweep varies the probe interval
+// (powers of two, so probe grids nest) and the quarantine threshold; the
+// ground-truth fault timeline is identical at every sweep point, which makes
+// the exposure numbers directly comparable and the interval sweep provably
+// monotone. Emits BENCH_health.json (override with BENCH_HEALTH_JSON).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "broker/maxsg.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/sampling.hpp"
+#include "sim/churn.hpp"
+#include "sim/health.hpp"
+#include "sim/router.hpp"
+
+namespace {
+
+struct SweepPoint {
+  double probe_interval = 0.0;
+  std::uint32_t quarantine_after = 0;
+  bsr::sim::HealthChurnResult churn;
+  bsr::sim::HealthShares shares;
+  double lhop_believed = 0.0;
+  double lhop_oracle = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  auto ctx = bsr::bench::make_context("Ablation: broker health control plane");
+  const auto& g = ctx.topo.graph;
+
+  const std::uint32_t k = ctx.env.scaled(1000, 10);
+  const auto brokers = bsr::broker::maxsg(g, k).brokers;
+  std::cout << "broker set: " << brokers.size() << " members\n";
+
+  // Correlated link damage: one failure group per IXP.
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (bsr::graph::NodeId v = ctx.topo.num_ases; v < ctx.topo.num_vertices(); ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+
+  bsr::sim::HealthChurnConfig churn_cfg;
+  churn_cfg.departure_rate = 0.4;
+  churn_cfg.mean_return_time = 15.0;
+  churn_cfg.horizon = 120.0;
+  bsr::sim::LinkChurnConfig link_cfg;
+  link_cfg.outage_rate = 0.1;
+  link_cfg.mean_downtime = 8.0;
+  bsr::sim::RepairPolicy repair;
+  repair.budget = ctx.env.scaled(20, 2);
+
+  // Static stale-view snapshot shared by every sweep point: the same broker
+  // vertices go dark at t = 0, the detector gets a fixed settle window, and
+  // the router then routes by the (stale) view while truth sits in the
+  // fault plane.
+  const bsr::graph::NodeId vantage =
+      bsr::sim::HealthMonitor::choose_vantage(g, brokers);
+  std::vector<bsr::graph::NodeId> dark;
+  {
+    bsr::graph::Rng pick_rng(ctx.env.seed + 51);
+    const auto num_dark =
+        static_cast<bsr::graph::NodeId>(std::max<std::size_t>(brokers.size() / 5, 1));
+    const auto picks = bsr::graph::sample_distinct(
+        pick_rng, static_cast<bsr::graph::NodeId>(brokers.size()), num_dark);
+    // Keep the vantage up: with the probe origin itself dark every probe
+    // fails and the snapshot degenerates to a total blackout.
+    for (const auto i : picks) {
+      if (brokers.members()[i] != vantage) dark.push_back(brokers.members()[i]);
+    }
+  }
+  constexpr double kSettle = 40.0;
+  const std::size_t num_pairs = std::max<std::size_t>(ctx.env.bfs_sources, 200);
+  constexpr std::uint32_t kHops = 2;
+
+  std::vector<SweepPoint> sweep;
+  bsr::io::Table table({"interval", "threshold", "rounds", "quarantines",
+                        "det. latency", "FP rate", "dead-routable", "shunned-up",
+                        "believed conn", "oracle conn", "misrouted", "shunned",
+                        "lhop blv/orc"});
+  for (const std::uint32_t quarantine_after : {3u, 5u}) {
+    for (const double interval : {4.0, 2.0, 1.0, 0.5}) {
+      SweepPoint pt;
+      pt.probe_interval = interval;
+      pt.quarantine_after = quarantine_after;
+
+      bsr::sim::HealthConfig health;
+      health.probe_interval = interval;
+      health.suspect_after = 1;
+      health.quarantine_after = quarantine_after;
+      health.propagation_delay = 0.5;
+
+      // Same seed every point: the ground-truth timeline is drawn from a
+      // forked stream before any health knob is consulted, so all sweep
+      // points replay identical damage.
+      bsr::graph::Rng rng(ctx.env.seed + 50);
+      pt.churn = bsr::sim::simulate_churn_with_health(
+          g, brokers, churn_cfg, link_cfg, groups, health, repair, rng);
+
+      // Static snapshot: detection after a fixed settle window.
+      bsr::graph::FaultPlane plane(g);
+      for (const auto v : dark) plane.fail_vertex(v);
+      bsr::sim::HealthMonitor monitor(g, brokers, plane, health, vantage,
+                                      ctx.env.seed + 52);
+      monitor.advance(kSettle);
+      const bsr::sim::HealthView& view = monitor.view_at(kSettle);
+
+      bsr::sim::Router router(g, brokers, &plane);
+      router.set_health_view(&view);
+      bsr::graph::Rng pair_rng(ctx.env.seed + 53);  // same pairs at every point
+      pt.shares = bsr::sim::sample_health_shares(router, pair_rng, num_pairs);
+
+      std::vector<bool> oracle_usable = brokers.mask();
+      for (const auto v : dark) oracle_usable[v] = false;
+      bsr::graph::Rng lhop_rng_a(ctx.env.seed + 54);
+      bsr::graph::Rng lhop_rng_b(ctx.env.seed + 54);  // same sources
+      pt.lhop_believed = bsr::sim::lhop_connectivity(g, view.routable, &plane, kHops,
+                                                     lhop_rng_a, ctx.env.bfs_sources);
+      pt.lhop_oracle = bsr::sim::lhop_connectivity(g, oracle_usable, &plane, kHops,
+                                                   lhop_rng_b, ctx.env.bfs_sources);
+
+      table.row()
+          .cell(bsr::io::format_double(interval, 1))
+          .cell(static_cast<std::uint64_t>(quarantine_after))
+          .cell(pt.churn.probe_rounds)
+          .cell(pt.churn.quarantines)
+          .cell(bsr::io::format_double(pt.churn.mean_detection_latency(), 2))
+          .percent(pt.churn.false_positive_rate())
+          .cell(bsr::io::format_double(pt.churn.dead_routable_time, 1))
+          .cell(bsr::io::format_double(pt.churn.shunned_up_time, 1))
+          .percent(pt.churn.mean_believed_connectivity)
+          .percent(pt.churn.mean_oracle_connectivity)
+          .percent(pt.shares.fraction(pt.shares.misrouted))
+          .percent(pt.shares.fraction(pt.shares.shunned))
+          .cell(bsr::io::format_percent(pt.lhop_believed) + "/" +
+                bsr::io::format_percent(pt.lhop_oracle));
+      sweep.push_back(std::move(pt));
+    }
+  }
+  table.print(std::cout);
+
+  // Faster probing must shrink the misrouting exposure window: within each
+  // threshold, dead-routable broker-time is non-increasing as the probe
+  // interval halves (the probe grids nest, so detection can only get earlier
+  // on the identical fault timeline).
+  bool exposure_monotone = true;
+  for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+    if (sweep[i].quarantine_after != sweep[i + 1].quarantine_after) continue;
+    if (sweep[i + 1].churn.dead_routable_time >
+        sweep[i].churn.dead_routable_time + 1e-9) {
+      exposure_monotone = false;
+    }
+  }
+  std::cout << "misrouting exposure shrinks monotonically with probe interval: "
+            << (exposure_monotone ? "yes" : "NO") << "\n";
+  std::cout << "(takeaway: the detector trades probe traffic for exposure — "
+               "halving the probe interval shrinks the dead-but-believed-"
+               "routable window, while a higher quarantine threshold trades "
+               "false quarantines for slower detection; the believed plane "
+               "tracks the oracle's l-hop connectivity once views settle)\n";
+
+  // --- JSON artifact -------------------------------------------------------
+  const char* json_path_env = std::getenv("BENCH_HEALTH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_health.json";
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"health\",\n  \"scale\": " << ctx.env.scale
+       << ",\n  \"seed\": " << ctx.env.seed << ",\n  \"brokers\": " << brokers.size()
+       << ",\n  \"horizon\": " << churn_cfg.horizon
+       << ",\n  \"exposure_monotone\": " << (exposure_monotone ? "true" : "false")
+       << ",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& pt = sweep[i];
+    json << "    {\"probe_interval\": " << pt.probe_interval
+         << ", \"quarantine_after\": " << pt.quarantine_after
+         << ", \"probe_rounds\": " << pt.churn.probe_rounds
+         << ", \"quarantines\": " << pt.churn.quarantines
+         << ", \"false_positive_rate\": " << pt.churn.false_positive_rate()
+         << ", \"detection_latency_mean\": " << pt.churn.mean_detection_latency()
+         << ", \"detected_episodes\": " << pt.churn.detection_latencies.size()
+         << ", \"dead_routable_time\": " << pt.churn.dead_routable_time
+         << ", \"shunned_up_time\": " << pt.churn.shunned_up_time
+         << ", \"mean_believed_connectivity\": " << pt.churn.mean_believed_connectivity
+         << ", \"mean_oracle_connectivity\": " << pt.churn.mean_oracle_connectivity
+         << ", \"replacements_added\": " << pt.churn.replacements_added
+         << ", \"misrouted_share\": " << pt.shares.fraction(pt.shares.misrouted)
+         << ", \"shunned_share\": " << pt.shares.fraction(pt.shares.shunned)
+         << ", \"lhop_believed\": " << pt.lhop_believed
+         << ", \"lhop_oracle\": " << pt.lhop_oracle << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return exposure_monotone ? 0 : 1;
+}

@@ -10,10 +10,15 @@
 //   brokerctl export-dot <in.topo> <out.dot> [k]   sampled DOT (brokers marked)
 //   brokerctl stats <in.topo>                 dataset summary (Table-2 style)
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
+//   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
+//
+// Exit codes: 0 success, 1 runtime failure (bad file, bad argument value),
+// 2 usage error (unknown subcommand, missing operands).
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,6 +36,7 @@
 #include "io/dot_export.hpp"
 #include "io/env.hpp"
 #include "io/table.hpp"
+#include "sim/churn.hpp"
 #include "sim/router.hpp"
 #include "topology/caida_import.hpp"
 #include "topology/serialization.hpp"
@@ -50,8 +56,45 @@ int usage() {
          "  brokerctl eval <in.topo> <algo> <k>\n"
          "  brokerctl export-dot <in.topo> <out.dot> [k]\n"
          "  brokerctl stats <in.topo>\n"
-         "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n";
+         "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
+         "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n";
   return 2;
+}
+
+/// Parses a positive integer operand; throws with the operand's name and the
+/// offending text (stoul alone would accept "12abc" and wrap "-5").
+std::uint32_t parse_u32(const std::string& what, const std::string& text) {
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || value <= 0 ||
+      value > static_cast<long long>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::runtime_error(what + " must be a positive integer, got '" + text +
+                             "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Parses a floating-point operand in (lo, hi]; same diagnostics contract.
+double parse_positive_double(const std::string& what, const std::string& text,
+                             double hi) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || !(value > 0.0) || value > hi) {
+    throw std::runtime_error(what + " must be a number in (0, " +
+                             bsr::io::format_double(hi, 1) + "], got '" + text +
+                             "'");
+  }
+  return value;
 }
 
 BrokerSet run_algorithm(const InternetTopology& topo, const std::string& algo,
@@ -75,13 +118,15 @@ BrokerSet run_algorithm(const InternetTopology& topo, const std::string& algo,
     }
     return bsr::broker::weighted_greedy_mcb(g, k, weight).brokers;
   }
-  throw std::runtime_error("unknown algorithm: " + algo);
+  throw std::runtime_error("unknown algorithm '" + algo +
+                           "' (valid: maxsg mcbg greedy db prb weighted)");
 }
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto env = bsr::io::experiment_env();
-  const double scale = argc > 3 ? std::stod(argv[3]) : std::min(env.scale, 0.05);
+  const double scale = argc > 3 ? parse_positive_double("scale", argv[3], 10.0)
+                                : std::min(env.scale, 0.05);
   auto config = bsr::topology::InternetConfig{}.scaled(scale);
   config.seed = env.seed;
   const auto topo = bsr::topology::make_internet(config);
@@ -106,7 +151,7 @@ int cmd_select(int argc, char** argv, bool full_eval) {
   if (argc < 5) return usage();
   const auto env = bsr::io::experiment_env();
   const auto topo = bsr::topology::load_topology_file(argv[2]);
-  const auto k = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  const auto k = parse_u32("k", argv[4]);
   const BrokerSet brokers = run_algorithm(topo, argv[3], k, env.seed);
 
   bsr::io::Table table({"metric", "value"});
@@ -147,9 +192,7 @@ int cmd_export_dot(int argc, char** argv) {
   const auto topo = bsr::topology::load_topology_file(argv[2]);
   BrokerSet brokers(topo.num_vertices());
   if (argc > 4) {
-    brokers = bsr::broker::maxsg(topo.graph,
-                                 static_cast<std::uint32_t>(std::stoul(argv[4])))
-                  .brokers;
+    brokers = bsr::broker::maxsg(topo.graph, parse_u32("k", argv[4])).brokers;
   }
   std::ofstream out(argv[3], std::ios::trunc);
   if (!out) {
@@ -173,22 +216,9 @@ int cmd_faults(int argc, char** argv) {
   const auto env = bsr::io::experiment_env();
   const auto topo = bsr::topology::load_topology_file(argv[2]);
   const auto& g = topo.graph;
-  const auto k = static_cast<std::uint32_t>(std::stoul(argv[4]));
-  double max_frac = 0.5;
-  if (argc > 5) {
-    try {
-      max_frac = std::stod(argv[5]);
-    } catch (const std::exception&) {
-      std::cerr << "brokerctl faults: max-failed-ixp-frac must be a number, got '"
-                << argv[5] << "'\n";
-      return 1;
-    }
-    if (max_frac < 0.0 || max_frac > 1.0) {
-      std::cerr << "brokerctl faults: max-failed-ixp-frac must be in [0, 1], got "
-                << max_frac << '\n';
-      return 1;
-    }
-  }
+  const auto k = parse_u32("k", argv[4]);
+  const double max_frac =
+      argc > 5 ? parse_positive_double("max-failed-ixp-frac", argv[5], 1.0) : 0.5;
   const BrokerSet brokers = run_algorithm(topo, argv[3], k, env.seed);
 
   if (topo.num_ixps == 0) {
@@ -248,6 +278,69 @@ int cmd_faults(int argc, char** argv) {
   return 0;
 }
 
+// Health-plane simulation: broker outages and link flaps detected through
+// probes, with stale views, hysteresis quarantine, and budgeted repair —
+// the operator's view of how long dead capacity stays believed-routable.
+int cmd_health(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto k = parse_u32("k", argv[4]);
+  const double probe_interval =
+      argc > 5 ? parse_positive_double("probe-interval", argv[5], 100.0) : 1.0;
+  const BrokerSet brokers = run_algorithm(topo, argv[3], k, env.seed);
+
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (bsr::graph::NodeId v = topo.num_ases; v < topo.num_vertices(); ++v) {
+    groups.push_back(bsr::graph::incident_group(topo.graph, v));
+  }
+  bsr::sim::HealthChurnConfig churn;
+  bsr::sim::LinkChurnConfig link;
+  link.outage_rate = groups.empty() ? 0.0 : 0.05;
+  bsr::sim::HealthConfig health;
+  health.probe_interval = probe_interval;
+  bsr::sim::RepairPolicy repair;
+  repair.budget = std::max<std::uint32_t>(k / 20, 2);
+
+  bsr::graph::Rng rng(env.seed + 60);
+  const auto result = bsr::sim::simulate_churn_with_health(
+      topo.graph, brokers, churn, link, groups, health, repair, rng);
+
+  std::cout << "broker set: " << brokers.size() << " members; probe interval "
+            << bsr::io::format_double(probe_interval, 2) << "; horizon "
+            << bsr::io::format_double(churn.horizon, 0) << "\n";
+  bsr::io::Table table({"metric", "value"});
+  table.row().cell("departures / returns").cell(
+      std::to_string(result.departures) + " / " + std::to_string(result.returns));
+  table.row().cell("link outages / heals").cell(
+      std::to_string(result.link_outages) + " / " +
+      std::to_string(result.link_heals));
+  table.row().cell("probe rounds").cell(result.probe_rounds);
+  table.row().cell("views published").cell(result.views_published);
+  table.row().cell("quarantines").cell(result.quarantines);
+  table.row().cell("false-positive rate").percent(result.false_positive_rate());
+  table.row()
+      .cell("mean detection latency")
+      .cell(result.mean_detection_latency(), 2);
+  table.row().cell("dead-routable broker-time").cell(result.dead_routable_time, 1);
+  table.row().cell("shunned-up broker-time").cell(result.shunned_up_time, 1);
+  table.row()
+      .cell("mean believed connectivity")
+      .percent(result.mean_believed_connectivity);
+  table.row()
+      .cell("mean oracle connectivity")
+      .percent(result.mean_oracle_connectivity);
+  table.row()
+      .cell("repair attempts (failed)")
+      .cell(std::to_string(result.repair_attempts) + " (" +
+            std::to_string(result.failed_repair_attempts) + ")");
+  table.row()
+      .cell("replacements recruited")
+      .cell(static_cast<std::uint64_t>(result.replacements_added));
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto env = bsr::io::experiment_env();
@@ -278,6 +371,8 @@ int main(int argc, char** argv) {
     if (cmd == "export-dot") return cmd_export_dot(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "faults") return cmd_faults(argc, argv);
+    if (cmd == "health") return cmd_health(argc, argv);
+    std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "brokerctl: " << error.what() << '\n';

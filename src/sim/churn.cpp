@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
 
 #include "broker/dominated.hpp"
 #include "broker/resilience.hpp"
@@ -122,6 +123,253 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
   }
 
   result.mean_connectivity = weighted_sum / config.horizon;
+  return result;
+}
+
+// --- health-aware churn -----------------------------------------------------
+
+double HealthChurnResult::mean_detection_latency() const noexcept {
+  if (detection_latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double latency : detection_latencies) sum += latency;
+  return sum / static_cast<double>(detection_latencies.size());
+}
+
+double HealthChurnResult::false_positive_rate() const noexcept {
+  return quarantines == 0 ? 0.0
+                          : static_cast<double>(false_quarantines) /
+                                static_cast<double>(quarantines);
+}
+
+namespace {
+
+/// Pre-drawn ground-truth event: the physical world's timeline, fixed
+/// before the detector runs so health-config sweeps replay identical damage.
+struct GroundTruthEvent {
+  double time = 0.0;
+  enum class Kind : std::uint8_t { kDeparture, kReturn, kOutage, kLinkHeal } kind =
+      Kind::kDeparture;
+  bsr::graph::NodeId vertex = 0;  // kDeparture / kReturn
+  std::size_t group = 0;          // kOutage / kLinkHeal
+};
+
+}  // namespace
+
+HealthChurnResult simulate_churn_with_health(
+    const bsr::graph::CsrGraph& g, const BrokerSet& initial,
+    const HealthChurnConfig& config, const LinkChurnConfig& link,
+    std::span<const FailureGroup> groups, const HealthConfig& health,
+    const RepairPolicy& repair, Rng& rng) {
+  if (config.horizon <= 0.0 || config.departure_rate < 0.0 ||
+      config.mean_return_time < 0.0) {
+    throw std::invalid_argument(
+        "simulate_churn_with_health: horizon must be positive, rates non-negative");
+  }
+  if (initial.empty()) {
+    throw std::invalid_argument(
+        "simulate_churn_with_health: need a non-empty initial broker set");
+  }
+  const bool link_churn = link.outage_rate > 0.0;
+  if (link_churn && (groups.empty() || link.mean_downtime <= 0.0)) {
+    throw std::invalid_argument(
+        "simulate_churn_with_health: link churn needs failure groups and "
+        "positive downtime");
+  }
+
+  // Fixed draw order: one forked stream for the whole ground-truth timeline,
+  // then one uint64 for probe jitter. Nothing later touches `rng`, so the
+  // physical world is a pure function of (seed, rates) — independent of
+  // every health/repair knob.
+  Rng fault_rng = rng.fork();
+  const std::uint64_t jitter_seed = rng();
+
+  std::vector<GroundTruthEvent> timeline;
+  if (config.departure_rate > 0.0) {
+    double t = fault_rng.exponential(config.departure_rate);
+    while (t < config.horizon) {
+      const NodeId victim = initial.members()[fault_rng.uniform(initial.size())];
+      timeline.push_back({t, GroundTruthEvent::Kind::kDeparture, victim, 0});
+      if (config.mean_return_time > 0.0) {
+        const double back = t + fault_rng.exponential(1.0 / config.mean_return_time);
+        if (back < config.horizon) {
+          timeline.push_back({back, GroundTruthEvent::Kind::kReturn, victim, 0});
+        }
+      }
+      t += fault_rng.exponential(config.departure_rate);
+    }
+  }
+  if (link_churn) {
+    graph::FlapConfig flaps;
+    flaps.outage_rate = link.outage_rate;
+    flaps.mean_downtime = link.mean_downtime;
+    flaps.horizon = config.horizon;
+    for (const graph::FlapEvent& event :
+         graph::make_flap_schedule(groups.size(), flaps, fault_rng)) {
+      if (event.time >= config.horizon) continue;
+      timeline.push_back({event.time,
+                          event.kind == graph::FlapEvent::Kind::kFail
+                              ? GroundTruthEvent::Kind::kOutage
+                              : GroundTruthEvent::Kind::kLinkHeal,
+                          0, event.group});
+    }
+  }
+  std::sort(timeline.begin(), timeline.end(),
+            [](const GroundTruthEvent& a, const GroundTruthEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return std::tie(a.vertex, a.group) < std::tie(b.vertex, b.group);
+            });
+
+  const NodeId n = g.num_vertices();
+  HealthChurnResult result;
+  BrokerSet current = initial;
+  FaultPlane plane(g);
+  HealthMonitor monitor(g, current, plane, health,
+                        HealthMonitor::choose_vantage(g, initial), jitter_seed);
+  RepairScheduler scheduler(repair);
+
+  // `believed` mirrors the in-force (delay-lagged) view's routable members;
+  // both evaluators read the damaged graph, so the believed number is the
+  // connectivity traffic actually gets when routed by belief.
+  BrokerSet believed = current;
+  bsr::broker::DominatedEvaluator oracle_eval(g, current, &plane);
+  bsr::broker::DominatedEvaluator believed_eval(g, believed, &plane);
+
+  std::size_t active_view = 0;       // index into monitor.views()
+  std::size_t seen_transitions = 0;  // transitions already post-processed
+  std::vector<double> down_since(n, kNever);
+  std::vector<bool> credited(n, false);  // this outage episode already timed
+
+  double now = 0.0;
+  double oracle_conn = oracle_eval.connectivity();
+  double believed_conn = believed_eval.connectivity();
+  double oracle_weighted = 0.0, believed_weighted = 0.0;
+
+  const auto segment_costs = [&](double dt) {
+    // Per-broker belief-vs-truth mismatch, integrated over the segment.
+    const HealthView& view = monitor.views()[active_view];
+    for (const NodeId m : current.members()) {
+      const bool down = !plane.vertex_ok(m);
+      const bool routable = view.routable_broker(m);
+      if (down && routable) result.dead_routable_time += dt;
+      if (!down && !routable) result.shunned_up_time += dt;
+    }
+  };
+  const auto advance_to = [&](double t) {
+    const double dt = t - now;
+    oracle_weighted += oracle_conn * dt;
+    believed_weighted += believed_conn * dt;
+    segment_costs(dt);
+    now = t;
+  };
+  const auto rebuild_believed = [&]() {
+    const HealthView& view = monitor.views()[active_view];
+    std::vector<NodeId> routable;
+    routable.reserve(current.size());
+    for (const NodeId m : current.members()) {
+      if (view.routable_broker(m)) routable.push_back(m);
+    }
+    believed = BrokerSet(n, routable);
+    believed_eval.rebuild();
+    believed_conn = believed_eval.connectivity();
+  };
+
+  std::size_t next_fault = 0;
+  while (true) {
+    const double fault_time =
+        next_fault < timeline.size() ? timeline[next_fault].time : kNever;
+    const double monitor_time = monitor.next_event_time();
+    const double view_time =
+        active_view + 1 < monitor.views().size()
+            ? monitor.views()[active_view + 1].published_at + health.propagation_delay
+            : kNever;
+    const double repair_time = scheduler.next_due();
+    const double t = std::min(std::min(fault_time, monitor_time),
+                              std::min(view_time, repair_time));
+    if (t > config.horizon) {
+      advance_to(config.horizon);
+      break;
+    }
+    advance_to(t);
+
+    // Fixed priority at equal times: the world changes, then the detector
+    // observes, then stale views land, then the operator repairs.
+    if (fault_time <= t) {
+      const GroundTruthEvent& event = timeline[next_fault++];
+      switch (event.kind) {
+        case GroundTruthEvent::Kind::kDeparture:
+          if (plane.fail_vertex(event.vertex)) {
+            down_since[event.vertex] = t;
+            credited[event.vertex] = false;
+          }
+          ++result.departures;
+          break;
+        case GroundTruthEvent::Kind::kReturn:
+          if (plane.heal_vertex(event.vertex)) {
+            down_since[event.vertex] = kNever;
+            credited[event.vertex] = false;
+          }
+          ++result.returns;
+          break;
+        case GroundTruthEvent::Kind::kOutage:
+          plane.fail_group(groups[event.group]);
+          ++result.link_outages;
+          break;
+        case GroundTruthEvent::Kind::kLinkHeal:
+          plane.heal_group(groups[event.group]);
+          ++result.link_heals;
+          break;
+      }
+      oracle_eval.rebuild();
+      oracle_conn = oracle_eval.connectivity();
+      believed_eval.rebuild();  // physical edges changed under the same belief
+      believed_conn = believed_eval.connectivity();
+    } else if (monitor_time <= t) {
+      monitor.advance(t);
+      const auto transitions = monitor.transitions();
+      for (; seen_transitions < transitions.size(); ++seen_transitions) {
+        const HealthTransition& tr = transitions[seen_transitions];
+        if (tr.to != HealthState::kQuarantined) continue;
+        scheduler.request(t);
+        if (down_since[tr.broker] != kNever && !credited[tr.broker]) {
+          result.detection_latencies.push_back(t - down_since[tr.broker]);
+          credited[tr.broker] = true;
+        }
+      }
+    } else if (view_time <= t) {
+      ++active_view;
+      rebuild_believed();
+    } else {
+      // Repair recruits on the damaged graph, from the brokers the operator
+      // *believes* are alive — not from oracle truth.
+      const BrokerSet repaired =
+          bsr::broker::repair_brokers(g, believed, repair.budget, plane);
+      std::uint32_t recruited = 0;
+      for (const NodeId m : repaired.members()) {
+        if (current.contains(m)) continue;
+        current.add(m);
+        monitor.add_broker(m, t);
+        ++recruited;
+      }
+      scheduler.report(t, recruited);
+      result.replacements_added += recruited;
+      if (recruited > 0) {
+        oracle_eval.rebuild();
+        oracle_conn = oracle_eval.connectivity();
+      }
+    }
+  }
+
+  result.probe_rounds = monitor.probe_rounds();
+  result.views_published = monitor.views().size();
+  result.quarantines = monitor.quarantines();
+  result.false_quarantines = monitor.false_quarantines();
+  result.repair_attempts = scheduler.attempts();
+  result.failed_repair_attempts = scheduler.failed_attempts();
+  const auto transitions = monitor.transitions();
+  result.transitions.assign(transitions.begin(), transitions.end());
+  result.mean_oracle_connectivity = oracle_weighted / config.horizon;
+  result.mean_believed_connectivity = believed_weighted / config.horizon;
   return result;
 }
 

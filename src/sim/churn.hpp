@@ -9,6 +9,13 @@
 // departures: correlated failure groups (e.g. whole IXPs) go down as a
 // Poisson process and heal after an exponential downtime, while periodic
 // repairs re-select replacements on the damaged graph.
+//
+// The health-churn extension replaces the oracle with the probe-based
+// control plane of sim/health: broker-vertex outages and link flaps change
+// ground truth, a HealthMonitor detects them through lossy probes, stale
+// HealthViews propagate on a delay, and a budgeted RepairScheduler recruits
+// replacements with retry/backoff — all interleaved in one deterministic
+// event loop that integrates the cost of believing stale state.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
+#include "sim/health.hpp"
 
 namespace bsr::sim {
 
@@ -82,5 +90,70 @@ struct ChurnResult {
     const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& initial,
     const ChurnConfig& config, const LinkChurnConfig& link,
     std::span<const bsr::graph::FailureGroup> groups, bsr::graph::Rng& rng);
+
+// --- health-aware churn -----------------------------------------------------
+
+/// Broker-vertex outage process for the health-churn loop. Departures fail
+/// the broker's *vertex* on the fault plane (the AS goes dark — probes to it
+/// die), and optionally return after an exponential downtime, producing the
+/// flapping behavior the detector's hysteresis must suppress.
+struct HealthChurnConfig {
+  /// Mean broker-vertex outages per time unit (over the initial members).
+  double departure_rate = 0.5;
+  /// Mean exponential downtime before a departed broker returns;
+  /// 0 makes departures permanent.
+  double mean_return_time = 20.0;
+  double horizon = 100.0;
+};
+
+struct HealthChurnResult {
+  // Ground-truth events.
+  std::size_t departures = 0;
+  std::size_t returns = 0;
+  std::size_t link_outages = 0;
+  std::size_t link_heals = 0;
+  // Detection plane.
+  std::uint64_t probe_rounds = 0;
+  std::uint64_t views_published = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t false_quarantines = 0;  // quarantined while the vertex was up
+  /// Seconds from a broker's vertex going dark to its quarantine, one entry
+  /// per detected outage episode (undetected episodes — healed before the
+  /// detector condemned them — contribute nothing).
+  std::vector<double> detection_latencies;
+  std::vector<HealthTransition> transitions;
+  // Repair plane.
+  std::uint64_t repair_attempts = 0;
+  std::uint64_t failed_repair_attempts = 0;
+  std::size_t replacements_added = 0;
+  // Time-weighted service metrics (normalized by the horizon where noted).
+  double mean_oracle_connectivity = 0.0;    // full membership, ground truth
+  double mean_believed_connectivity = 0.0;  // in-force view's routable set
+  /// Integral of (vertex down AND in-force view says routable) broker-time:
+  /// the misrouting exposure window. Shrinks as probing gets faster.
+  double dead_routable_time = 0.0;
+  /// Integral of (vertex up AND member AND view says unroutable)
+  /// broker-time: healthy capacity shunned. Grows as probing gets jumpier.
+  double shunned_up_time = 0.0;
+
+  [[nodiscard]] double mean_detection_latency() const noexcept;
+  [[nodiscard]] double false_positive_rate() const noexcept;
+};
+
+/// One event loop interleaving broker-vertex outages/returns, correlated
+/// link flaps, probe rounds with backoff re-probes, delayed view
+/// propagation, and budgeted repair with retry — deterministic in `rng`.
+///
+/// The ground-truth fault timeline is drawn *up front* from forked streams,
+/// so it is identical across health configurations with the same seed —
+/// which is what makes detection-latency and misrouting-exposure sweeps
+/// across probe intervals directly comparable. Repairs recruit on the
+/// damaged graph from the brokers the *in-force view* believes routable.
+/// `link.outage_rate > 0` requires non-empty `groups`.
+[[nodiscard]] HealthChurnResult simulate_churn_with_health(
+    const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& initial,
+    const HealthChurnConfig& config, const LinkChurnConfig& link,
+    std::span<const bsr::graph::FailureGroup> groups, const HealthConfig& health,
+    const RepairPolicy& repair, bsr::graph::Rng& rng);
 
 }  // namespace bsr::sim

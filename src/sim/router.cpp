@@ -21,6 +21,16 @@ const char* to_string(RouteTier tier) noexcept {
   return "?";
 }
 
+const char* to_string(HealthOutcome outcome) noexcept {
+  switch (outcome) {
+    case HealthOutcome::kOk: return "ok";
+    case HealthOutcome::kMisrouted: return "misrouted";
+    case HealthOutcome::kShunned: return "shunned";
+    case HealthOutcome::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
 Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers)
     : Router(g, brokers, nullptr) {}
 
@@ -33,6 +43,11 @@ Router::Router(const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brok
 void Router::set_fault_plane(const bsr::graph::FaultPlane* faults) {
   BSR_DCHECK(faults == nullptr || &faults->graph() == graph_);
   faults_ = faults;
+}
+
+void Router::set_health_view(const HealthView* view) {
+  BSR_DCHECK(view == nullptr || view->routable.size() == graph_->num_vertices());
+  health_view_ = view;
 }
 
 template <class Filter>
@@ -176,6 +191,41 @@ TieredRoute Router::route_with_degradation(NodeId src, NodeId dst,
   return out;
 }
 
+HealthRouteResult Router::route_with_health(NodeId src, NodeId dst) {
+  BSR_DCHECK(health_view_ != nullptr);
+  BSR_DCHECK(src < graph_->num_vertices() && dst < graph_->num_vertices());
+  HealthRouteResult out;
+  if (src == dst) {
+    out.route.path = {src};
+    out.outcome = HealthOutcome::kOk;
+    return out;
+  }
+  // Belief: dominated BFS restricted to edges with a *routable* broker
+  // endpoint, with no fault consultation — the control plane knows only what
+  // the view says. The routable bitmap is already broker-AND-healthy, so the
+  // plain dominated filter over it is exactly the believed plane.
+  out.route = route_scan(
+      src, dst, bsr::graph::engine::DominatedEdgeFilter{&health_view_->routable});
+  if (out.route.reachable()) {
+    if (faults_ != nullptr) {
+      for (std::size_t i = 0; i + 1 < out.route.path.size(); ++i) {
+        const NodeId u = out.route.path[i];
+        const NodeId v = out.route.path[i + 1];
+        if (!faults_->vertex_ok(u) || !faults_->vertex_ok(v) ||
+            !faults_->edge_ok(u, v)) {
+          ++out.dead_hops;
+        }
+      }
+    }
+    out.outcome = out.dead_hops > 0 ? HealthOutcome::kMisrouted : HealthOutcome::kOk;
+    return out;
+  }
+  // Belief found nothing: ask the oracle whether real capacity was shunned.
+  out.outcome = route_dominated(src, dst).reachable() ? HealthOutcome::kShunned
+                                                      : HealthOutcome::kUnreachable;
+  return out;
+}
+
 std::optional<std::uint32_t> Router::stretch(NodeId src, NodeId dst) {
   const Route free_route = route_free(src, dst);
   if (!free_route.reachable()) return std::nullopt;
@@ -198,6 +248,25 @@ TierShares sample_tier_shares(Router& router, bsr::graph::Rng& rng,
       case RouteTier::kDegraded: ++shares.degraded; break;
       case RouteTier::kFreeFallback: ++shares.free_fallback; break;
       case RouteTier::kUnreachable: ++shares.unreachable; break;
+    }
+  }
+  return shares;
+}
+
+HealthShares sample_health_shares(Router& router, bsr::graph::Rng& rng,
+                                  std::size_t num_pairs) {
+  HealthShares shares;
+  const auto pairs =
+      bsr::graph::sample_pairs(rng, router.graph().num_vertices(), num_pairs);
+  for (const auto& [src, dst] : pairs) {
+    const HealthRouteResult r = router.route_with_health(src, dst);
+    ++shares.pairs;
+    shares.dead_hops += r.dead_hops;
+    switch (r.outcome) {
+      case HealthOutcome::kOk: ++shares.ok; break;
+      case HealthOutcome::kMisrouted: ++shares.misrouted; break;
+      case HealthOutcome::kShunned: ++shares.shunned; break;
+      case HealthOutcome::kUnreachable: ++shares.unreachable; break;
     }
   }
   return shares;

@@ -25,6 +25,7 @@
 #include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
 #include "graph/workspace.hpp"
+#include "sim/health.hpp"
 
 namespace bsr::sim {
 
@@ -61,6 +62,27 @@ struct TieredRoute {
   std::uint32_t healed_links = 0;
 };
 
+/// What actually happened to a pair routed on a stale HealthView. The view
+/// is *belief*: the route is computed as if every routable broker and every
+/// link were up, then checked against the fault plane (ground truth).
+enum class HealthOutcome : std::uint8_t {
+  kOk,           // believed route exists and every hop is actually usable
+  kMisrouted,    // believed route crosses a dead broker/link — traffic blackholes
+  kShunned,      // view offers nothing, but the oracle still connects the pair
+                 // (healthy capacity falsely quarantined)
+  kUnreachable,  // neither belief nor oracle connects the pair
+};
+
+[[nodiscard]] const char* to_string(HealthOutcome outcome) noexcept;
+
+struct HealthRouteResult {
+  Route route;  // the believed route (empty when the view offers none)
+  HealthOutcome outcome = HealthOutcome::kUnreachable;
+  /// Hops of the believed route that cross a down link or endpoint
+  /// (> 0 only for kMisrouted).
+  std::uint32_t dead_hops = 0;
+};
+
 /// Reusable router bound to one graph + broker set (+ optional fault plane).
 class Router {
  public:
@@ -72,6 +94,12 @@ class Router {
          const bsr::graph::FaultPlane* faults);
 
   void set_fault_plane(const bsr::graph::FaultPlane* faults);
+
+  /// Binds a (possibly stale) health view for route_with_health(); nullptr
+  /// detaches. The view must cover this graph and outlive the router. The
+  /// oracle entry points (route_free/route_dominated/route_with_degradation)
+  /// are unaffected — they keep answering from ground truth.
+  void set_health_view(const HealthView* view);
 
   [[nodiscard]] const bsr::graph::CsrGraph& graph() const noexcept { return *graph_; }
 
@@ -87,6 +115,14 @@ class Router {
   [[nodiscard]] TieredRoute route_with_degradation(bsr::graph::NodeId src,
                                                    bsr::graph::NodeId dst,
                                                    const DegradationPolicy& policy);
+
+  /// Routes `src -> dst` believing the bound health view: the dominated BFS
+  /// only uses edges with a *routable* broker endpoint and assumes every
+  /// link is up (the view knows nothing about links). The result reports how
+  /// belief compared to ground truth — misrouted through dead capacity,
+  /// falsely shunned, or correct. Requires set_health_view().
+  [[nodiscard]] HealthRouteResult route_with_health(bsr::graph::NodeId src,
+                                                    bsr::graph::NodeId dst);
 
   /// Hop inflation of the brokered route vs the free route for one pair;
   /// nullopt when either plane is unreachable.
@@ -105,6 +141,7 @@ class Router {
   const bsr::graph::CsrGraph* graph_;
   const bsr::broker::BrokerSet* brokers_;
   const bsr::graph::FaultPlane* faults_ = nullptr;
+  const HealthView* health_view_ = nullptr;
   bsr::graph::engine::Workspace ws_;          // epoch-stamped; no O(V) clears
   std::vector<std::uint32_t> state_parent_;  // (vertex, heals) product BFS
   std::vector<std::uint32_t> state_queue_;
@@ -127,5 +164,25 @@ struct TierShares {
 [[nodiscard]] TierShares sample_tier_shares(Router& router, bsr::graph::Rng& rng,
                                             std::size_t num_pairs,
                                             const DegradationPolicy& policy);
+
+/// Outcome composition of stale-view routing over sampled (src != dst)
+/// pairs — misrouting and false-quarantine cost against the oracle.
+struct HealthShares {
+  std::size_t pairs = 0;
+  std::size_t ok = 0;
+  std::size_t misrouted = 0;
+  std::size_t shunned = 0;
+  std::size_t unreachable = 0;
+  std::uint64_t dead_hops = 0;  // total dead hops across misrouted pairs
+
+  [[nodiscard]] double fraction(std::size_t count) const noexcept {
+    return pairs == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(pairs);
+  }
+};
+
+/// Requires the router to have both a fault plane (ground truth) and a
+/// health view (belief) bound.
+[[nodiscard]] HealthShares sample_health_shares(Router& router, bsr::graph::Rng& rng,
+                                                std::size_t num_pairs);
 
 }  // namespace bsr::sim

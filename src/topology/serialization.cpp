@@ -1,6 +1,8 @@
 #include "topology/serialization.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -16,9 +18,32 @@ namespace {
 
 constexpr const char* kMagic = "brokerset-topology v1";
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("load_topology: line " + std::to_string(line) + ": " +
-                           what);
+/// Error with line number and a (truncated) snippet of the offending line,
+/// so a corrupt multi-megabyte file points straight at the bad record.
+[[noreturn]] void fail(std::size_t line_no, const std::string& what,
+                       const std::string& line_text = {}) {
+  std::string msg =
+      "load_topology: line " + std::to_string(line_no) + ": " + what;
+  if (!line_text.empty()) {
+    constexpr std::size_t kSnippet = 60;
+    msg += " [\"" + line_text.substr(0, kSnippet) +
+           (line_text.size() > kSnippet ? "...\"]" : "\"]");
+  }
+  throw std::runtime_error(msg);
+}
+
+/// True iff nothing but whitespace remains on the line.
+bool at_end(std::istringstream& ls) {
+  std::string extra;
+  return !(ls >> extra);
+}
+
+/// Range-checks a signed parse result into NodeId space. Parsing through
+/// long long (instead of straight into an unsigned) is what rejects
+/// negative inputs — istream happily wraps "-1" into 4294967295u.
+bool fits_node_id(long long value) {
+  return value >= 0 &&
+         value <= static_cast<long long>(std::numeric_limits<NodeId>::max());
 }
 
 }  // namespace
@@ -60,36 +85,53 @@ InternetTopology load_topology(std::istream& is) {
     return false;
   };
 
-  if (!next_line() || line != kMagic) fail(line_no, "missing magic header");
+  if (!next_line()) fail(line_no, "empty input: missing magic header");
+  if (line != kMagic) {
+    fail(line_no, std::string("bad magic header (expected \"") + kMagic + "\")",
+         line);
+  }
 
-  if (!next_line()) fail(line_no, "missing counts");
-  std::uint32_t num_ases = 0, num_ixps = 0;
+  if (!next_line()) fail(line_no, "truncated file: missing counts line");
+  long long num_ases = 0, num_ixps = 0;
   {
     std::istringstream ls(line);
     std::string tag;
     if (!(ls >> tag >> num_ases >> num_ixps) || tag != "counts") {
-      fail(line_no, "bad counts line");
+      fail(line_no, "bad counts line (expected \"counts <ases> <ixps>\")", line);
+    }
+    if (!at_end(ls)) fail(line_no, "trailing tokens after counts", line);
+    if (!fits_node_id(num_ases) || !fits_node_id(num_ixps) ||
+        !fits_node_id(num_ases + num_ixps)) {
+      fail(line_no, "counts negative or overflow vertex id space", line);
     }
   }
-  const NodeId n = num_ases + num_ixps;
+  const NodeId n = static_cast<NodeId>(num_ases + num_ixps);
 
   std::vector<NodeMeta> meta(n);
   std::vector<bool> seen_node(n, false);
   for (NodeId i = 0; i < n; ++i) {
-    if (!next_line()) fail(line_no, "unexpected EOF in node section");
+    if (!next_line()) {
+      fail(line_no, "truncated file: got " + std::to_string(i) +
+                        " node lines, counts promised " + std::to_string(n));
+    }
     std::istringstream ls(line);
     std::string tag;
-    NodeId id = 0;
-    int type = 0, tier = 0;
+    long long id = 0, type = 0, tier = 0;
     if (!(ls >> tag >> id >> type >> tier) || tag != "node") {
-      fail(line_no, "bad node line");
+      fail(line_no, "bad node line (expected \"node <id> <type> <tier>\"; " +
+                        std::to_string(n - i) + " node lines still owed)",
+           line);
     }
-    if (id >= n) fail(line_no, "node id out of range");
-    if (seen_node[id]) fail(line_no, "duplicate node id");
-    if (type < 0 || type > 3) fail(line_no, "bad node type");
-    if (tier < 0 || tier > 4) fail(line_no, "bad tier");
-    seen_node[id] = true;
-    meta[id] = NodeMeta{static_cast<NodeType>(type), static_cast<Tier>(tier)};
+    if (!at_end(ls)) fail(line_no, "trailing tokens after node", line);
+    if (!fits_node_id(id) || id >= n) fail(line_no, "node id out of range", line);
+    if (type < 0 || type > 3) fail(line_no, "bad node type", line);
+    if (tier < 0 || tier > 4) fail(line_no, "bad tier", line);
+    if (seen_node[static_cast<NodeId>(id)]) {
+      fail(line_no, "duplicate node id", line);
+    }
+    seen_node[static_cast<NodeId>(id)] = true;
+    meta[static_cast<NodeId>(id)] =
+        NodeMeta{static_cast<NodeType>(type), static_cast<Tier>(tier)};
   }
 
   bsr::graph::GraphBuilder builder(n);
@@ -98,15 +140,20 @@ InternetTopology load_topology(std::istream& is) {
   while (next_line()) {
     std::istringstream ls(line);
     std::string tag;
-    NodeId u = 0, v = 0;
-    int rel = 0;
-    if (!(ls >> tag >> u >> v >> rel) || tag != "edge") fail(line_no, "bad edge line");
-    if (u >= v || v >= n) fail(line_no, "edge ids invalid (need u < v < n)");
-    if (rel < 0 || rel > 2) fail(line_no, "bad relationship");
-    builder.add_edge(u, v);
-    edges.push_back(Edge{u, v});
+    long long u = 0, v = 0, rel = 0;
+    if (!(ls >> tag >> u >> v >> rel) || tag != "edge") {
+      fail(line_no, "bad edge line (expected \"edge <u> <v> <rel>\")", line);
+    }
+    if (!at_end(ls)) fail(line_no, "trailing tokens after edge", line);
+    if (!fits_node_id(u) || !fits_node_id(v) || u >= v || v >= n) {
+      fail(line_no, "edge ids invalid (need 0 <= u < v < n)", line);
+    }
+    if (rel < 0 || rel > 2) fail(line_no, "bad relationship", line);
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    edges.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
     rels.push_back(static_cast<EdgeRel>(rel));
   }
+  if (is.bad()) fail(line_no, "I/O error while reading edge section");
 
   InternetTopology topo;
   topo.graph = builder.build();

@@ -253,6 +253,85 @@ TEST(Degradation, TierSharesSumToSampledPairs) {
                    1.0);
 }
 
+TEST(Degradation, TierTracksInterleavedFailHealSequence) {
+  // One pair walked through the whole tier ladder and back: each fail
+  // pushes (0, 3) down a tier, each heal lifts it — the router re-reads the
+  // plane on every call, so tiers must track the interleaving exactly.
+  const CsrGraph g = make_path(4);
+  BrokerSet b(4);
+  b.add(1);
+  b.add(2);
+  FaultPlane plane(g);
+  Router router(g, b, &plane);
+  DegradationPolicy policy;
+  policy.heal_attempts = 1;
+  const auto tier = [&] {
+    return router.route_with_degradation(0, 3, policy).tier;
+  };
+
+  EXPECT_EQ(tier(), RouteTier::kDominated);
+  ASSERT_TRUE(plane.fail_edge(1, 2));
+  EXPECT_EQ(tier(), RouteTier::kDegraded);  // one heal bridges the cut
+  ASSERT_TRUE(plane.fail_edge(2, 3));
+  EXPECT_EQ(tier(), RouteTier::kUnreachable);  // two cuts beat the budget
+  ASSERT_TRUE(plane.heal_edge(1, 2));
+  EXPECT_EQ(tier(), RouteTier::kDegraded);  // heal arrives mid-degradation
+  ASSERT_TRUE(plane.heal_edge(2, 3));
+  EXPECT_EQ(tier(), RouteTier::kDominated);  // full recovery
+
+  // Vertex loss interleaved with link loss: failing broker 2 severs the
+  // dominated plane outright; healing it mid-sequence restores service even
+  // while an (undominated-tier) link fault persists elsewhere.
+  ASSERT_TRUE(plane.fail_vertex(2));
+  EXPECT_EQ(tier(), RouteTier::kUnreachable);
+  ASSERT_TRUE(plane.fail_edge(0, 1));
+  ASSERT_TRUE(plane.heal_vertex(2));
+  EXPECT_EQ(tier(), RouteTier::kDegraded);  // back up, healing the 0-1 cut
+  ASSERT_TRUE(plane.heal_edge(0, 1));
+  EXPECT_EQ(tier(), RouteTier::kDominated);
+  EXPECT_TRUE(plane.pristine());
+}
+
+TEST(Degradation, RandomFailHealStormMatchesMaterializedTruth) {
+  // Interleave random fails and heals; after every step the incremental
+  // router must agree tier-for-tier with a fresh router on the materialized
+  // damaged graph (no stale state can survive a heal).
+  const CsrGraph g = make_connected_random(30, 0.12, 47);
+  const BrokerSet b = bsr::broker::maxsg(g, 6).brokers;
+  FaultPlane plane(g);
+  Router router(g, b, &plane);
+  Rng rng(48);
+  DegradationPolicy no_heals;
+  no_heals.heal_attempts = 0;
+
+  std::vector<bsr::graph::Edge> down;
+  const auto edges = g.edges();
+  for (int step = 0; step < 60; ++step) {
+    if (down.empty() || rng.bernoulli(0.6)) {
+      const auto& e = edges[rng.uniform(edges.size())];
+      if (plane.fail_edge(e.u, e.v)) down.push_back(e);
+    } else {
+      const auto pick = rng.uniform(down.size());
+      plane.heal_edge(down[pick].u, down[pick].v);
+      down.erase(down.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    const CsrGraph damaged = plane.materialize();
+    Router brute(damaged, b);
+    for (NodeId src = 0; src < 10; ++src) {
+      const NodeId dst = 29 - src;
+      const auto tier = router.route_with_degradation(src, dst, no_heals).tier;
+      if (brute.route_dominated(src, dst).reachable()) {
+        EXPECT_EQ(tier, RouteTier::kDominated);
+      } else if (brute.route_free(src, dst).reachable()) {
+        EXPECT_EQ(tier, RouteTier::kFreeFallback);
+      } else {
+        EXPECT_EQ(tier, RouteTier::kUnreachable);
+      }
+    }
+  }
+}
+
 TEST(Degradation, RouteTierToStringIsStable) {
   EXPECT_STREQ(to_string(RouteTier::kDominated), "dominated");
   EXPECT_STREQ(to_string(RouteTier::kDegraded), "degraded");

@@ -3,11 +3,20 @@
 // Serialization, edge-list IO and EdgeRelations must survive arbitrary
 // generator outputs, not just the default configuration. Each TEST_P draws
 // a differently-shaped topology (size, tail, IXP ecosystem all varying with
-// the seed) and pushes it through every persistence path.
+// the seed) and pushes it through every persistence path. The loader fuzz
+// tests then attack the *parser*: truncations, mutated bytes and garbage
+// lines must produce std::runtime_error with line context — never a crash
+// or a silently-wrong topology. A final group round-trips FaultPlane flap
+// schedules (apply/undo back to pristine).
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
+#include "broker/broker_set.hpp"
+#include "broker/dominated.hpp"
+#include "graph/fault_plane.hpp"
 #include "io/edge_list_io.hpp"
 #include "topology/serialization.hpp"
 
@@ -77,6 +86,172 @@ TEST_P(FuzzRoundTripTest, GeneratorInvariantsHold) {
                 topo.relations.is_provider_of(edges[i].v, edges[i].u));
     }
   }
+}
+
+// --- loader fuzz -------------------------------------------------------------
+
+std::string serialized_fixture(std::uint64_t seed) {
+  const auto topo = topology::make_internet(fuzz_config(seed));
+  std::ostringstream oss;
+  topology::save_topology(oss, topo);
+  return oss.str();
+}
+
+/// The loader's contract under attack: either it accepts the input (benign
+/// mutation) or it throws std::runtime_error carrying line context. Nothing
+/// else — no other exception type, no crash, no silent partial load.
+void expect_loads_or_rejects_with_context(const std::string& text) {
+  std::istringstream iss(text);
+  try {
+    const auto topo = topology::load_topology(iss);
+    EXPECT_EQ(topo.num_vertices(), topo.meta.size());
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line "), std::string::npos)
+        << "loader error lacks line context: " << error.what();
+  }
+}
+
+TEST_P(FuzzRoundTripTest, LoaderSurvivesTruncation) {
+  const std::string text = serialized_fixture(GetParam() + 1100);
+  bsr::graph::Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Byte-level truncation: mid-line cuts must be rejected with context;
+    // a cut at an edge-line boundary is a legal (smaller) topology.
+    const auto cut = rng.uniform(text.size());
+    expect_loads_or_rejects_with_context(text.substr(0, cut));
+  }
+  // Cutting inside the node section always under-delivers on the counts
+  // promise: the error must say so.
+  const auto nodes_start = text.find("\nnode ");
+  ASSERT_NE(nodes_start, std::string::npos);
+  std::istringstream iss(text.substr(0, nodes_start + 1));
+  try {
+    (void)topology::load_topology(iss);
+    FAIL() << "loader accepted a file with zero of the promised node lines";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("counts promised"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_P(FuzzRoundTripTest, LoaderSurvivesByteMutations) {
+  const std::string text = serialized_fixture(GetParam() + 1200);
+  bsr::graph::Rng rng(GetParam() + 2);
+  const std::string alphabet = "0123456789abcdefXYZ -#\t";
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = text;
+    const auto pos = rng.uniform(mutated.size());
+    mutated[pos] = alphabet[rng.uniform(alphabet.size())];
+    expect_loads_or_rejects_with_context(mutated);
+  }
+}
+
+TEST_P(FuzzRoundTripTest, LoaderRejectsGarbageLines) {
+  const std::string text = serialized_fixture(GetParam() + 1250);
+  bsr::graph::Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Inject a non-comment garbage line at a random line boundary: every
+    // section demands a recognized tag, so this must always be rejected.
+    std::string mutated = text;
+    const auto pos = rng.uniform(mutated.size());
+    const auto insert_at = mutated.find('\n', pos);
+    if (insert_at == std::string::npos) continue;
+    mutated.insert(insert_at + 1, "lorem ipsum 42\n");
+    std::istringstream iss(mutated);
+    EXPECT_THROW((void)topology::load_topology(iss), std::runtime_error);
+  }
+}
+
+TEST(LoaderHardeningTest, RejectsSpecificCorruptions) {
+  const auto reject = [](const std::string& text, const std::string& needle) {
+    std::istringstream iss(text);
+    try {
+      (void)topology::load_topology(iss);
+      FAIL() << "accepted: " << text.substr(0, 60);
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "wanted \"" << needle << "\" in: " << error.what();
+    }
+  };
+  const std::string magic = "brokerset-topology v1\n";
+  reject("", "magic");
+  reject("not-the-magic\n", "magic");
+  reject(magic, "counts");
+  reject(magic + "counts 1 nope\n", "counts");
+  reject(magic + "counts 1 0 extra\n", "trailing");
+  reject(magic + "counts -1 2\n", "negative or overflow");
+  reject(magic + "counts 4294967295 4294967295\n", "negative or overflow");
+  reject(magic + "counts 2 0\nnode 0 0 0\n", "counts promised");
+  reject(magic + "counts 2 0\nnode 0 0 0\nnode -1 0 0\n", "out of range");
+  reject(magic + "counts 2 0\nnode 0 0 0\nnode 0 0 0\n", "duplicate node");
+  reject(magic + "counts 2 0\nnode 0 0 0\nnode 1 9 0\n", "node type");
+  reject(magic + "counts 2 0\nnode 0 0 0\nnode 1 0 0 junk\n", "trailing");
+  const std::string two_nodes = magic + "counts 2 0\nnode 0 0 0\nnode 1 0 0\n";
+  reject(two_nodes + "edge 1 0 0\n", "edge ids invalid");
+  reject(two_nodes + "edge 0 5 0\n", "edge ids invalid");
+  reject(two_nodes + "edge 0 1 7\n", "bad relationship");
+  reject(two_nodes + "edge 0 1 0 junk\n", "trailing");
+  reject(two_nodes + "edge 0 1 0\nedge 0 1 0\n", "duplicate edges");
+
+  // The happy path with comments and CR line endings still loads.
+  std::istringstream ok(magic + "# comment\r\ncounts 2 0\r\nnode 0 0 0\r\n"
+                                "node 1 0 0\r\nedge 0 1 0\r\n");
+  const auto topo = topology::load_topology(ok);
+  EXPECT_EQ(topo.num_vertices(), 2u);
+  EXPECT_EQ(topo.graph.num_edges(), 1u);
+}
+
+// --- fault-plane flap-schedule round-trips -----------------------------------
+
+TEST_P(FuzzRoundTripTest, FlapScheduleRoundTripsToPristine) {
+  const auto topo = topology::make_internet(fuzz_config(GetParam() + 1300));
+  const auto& g = topo.graph;
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < std::min<NodeId>(10, g.num_vertices()); ++v) {
+    members.push_back(v);
+  }
+  const broker::BrokerSet brokers(g.num_vertices(), members);
+  const double baseline = broker::saturated_connectivity(g, brokers);
+
+  std::vector<graph::FailureGroup> groups;
+  for (NodeId v = 0; v < std::min<NodeId>(12, g.num_vertices()); ++v) {
+    groups.push_back(graph::incident_group(g, v));
+  }
+  bsr::graph::Rng rng(GetParam() + 4);
+  graph::FlapConfig config;
+  config.outage_rate = 2.0;
+  config.mean_downtime = 4.0;
+  config.horizon = 50.0;
+  const auto schedule = graph::make_flap_schedule(groups.size(), config, rng);
+  ASSERT_FALSE(schedule.empty());
+
+  // Applying the full schedule (every kFail paired with a kHeal) returns
+  // the plane to pristine, bit-for-bit: refcounts, counters, connectivity.
+  graph::FaultPlane plane(g);
+  for (const auto& event : schedule) {
+    graph::apply_flap_event(plane, groups, event);
+  }
+  EXPECT_TRUE(plane.pristine());
+  EXPECT_EQ(plane.num_failed_edges(), 0u);
+  EXPECT_DOUBLE_EQ(broker::saturated_connectivity(g, brokers, plane), baseline);
+
+  // Any prefix, manually healed back: count outstanding fails per group and
+  // undo them — again pristine, again baseline connectivity.
+  const std::size_t prefix = schedule.size() / 2;
+  std::vector<int> outstanding(groups.size(), 0);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    graph::apply_flap_event(plane, groups, schedule[i]);
+    outstanding[schedule[i].group] +=
+        schedule[i].kind == graph::FlapEvent::Kind::kFail ? 1 : -1;
+  }
+  for (std::size_t group = 0; group < groups.size(); ++group) {
+    ASSERT_GE(outstanding[group], 0);
+    for (int undo = 0; undo < outstanding[group]; ++undo) {
+      plane.heal_group(groups[group]);
+    }
+  }
+  EXPECT_TRUE(plane.pristine());
+  EXPECT_DOUBLE_EQ(broker::saturated_connectivity(g, brokers, plane), baseline);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTripTest,
