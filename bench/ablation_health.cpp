@@ -11,14 +11,16 @@
 // (powers of two, so probe grids nest) and the quarantine threshold; the
 // ground-truth fault timeline is identical at every sweep point, which makes
 // the exposure numbers directly comparable and the interval sweep provably
-// monotone. Emits BENCH_health.json (override with BENCH_HEALTH_JSON).
+// monotone. Emits BENCH_health.json (override with BENCH_HEALTH_JSON) in the
+// unified bsr-bench/1 layout, with the sweep table as a raw extra section.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 #include "broker/maxsg.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/sampling.hpp"
@@ -42,6 +44,7 @@ struct SweepPoint {
 int main() {
   auto ctx = bsr::bench::make_context("Ablation: broker health control plane");
   const auto& g = ctx.topo.graph;
+  bsr::bench::Harness harness("ablation_health", ctx);
 
   const std::uint32_t k = ctx.env.scaled(1000, 10);
   const auto brokers = bsr::broker::maxsg(g, k).brokers;
@@ -103,34 +106,38 @@ int main() {
       health.quarantine_after = quarantine_after;
       health.propagation_delay = 0.5;
 
-      // Same seed every point: the ground-truth timeline is drawn from a
-      // forked stream before any health knob is consulted, so all sweep
-      // points replay identical damage.
-      bsr::graph::Rng rng(ctx.env.seed + 50);
-      pt.churn = bsr::sim::simulate_churn_with_health(
-          g, brokers, churn_cfg, link_cfg, groups, health, repair, rng);
+      harness.run("point.q" + std::to_string(quarantine_after) + ".i" +
+                      bsr::io::format_double(interval, 1),
+                  [&] {
+        // Same seed every point: the ground-truth timeline is drawn from a
+        // forked stream before any health knob is consulted, so all sweep
+        // points replay identical damage.
+        bsr::graph::Rng rng(ctx.env.seed + 50);
+        pt.churn = bsr::sim::simulate_churn_with_health(
+            g, brokers, churn_cfg, link_cfg, groups, health, repair, rng);
 
-      // Static snapshot: detection after a fixed settle window.
-      bsr::graph::FaultPlane plane(g);
-      for (const auto v : dark) plane.fail_vertex(v);
-      bsr::sim::HealthMonitor monitor(g, brokers, plane, health, vantage,
-                                      ctx.env.seed + 52);
-      monitor.advance(kSettle);
-      const bsr::sim::HealthView& view = monitor.view_at(kSettle);
+        // Static snapshot: detection after a fixed settle window.
+        bsr::graph::FaultPlane plane(g);
+        for (const auto v : dark) plane.fail_vertex(v);
+        bsr::sim::HealthMonitor monitor(g, brokers, plane, health, vantage,
+                                        ctx.env.seed + 52);
+        monitor.advance(kSettle);
+        const bsr::sim::HealthView& view = monitor.view_at(kSettle);
 
-      bsr::sim::Router router(g, brokers, &plane);
-      router.set_health_view(&view);
-      bsr::graph::Rng pair_rng(ctx.env.seed + 53);  // same pairs at every point
-      pt.shares = bsr::sim::sample_health_shares(router, pair_rng, num_pairs);
+        bsr::sim::Router router(g, brokers, &plane);
+        router.set_health_view(&view);
+        bsr::graph::Rng pair_rng(ctx.env.seed + 53);  // same pairs at every point
+        pt.shares = bsr::sim::sample_health_shares(router, pair_rng, num_pairs);
 
-      std::vector<bool> oracle_usable = brokers.mask();
-      for (const auto v : dark) oracle_usable[v] = false;
-      bsr::graph::Rng lhop_rng_a(ctx.env.seed + 54);
-      bsr::graph::Rng lhop_rng_b(ctx.env.seed + 54);  // same sources
-      pt.lhop_believed = bsr::sim::lhop_connectivity(g, view.routable, &plane, kHops,
-                                                     lhop_rng_a, ctx.env.bfs_sources);
-      pt.lhop_oracle = bsr::sim::lhop_connectivity(g, oracle_usable, &plane, kHops,
-                                                   lhop_rng_b, ctx.env.bfs_sources);
+        std::vector<bool> oracle_usable = brokers.mask();
+        for (const auto v : dark) oracle_usable[v] = false;
+        bsr::graph::Rng lhop_rng_a(ctx.env.seed + 54);
+        bsr::graph::Rng lhop_rng_b(ctx.env.seed + 54);  // same sources
+        pt.lhop_believed = bsr::sim::lhop_connectivity(
+            g, view.routable, &plane, kHops, lhop_rng_a, ctx.env.bfs_sources);
+        pt.lhop_oracle = bsr::sim::lhop_connectivity(
+            g, oracle_usable, &plane, kHops, lhop_rng_b, ctx.env.bfs_sources);
+      });
 
       table.row()
           .cell(bsr::io::format_double(interval, 1))
@@ -173,15 +180,11 @@ int main() {
                "tracks the oracle's l-hop connectivity once views settle)\n";
 
   // --- JSON artifact -------------------------------------------------------
-  const char* json_path_env = std::getenv("BENCH_HEALTH_JSON");
-  const std::string json_path =
-      json_path_env != nullptr ? json_path_env : "BENCH_health.json";
-  std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"health\",\n  \"scale\": " << ctx.env.scale
-       << ",\n  \"seed\": " << ctx.env.seed << ",\n  \"brokers\": " << brokers.size()
-       << ",\n  \"horizon\": " << churn_cfg.horizon
-       << ",\n  \"exposure_monotone\": " << (exposure_monotone ? "true" : "false")
-       << ",\n  \"sweep\": [\n";
+  harness.metric("brokers", static_cast<double>(brokers.size()));
+  harness.metric("horizon", churn_cfg.horizon);
+  harness.metric("exposure_monotone", exposure_monotone ? 1.0 : 0.0);
+  std::ostringstream json;
+  json << "[\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& pt = sweep[i];
     json << "    {\"probe_interval\": " << pt.probe_interval
@@ -202,7 +205,8 @@ int main() {
          << ", \"lhop_oracle\": " << pt.lhop_oracle << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
-  std::cout << "\nwrote " << json_path << "\n";
+  json << "  ]";
+  harness.raw_section("sweep", json.str());
+  harness.write_json_file("BENCH_health.json", "BENCH_HEALTH_JSON");
   return exposure_monotone ? 0 : 1;
 }

@@ -9,12 +9,15 @@
 // does dominated connectivity degrade, which service tier (dominated /
 // degraded / free-fallback / unreachable) serves each pair under a bounded
 // heal budget, and how much does greedy repair on the damaged graph buy
-// back?
+// back? Emits BENCH_link_failures.json (override with BENCH_LINK_FAILURES_JSON)
+// in the unified bsr-bench/1 layout.
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 #include "broker/dominated.hpp"
 #include "broker/maxsg.hpp"
 #include "broker/resilience.hpp"
@@ -25,6 +28,7 @@
 int main() {
   auto ctx = bsr::bench::make_context("Ablation: correlated link failures");
   const auto& g = ctx.topo.graph;
+  bsr::bench::Harness harness("ablation_link_failures", ctx);
   const bsr::graph::NodeId num_ixps = ctx.topo.num_ixps;
 
   const std::uint32_t k = ctx.env.scaled(1000, 10);
@@ -84,12 +88,22 @@ int main() {
     const auto target = static_cast<std::size_t>(frac * static_cast<double>(groups.size()));
     while (failed < target) plane.fail_group(groups[order[failed++]]);
 
-    const double damaged = bsr::broker::saturated_connectivity(g, brokers, plane);
-    const auto repaired_set = bsr::broker::repair_brokers(g, brokers, repair_budget, plane);
-    const double repaired = bsr::broker::saturated_connectivity(g, repaired_set, plane);
+    double damaged = 0.0, repaired = 0.0;
+    bsr::sim::TierShares shares;
+    auto& point = harness.run(
+        "point.f" + bsr::io::format_percent(frac, 0), [&] {
+          damaged = bsr::broker::saturated_connectivity(g, brokers, plane);
+          const auto repaired_set =
+              bsr::broker::repair_brokers(g, brokers, repair_budget, plane);
+          repaired = bsr::broker::saturated_connectivity(g, repaired_set, plane);
 
-    bsr::graph::Rng pair_rng(ctx.env.seed + 41);  // same pairs at every point
-    const auto shares = bsr::sim::sample_tier_shares(router, pair_rng, num_pairs, policy);
+          bsr::graph::Rng pair_rng(ctx.env.seed + 41);  // same pairs per point
+          shares = bsr::sim::sample_tier_shares(router, pair_rng, num_pairs, policy);
+        });
+    bsr::bench::Harness::metric(point, "damaged_connectivity", damaged);
+    bsr::bench::Harness::metric(point, "repaired_connectivity", repaired);
+    bsr::bench::Harness::metric(point, "unreachable_share",
+                                shares.fraction(shares.unreachable));
 
     table.row()
         .cell(std::to_string(failed) + " (" + bsr::io::format_percent(frac, 0) + "%)")
@@ -128,5 +142,11 @@ int main() {
                "pairs slide through the degraded tier to the unsupervised "
                "fallback long before becoming unreachable, and damage-aware "
                "greedy repair claws back part of the dominated coverage)\n";
+
+  harness.metric("failure_groups", static_cast<double>(groups.size()));
+  harness.metric("repair_budget", static_cast<double>(repair_budget));
+  harness.metric("fallback_rose_first", fallback_rose_first ? 1.0 : 0.0);
+  harness.metric("repair_always_gains", repair_always_gains ? 1.0 : 0.0);
+  harness.write_json_file("BENCH_link_failures.json", "BENCH_LINK_FAILURES_JSON");
   return 0;
 }

@@ -1,0 +1,42 @@
+// Builds the uninstrumented kernel twins declared in bare_kernels.hpp by
+// recompiling the library sources with the telemetry compiled out:
+//
+//   * BSR_OBS_FORCE_OFF makes obs/stats.hpp (and everything layered on it)
+//     expand every BSR_* macro to an empty statement in this TU only, exactly
+//     as a -DBSR_STATS=OFF build would.
+//   * The object-like renames below give the recompiled entry points (and the
+//     instrumented templates they instantiate) distinct symbol names.
+//     Without them the bare engine::bfs<FaultAwareFilter> instantiation would
+//     share a linkonce symbol with the instrumented one from perf_obs.cpp and
+//     the linker would quietly collapse both sides of the overhead comparison
+//     into whichever copy it picked.
+//
+// Everything else the kernels touch is either macro-free inline code
+// (identical tokens in both TUs, so shared instantiations are benign) or
+// out-of-line library code (connected_components, coverage) that both the
+// bare and instrumented paths call identically, so its cost cancels out of
+// the overhead delta.
+#define BSR_OBS_FORCE_OFF 1
+#define bfs bare_bfs
+#define unite_star bare_unite_star
+#define maxsg bare_maxsg
+#include "broker/maxsg.cpp"
+#undef bfs
+#undef unite_star
+#undef maxsg
+
+#include "bare_kernels.hpp"
+
+namespace bare {
+
+void bfs(const bsr::graph::CsrGraph& g, bsr::graph::NodeId source,
+         bsr::graph::engine::Workspace& ws,
+         bsr::graph::engine::FaultAwareFilter admit) {
+  bsr::graph::engine::bare_bfs(g, source, ws, admit);
+}
+
+bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g, std::uint32_t k) {
+  return bsr::broker::bare_maxsg(g, k);
+}
+
+}  // namespace bare

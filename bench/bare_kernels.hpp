@@ -1,0 +1,28 @@
+// Uninstrumented twins of the hottest kernels, for perf_obs's baseline.
+//
+// These are NOT hand-maintained copies: bare_kernels.cpp recompiles the
+// actual library sources (graph/engine.hpp's bfs, broker/maxsg.cpp) in a TU
+// with BSR_OBS_FORCE_OFF defined, so "bare" is the same token stream with
+// only the telemetry macros expanded to nothing. The entry points are
+// renamed by the preprocessor so their symbols can't be linker-folded into
+// the instrumented instantiations — the comparison stays two distinct
+// compilations of one source.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/maxsg.hpp"
+#include "graph/engine.hpp"
+
+namespace bare {
+
+/// engine::bfs<FaultAwareFilter> with the telemetry compiled out.
+void bfs(const bsr::graph::CsrGraph& g, bsr::graph::NodeId source,
+         bsr::graph::engine::Workspace& ws,
+         bsr::graph::engine::FaultAwareFilter admit);
+
+/// broker::maxsg with the telemetry compiled out.
+[[nodiscard]] bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g,
+                                             std::uint32_t k);
+
+}  // namespace bare

@@ -1,0 +1,28 @@
+// Instrumented twin of broker::maxsg for perf_obs's timed comparison.
+//
+// The overhead measurement wants both sides of the comparison compiled in
+// the same environment — same TU shape, same alignment pinning (see
+// bench/CMakeLists.txt) — so layout luck cancels out of the delta. The
+// instrumented *library* symbol lives in libbsr_broker, compiled without the
+// bench's alignment flags, so timing it against the pinned bare twin mixes
+// telemetry cost with code-placement noise. This TU recompiles the same
+// source with telemetry ON under the bench flags; perf_obs times this twin
+// against the bare one and keeps the library symbol for counter capture
+// (the two are token-identical, so the counters they bump are too).
+//
+// `unite_star` is deliberately NOT renamed here: with telemetry on this TU's
+// instantiation is token-identical to the library's, so sharing the linkonce
+// symbol is harmless.
+#define maxsg instr_maxsg
+#include "broker/maxsg.cpp"
+#undef maxsg
+
+#include "instr_kernels.hpp"
+
+namespace instr {
+
+bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g, std::uint32_t k) {
+  return bsr::broker::instr_maxsg(g, k);
+}
+
+}  // namespace instr

@@ -1,0 +1,16 @@
+// Instrumented twin of broker::maxsg, recompiled under the bench's alignment
+// flags so perf_obs can time it against the bare twin without code-placement
+// asymmetry. See instr_kernels.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "broker/maxsg.hpp"
+
+namespace instr {
+
+/// broker::maxsg, token-identical, compiled in a bench TU.
+[[nodiscard]] bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g,
+                                             std::uint32_t k);
+
+}  // namespace instr

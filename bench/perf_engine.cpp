@@ -11,16 +11,17 @@
 // are only meaningful because the outputs are exactly equal.
 //
 // Emits BENCH_engine.json (override the path with BENCH_ENGINE_JSON) for the
-// CI artifact.
+// CI artifact: the unified bsr-bench/1 layout from bench/harness.hpp plus the
+// legacy "filtered_bfs"/"dominated_bfs"/"maxsg" sections as raw extras.
 #include <algorithm>
 #include <cstdint>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness.hpp"
 #include "broker/baselines.hpp"
 #include "broker/broker_set.hpp"
 #include "broker/coverage.hpp"
@@ -124,7 +125,8 @@ struct BfsBench {
 /// Times `reps` sweeps over the same sources through both dispatch paths and
 /// cross-checks that every dense distance array is bit-identical.
 template <class StructFilter>
-BfsBench bench_filtered_bfs(const CsrGraph& g,
+BfsBench bench_filtered_bfs(bsr::bench::Harness& harness, const std::string& label,
+                            const CsrGraph& g,
                             const std::function<bool(NodeId, NodeId)>& fn_filter,
                             StructFilter struct_filter,
                             const std::vector<NodeId>& sources, int reps) {
@@ -154,23 +156,23 @@ BfsBench bench_filtered_bfs(const CsrGraph& g,
   }
 
   std::uint64_t sink = 0;  // defeats dead-code elimination
-  bsr::bench::Stopwatch legacy_watch;
-  for (int r = 0; r < reps; ++r) {
+  const auto& legacy_run = harness.run(label + ".legacy", reps, [&] {
     for (const NodeId s : sources) {
       const auto dense = runner.run_filtered(g, s, fn_filter);
       sink += dense[n - 1];
     }
-  }
-  out.legacy_seconds = legacy_watch.seconds();
+  });
+  out.legacy_seconds = legacy_run.wall_ms / 1e3;
 
-  bsr::bench::Stopwatch engine_watch;
-  for (int r = 0; r < reps; ++r) {
+  auto& engine_run = harness.run(label + ".engine", reps, [&] {
     for (const NodeId s : sources) {
       engine::bfs(g, s, ws, struct_filter);
       sink += ws.visit_order().size();
     }
-  }
-  out.engine_seconds = engine_watch.seconds();
+  });
+  out.engine_seconds = engine_run.wall_ms / 1e3;
+  bsr::bench::Harness::metric(engine_run, "speedup", out.speedup());
+  bsr::bench::Harness::metric(engine_run, "medges_per_sec", out.engine_meps());
 
   if (sink == 0xdeadbeef) std::cerr << "";  // keep `sink` observable
   return out;
@@ -189,7 +191,8 @@ void print_bfs(const char* label, const BfsBench& b, std::size_t num_sources) {
             << bsr::io::format_double(b.speedup(), 2) << "\n\n";
 }
 
-void json_bfs(std::ofstream& json, const BfsBench& b, std::size_t num_sources) {
+std::string json_bfs(const BfsBench& b, std::size_t num_sources) {
+  std::ostringstream json;
   json << "{\n"
        << "    \"sources\": " << num_sources << ",\n"
        << "    \"reps\": " << b.reps << ",\n"
@@ -200,6 +203,7 @@ void json_bfs(std::ofstream& json, const BfsBench& b, std::size_t num_sources) {
        << "    \"engine_medges_per_sec\": " << b.engine_meps() << ",\n"
        << "    \"speedup\": " << b.speedup() << "\n"
        << "  }";
+  return json.str();
 }
 
 }  // namespace
@@ -211,6 +215,7 @@ int main() {
   const NodeId n = g.num_vertices();
   namespace engine = bsr::graph::engine;
   std::cout << "threads: " << engine::num_threads() << " (BSR_THREADS)\n\n";
+  bsr::bench::Harness harness("perf_engine", ctx);
 
   // --- filtered BFS throughput --------------------------------------------
   bsr::graph::Rng rng(ctx.env.seed);
@@ -228,8 +233,9 @@ int main() {
       if (fault_rng.bernoulli(0.05)) plane.fail_edge(e.u, e.v);
     }
   }
-  const BfsBench fault_bfs = bench_filtered_bfs(
-      g, plane.filter(), engine::FaultAwareFilter{&plane}, sources, reps);
+  const BfsBench fault_bfs =
+      bench_filtered_bfs(harness, "bfs.fault_aware", g, plane.filter(),
+                         engine::FaultAwareFilter{&plane}, sources, reps);
   print_bfs("fault-aware BFS", fault_bfs, sources.size());
 
   // Dispatch-only comparison: same O(1) predicate body on both sides, so the
@@ -240,18 +246,21 @@ int main() {
   const std::function<bool(NodeId, NodeId)> dominated_fn =
       [&brokers](NodeId u, NodeId v) { return brokers.dominates_edge(u, v); };
   const BfsBench dom_bfs = bench_filtered_bfs(
-      g, dominated_fn, engine::DominatedEdgeFilter{&brokers.mask()}, sources, reps);
+      harness, "bfs.dominated", g, dominated_fn,
+      engine::DominatedEdgeFilter{&brokers.mask()}, sources, reps);
   print_bfs("dominated BFS (dispatch only)", dom_bfs, sources.size());
 
   // --- MaxSG end-to-end ----------------------------------------------------
   const auto k = static_cast<std::uint32_t>(std::max<NodeId>(32, n / 100));
-  bsr::bench::Stopwatch legacy_watch;
-  const auto legacy_result = legacy::maxsg(g, k);
-  const double legacy_maxsg_s = legacy_watch.seconds();
+  bsr::broker::MaxSgResult legacy_result;
+  const double legacy_maxsg_s =
+      harness.run("maxsg.legacy", [&] { legacy_result = legacy::maxsg(g, k); })
+          .wall_ms / 1e3;
 
-  bsr::bench::Stopwatch engine_watch;
-  const auto engine_result = bsr::broker::maxsg(g, k);
-  const double engine_maxsg_s = engine_watch.seconds();
+  bsr::broker::MaxSgResult engine_result;
+  const double engine_maxsg_s =
+      harness.run("maxsg.engine", [&] { engine_result = bsr::broker::maxsg(g, k); })
+          .wall_ms / 1e3;
 
   if (!std::ranges::equal(legacy_result.brokers.members(),
                           engine_result.brokers.members()) ||
@@ -271,31 +280,23 @@ int main() {
             << bsr::io::format_double(maxsg_speedup, 2) << "\n";
 
   // --- JSON artifact -------------------------------------------------------
-  const char* json_path_env = std::getenv("BENCH_ENGINE_JSON");
-  const std::string json_path =
-      json_path_env != nullptr ? json_path_env : "BENCH_engine.json";
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"scale\": " << ctx.env.scale << ",\n"
-       << "  \"seed\": " << ctx.env.seed << ",\n"
-       << "  \"threads\": " << engine::num_threads() << ",\n"
-       << "  \"vertices\": " << n << ",\n"
-       << "  \"edges\": " << g.num_edges() << ",\n"
-       << "  \"filtered_bfs\": ";
-  json_bfs(json, fault_bfs, sources.size());
-  json << ",\n"
-       << "  \"dominated_bfs\": ";
-  json_bfs(json, dom_bfs, sources.size());
-  json << ",\n"
-       << "  \"maxsg\": {\n"
-       << "    \"k\": " << k << ",\n"
-       << "    \"picked\": " << engine_result.brokers.size() << ",\n"
-       << "    \"final_component\": " << engine_result.final_component << ",\n"
-       << "    \"legacy_seconds\": " << legacy_maxsg_s << ",\n"
-       << "    \"engine_seconds\": " << engine_maxsg_s << ",\n"
-       << "    \"speedup\": " << maxsg_speedup << "\n"
-       << "  }\n"
-       << "}\n";
-  std::cout << "\nwrote " << json_path << "\n";
+  harness.metric("vertices", static_cast<double>(n));
+  harness.metric("edges", static_cast<double>(g.num_edges()));
+  harness.raw_section("filtered_bfs", json_bfs(fault_bfs, sources.size()));
+  harness.raw_section("dominated_bfs", json_bfs(dom_bfs, sources.size()));
+  {
+    std::ostringstream maxsg_json;
+    maxsg_json << "{\n"
+               << "    \"k\": " << k << ",\n"
+               << "    \"picked\": " << engine_result.brokers.size() << ",\n"
+               << "    \"final_component\": " << engine_result.final_component
+               << ",\n"
+               << "    \"legacy_seconds\": " << legacy_maxsg_s << ",\n"
+               << "    \"engine_seconds\": " << engine_maxsg_s << ",\n"
+               << "    \"speedup\": " << maxsg_speedup << "\n"
+               << "  }";
+    harness.raw_section("maxsg", maxsg_json.str());
+  }
+  harness.write_json_file("BENCH_engine.json", "BENCH_ENGINE_JSON");
   return 0;
 }

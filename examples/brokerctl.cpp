@@ -9,6 +9,11 @@
 //   brokerctl eval <in.topo> <algo> <k>       selection + full evaluation
 //   brokerctl export-dot <in.topo> <out.dot> [k]   sampled DOT (brokers marked)
 //   brokerctl stats <in.topo>                 dataset summary (Table-2 style)
+//   brokerctl stats [--stats-out=<file>] <subcommand> [args...]
+//                                             run any subcommand with the
+//                                             telemetry plane on: counter
+//                                             table to stderr, JSON snapshot
+//                                             to --stats-out
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
 //
@@ -21,6 +26,9 @@
 #include <limits>
 #include <string>
 #include <vector>
+
+#include "obs/export.hpp"
+#include "obs/stats.hpp"
 
 #include "broker/baselines.hpp"
 #include "broker/coverage.hpp"
@@ -56,10 +64,13 @@ int usage() {
          "  brokerctl eval <in.topo> <algo> <k>\n"
          "  brokerctl export-dot <in.topo> <out.dot> [k]\n"
          "  brokerctl stats <in.topo>\n"
+         "  brokerctl stats [--stats-out=<file>] <subcommand> [args...]\n"
          "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
          "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n";
   return 2;
 }
+
+int dispatch(int argc, char** argv);
 
 /// Parses a positive integer operand; throws with the operand's name and the
 /// offending text (stoul alone would accept "12abc" and wrap "-5").
@@ -341,10 +352,10 @@ int cmd_health(int argc, char** argv) {
   return 0;
 }
 
-int cmd_stats(int argc, char** argv) {
-  if (argc < 3) return usage();
+// Legacy `stats <in.topo>` form: Table-2-style dataset summary.
+int cmd_dataset_stats(const std::string& path) {
   const auto env = bsr::io::experiment_env();
-  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto topo = bsr::topology::load_topology_file(path);
   const auto summary = bsr::topology::summarize(topo, env.bfs_sources, env.seed);
   bsr::io::Table table({"statistic", "value"});
   table.row().cell("ASes").cell(std::uint64_t{summary.num_ases});
@@ -358,22 +369,95 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+bool known_subcommand(const std::string& cmd) {
+  return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
+         cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
+         cmd == "faults" || cmd == "health";
+}
+
+/// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
+/// the counter table to stderr (so stdout stays the wrapped command's own)
+/// and optionally the versioned JSON snapshot to `stats_out`.
+template <class Fn>
+int run_with_stats(const std::string& stats_out, Fn&& fn) {
+  if (!BSR_STATS_ENABLED) {
+    std::cerr << "brokerctl stats: built with BSR_STATS=OFF — "
+                 "all counters will read zero\n";
+  }
+  bsr::obs::reset();
+  const int rc = fn();
+  const auto snap = bsr::obs::snapshot();
+  bsr::obs::dump_pretty(std::cerr, snap);
+  if (!stats_out.empty()) {
+    std::ofstream out(stats_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "brokerctl stats: cannot open " << stats_out << '\n';
+      return 1;
+    }
+    bsr::obs::write_json(out, snap);
+    std::cerr << "stats: wrote " << stats_out << '\n';
+  }
+  return rc;
+}
+
+// `stats` is two commands sharing a name: the legacy dataset summary
+// (`stats <in.topo>`) and the telemetry wrapper (`stats [--stats-out=<file>]
+// <subcommand> [args...]`). Disambiguation: an operand naming a subcommand
+// selects the wrapper; anything else is a topology path.
+int cmd_stats(int argc, char** argv) {
+  std::string stats_out;
+  int first = 2;
+  for (; first < argc; ++first) {
+    const std::string arg = argv[first];
+    if (arg.rfind("--stats-out=", 0) == 0) {
+      stats_out = arg.substr(std::strlen("--stats-out="));
+      if (stats_out.empty()) {
+        std::cerr << "brokerctl stats: --stats-out needs a file path\n";
+        return usage();
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl stats: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    break;
+  }
+  if (first >= argc) return usage();
+  if (!known_subcommand(argv[first])) {
+    // Legacy dataset summary; --stats-out instruments it like any other.
+    if (stats_out.empty()) return cmd_dataset_stats(argv[first]);
+    return run_with_stats(stats_out,
+                          [&] { return cmd_dataset_stats(argv[first]); });
+  }
+  std::vector<char*> sub;
+  sub.push_back(argv[0]);
+  for (int j = first; j < argc; ++j) sub.push_back(argv[j]);
+  return run_with_stats(stats_out, [&] {
+    return dispatch(static_cast<int>(sub.size()), sub.data());
+  });
+}
+
+int dispatch(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return cmd_gen(argc, argv);
+  if (cmd == "import-caida") return cmd_import_caida(argc, argv);
+  if (cmd == "select") return cmd_select(argc, argv, /*full_eval=*/false);
+  if (cmd == "eval") return cmd_select(argc, argv, /*full_eval=*/true);
+  if (cmd == "export-dot") return cmd_export_dot(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
+  if (cmd == "faults") return cmd_faults(argc, argv);
+  if (cmd == "health") return cmd_health(argc, argv);
+  std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
-    const std::string cmd = argv[1];
-    if (cmd == "gen") return cmd_gen(argc, argv);
-    if (cmd == "import-caida") return cmd_import_caida(argc, argv);
-    if (cmd == "select") return cmd_select(argc, argv, /*full_eval=*/false);
-    if (cmd == "eval") return cmd_select(argc, argv, /*full_eval=*/true);
-    if (cmd == "export-dot") return cmd_export_dot(argc, argv);
-    if (cmd == "stats") return cmd_stats(argc, argv);
-    if (cmd == "faults") return cmd_faults(argc, argv);
-    if (cmd == "health") return cmd_health(argc, argv);
-    std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
-    return usage();
+    return dispatch(argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "brokerctl: " << error.what() << '\n';
     return 1;

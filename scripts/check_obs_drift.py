@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Counter-drift tripwire for the telemetry plane.
+
+Compares the deterministic work-unit counters in a BENCH_obs.json produced by
+bench/perf_obs against the checked-in baseline
+(bench/baselines/obs_counters.json). The counters are functions of the seed
+and scale alone — identical on every host and at every BSR_THREADS value — so
+any drift beyond the baseline's tolerance means the algorithms started doing
+different work (or counting it differently) without the baseline being
+updated deliberately.
+
+Usage: check_obs_drift.py <BENCH_obs.json> <baseline.json>
+Exit codes: 0 within tolerance, 1 drift detected, 2 bad input.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            bench = json.load(f)
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_obs_drift: {err}", file=sys.stderr)
+        return 2
+
+    if baseline.get("obs_baseline_schema") != 1:
+        print("check_obs_drift: unknown baseline schema", file=sys.stderr)
+        return 2
+    tolerance = baseline["tolerance_pct"] / 100.0
+    runs = {run["name"]: run for run in bench.get("runs", [])}
+
+    failures = []
+    checked = 0
+    for run_name, expected_counters in baseline["runs"].items():
+        run = runs.get(run_name)
+        if run is None:
+            failures.append(f"run '{run_name}' missing from {sys.argv[1]}")
+            continue
+        actual_counters = run.get("counters", {})
+        for counter, expected in expected_counters.items():
+            actual = actual_counters.get(counter)
+            if actual is None:
+                failures.append(f"{run_name}: counter '{counter}' missing")
+                continue
+            checked += 1
+            drift = abs(actual - expected) / expected if expected else float(
+                actual != expected)
+            marker = "ok" if drift <= tolerance else "DRIFT"
+            print(f"  {marker:5s} {run_name}/{counter}: "
+                  f"expected {expected}, got {actual} ({drift * 100:+.2f}%)")
+            if drift > tolerance:
+                failures.append(
+                    f"{run_name}: {counter} drifted {drift * 100:.2f}% "
+                    f"(expected {expected}, got {actual})")
+
+    if failures:
+        print(f"\ncheck_obs_drift: {len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the work change is intentional, regenerate the baseline "
+              "(see its 'comment' field).", file=sys.stderr)
+        return 1
+    print(f"check_obs_drift: {checked} counters within "
+          f"{baseline['tolerance_pct']}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

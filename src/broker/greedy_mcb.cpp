@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "broker/coverage.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace bsr::broker {
 
@@ -11,6 +13,7 @@ using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
 
 GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
+  BSR_SPAN("broker.greedy_mcb");
   const NodeId n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("greedy_mcb: empty graph");
 
@@ -33,7 +36,9 @@ GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
     }
   };
   std::priority_queue<Entry> heap;
+  BSR_STATS_ONLY(std::uint64_t evals = 0;)
   for (NodeId v = 0; v < n; ++v) {
+    BSR_STATS_ONLY(++evals;)
     heap.push(Entry{tracker.marginal_gain(v), v, 0});
   }
 
@@ -43,6 +48,7 @@ GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
     heap.pop();
     if (tracker.is_broker(top.vertex)) continue;
     if (top.stamp != round) {
+      BSR_STATS_ONLY(++evals;)
       top.gain = tracker.marginal_gain(top.vertex);
       top.stamp = round;
       if (top.gain == 0) continue;  // nothing new to cover from this vertex
@@ -52,8 +58,10 @@ GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
     tracker.add(top.vertex);
     result.brokers.add(top.vertex);
     result.coverage_curve.push_back(tracker.covered_count());
+    BSR_COUNT(GreedyRounds);
     ++round;
   }
+  BSR_COUNT_N(GreedyGainEvals, evals);
   result.coverage = tracker.covered_count();
   return result;
 }

@@ -7,6 +7,8 @@
 #include "graph/degree_stats.hpp"
 #include "graph/engine.hpp"
 #include "graph/rollback_union_find.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace bsr::broker {
 
@@ -17,6 +19,7 @@ namespace engine = bsr::graph::engine;
 
 LocalSearchResult improve_by_swaps(const CsrGraph& g, const BrokerSet& b,
                                    const LocalSearchOptions& options) {
+  BSR_SPAN("broker.local_search");
   LocalSearchResult result;
   result.brokers = b;
   result.initial_connectivity = saturated_connectivity(g, b);
@@ -83,6 +86,7 @@ LocalSearchResult improve_by_swaps(const CsrGraph& g, const BrokerSet& b,
 
       for (const NodeId in : candidates) {
         if (in == removed) continue;
+        BSR_COUNT(LocalSearchProbes);
         engine::unite_star(g, uf, in, engine::AllEdges{});
         const double connectivity =
             static_cast<double>(uf.connected_pairs()) / total_pairs;
@@ -94,6 +98,7 @@ LocalSearchResult improve_by_swaps(const CsrGraph& g, const BrokerSet& b,
           result.brokers = std::move(next);
           result.final_connectivity = connectivity;
           ++result.swaps_applied;
+          BSR_COUNT(LocalSearchSwaps);
           improved = true;
           break;  // next out_idx; the pass continues with the updated set
         }

@@ -7,6 +7,8 @@
 #include "graph/components.hpp"
 #include "graph/engine.hpp"
 #include "graph/union_find.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace bsr::broker {
 
@@ -15,6 +17,7 @@ using bsr::graph::NodeId;
 using bsr::graph::UnionFind;
 
 MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k, const MaxSgOptions& options) {
+  BSR_SPAN("broker.maxsg");
   const NodeId n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("maxsg: empty graph");
 
@@ -59,6 +62,7 @@ MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k, const MaxSgOptions& option
   };
 
   while (result.brokers.size() < k) {
+    BSR_COUNT(MaxsgRounds);
     for (NodeId v = 0; v < n; ++v) root_of[v] = uf.find(v);
     for (NodeId v = 0; v < n; ++v) {
       if (root_of[v] == v) size_of[v] = uf.root_size(v);
@@ -75,6 +79,10 @@ MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k, const MaxSgOptions& option
         best_vertex = w;
       }
     }
+    // Every non-broker vertex is evaluated exactly once per sweep, so the
+    // eval count needs no in-loop accumulator (which would cost a register
+    // in the hottest loop of the selection layer).
+    BSR_COUNT_N(MaxsgGainEvals, n - result.brokers.size());
     if (best_vertex == bsr::graph::kUnreachable) break;
 
     is_broker[best_vertex] = true;

@@ -7,6 +7,8 @@
 #include "broker/coverage.hpp"
 #include "broker/greedy_mcb.hpp"
 #include "graph/bfs.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace bsr::broker {
 
@@ -54,6 +56,7 @@ struct StitchPlan {
 /// dominated by B' ∪ B″.
 StitchPlan stitch_for_root(const CsrGraph& g, const BrokerSet& preselected,
                            NodeId root, const std::vector<NodeId>& parent) {
+  BSR_COUNT(McbgStitchRounds);
   StitchPlan plan;
   std::vector<bool> in_set(g.num_vertices(), false);
   for (const NodeId b : preselected.members()) in_set[b] = true;
@@ -78,6 +81,7 @@ StitchPlan stitch_for_root(const CsrGraph& g, const BrokerSet& preselected,
       }
     }
   }
+  BSR_COUNT_N(McbgStitchPromotions, plan.added.size());
   return plan;
 }
 
@@ -106,6 +110,7 @@ StitchPlan best_stitch(const CsrGraph& g, const BrokerSet& preselected,
 }  // namespace
 
 McbgResult mcbg_approx(const CsrGraph& g, std::uint32_t k, const McbgOptions& options) {
+  BSR_SPAN("broker.mcbg");
   if (g.num_vertices() == 0) throw std::invalid_argument("mcbg_approx: empty graph");
   if (options.beta == 0) throw std::invalid_argument("mcbg_approx: beta = 0");
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/stats.hpp"
+
 namespace bsr::graph::engine {
 
 namespace {
@@ -43,6 +45,9 @@ void for_each_shard(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   const std::size_t shards = plan_shards(count);
+  // One batch per call regardless of the shard fan-out, so the counter stays
+  // invariant under BSR_THREADS (a per-shard count would not be).
+  BSR_COUNT(EngineShardBatches);
   if (shards <= 1) {
     body(0, 0, count);
     return;

@@ -28,6 +28,7 @@
 
 #include "graph/check.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/stats.hpp"
 
 namespace bsr::graph {
 
@@ -45,12 +46,18 @@ class RollbackUnionFind {
   /// Root of v's component. No path compression, so const; O(log n).
   [[nodiscard]] NodeId find(NodeId v) const noexcept {
     BSR_DCHECK(v < parent_.size());
-    while (parent_[v] != v) v = parent_[v];
+    BSR_STATS_ONLY(std::uint64_t steps = 0;)
+    while (parent_[v] != v) {
+      v = parent_[v];
+      BSR_STATS_ONLY(++steps;)
+    }
+    BSR_UF_FIND(steps);
     return v;
   }
 
   /// Merges the components of u and v; returns true if they were distinct.
   bool unite(NodeId u, NodeId v) noexcept {
+    BSR_COUNT(UfUnites);
     NodeId ru = find(u);
     NodeId rv = find(v);
     if (ru == rv) return false;
@@ -61,6 +68,8 @@ class RollbackUnionFind {
     size_[ru] += size_[rv];
     --num_components_;
     log_.push_back({rv, ru});
+    BSR_COUNT(UfUnionsApplied);
+    BSR_GAUGE_MAX(UfLogHighWater, log_.size());
     return true;
   }
 
@@ -93,11 +102,16 @@ class RollbackUnionFind {
   /// Opaque undo-log position; capture before speculative unions.
   using Checkpoint = std::size_t;
 
-  [[nodiscard]] Checkpoint checkpoint() const noexcept { return log_.size(); }
+  [[nodiscard]] Checkpoint checkpoint() const noexcept {
+    BSR_COUNT(UfCheckpoints);
+    return log_.size();
+  }
 
   /// Undoes every union applied after `mark`, most recent first. O(undone).
   void rollback(Checkpoint mark) noexcept {
     BSR_DCHECK(mark <= log_.size());
+    BSR_COUNT(UfRollbacks);
+    BSR_COUNT_N(UfRollbackUndone, log_.size() - mark);
     while (log_.size() > mark) {
       const UndoEntry e = log_.back();
       log_.pop_back();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+
 namespace bsr::graph::engine {
 
 void Workspace::ensure(NodeId n) {
@@ -22,6 +24,9 @@ void Workspace::begin(NodeId n) {
     epoch_ = 1;
   }
   queue_.clear();
+  stats_edges_scanned = 0;
+  BSR_COUNT(EngineWorkspaceEpochBumps);
+  BSR_GAUGE_MAX(EngineWorkspaceHighWater, capacity());
 }
 
 void Workspace::begin_marks(NodeId n) {
@@ -30,6 +35,8 @@ void Workspace::begin_marks(NodeId n) {
     std::fill(mark_stamp_.begin(), mark_stamp_.end(), 0u);
     mark_epoch_ = 1;
   }
+  BSR_COUNT(EngineWorkspaceEpochBumps);
+  BSR_GAUGE_MAX(EngineWorkspaceHighWater, capacity());
 }
 
 }  // namespace bsr::graph::engine

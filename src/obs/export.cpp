@@ -1,0 +1,113 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsr::obs {
+
+namespace {
+
+void json_histogram(std::ostream& os, const Snapshot& snap, Histogram h) {
+  const auto& buckets = snap.histograms[static_cast<std::size_t>(h)];
+  os << "{\"total\": " << snap.histogram_total(h) << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (!first) os << ", ";
+    os << "[" << b << ", " << buckets[b] << "]";
+    first = false;
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\n  \"obs_schema_version\": " << kSchemaVersion
+     << ",\n  \"stats_enabled\": " << (snap.enabled ? "true" : "false")
+     << ",\n  \"work_units\": " << work_units(snap) << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name(static_cast<Counter>(i))
+       << "\": " << snap.counters[i];
+  }
+  os << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name(static_cast<Gauge>(i))
+       << "\": " << snap.gauges[i];
+  }
+  os << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << name(static_cast<Histogram>(i))
+       << "\": ";
+    json_histogram(os, snap, static_cast<Histogram>(i));
+  }
+  os << "\n  }\n}\n";
+}
+
+void dump_pretty(std::ostream& os, const Snapshot& snap) {
+  if (!snap.enabled) {
+    os << "telemetry: compiled out (build with -DBSR_STATS=ON)\n";
+    return;
+  }
+  struct Line {
+    std::string name;
+    std::string value;
+  };
+  std::vector<Line> lines;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (snap.counters[i] == 0) continue;
+    lines.push_back({std::string(name(static_cast<Counter>(i))),
+                     std::to_string(snap.counters[i])});
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (snap.gauges[i] == 0) continue;
+    lines.push_back({std::string(name(static_cast<Gauge>(i))),
+                     std::to_string(snap.gauges[i]) + " (max)"});
+  }
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const auto h = static_cast<Histogram>(i);
+    const std::uint64_t total = snap.histogram_total(h);
+    if (total == 0) continue;
+    const auto& buckets = snap.histograms[i];
+    std::string detail = std::to_string(total) + " obs:";
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      // Bucket label: the inclusive lower bound of the value range.
+      const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+      detail += " [" + std::to_string(lo) + "]x" + std::to_string(buckets[b]);
+    }
+    lines.push_back({std::string(name(h)), std::move(detail)});
+  }
+  if (lines.empty()) {
+    os << "telemetry: no activity recorded\n";
+    return;
+  }
+  std::size_t width = 0;
+  for (const Line& line : lines) width = std::max(width, line.name.size());
+  os << "telemetry (schema v" << kSchemaVersion << ", work units "
+     << work_units(snap) << ")\n";
+  for (const Line& line : lines) {
+    os << "  " << line.name << std::string(width - line.name.size() + 2, ' ')
+       << line.value << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os, std::span<const SpanRecord> spans) {
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << span.name
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": "
+       << span.start_ns / 1000 << ", \"dur\": " << span.duration_ns / 1000
+       << ", \"args\": {\"work_units\": " << span.work_units;
+    for (const auto& [counter, moved] : span.counter_deltas) {
+      os << ", \"" << name(counter) << "\": " << moved;
+    }
+    os << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace bsr::obs

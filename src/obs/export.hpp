@@ -1,0 +1,39 @@
+// Exporters for the telemetry plane.
+//
+// Three consumers, three formats:
+//   * write_json     — machine-readable snapshot with a stable, versioned
+//                      schema ("obs_schema_version"); keys appear in fixed
+//                      registry slot order so outputs diff cleanly run-to-run.
+//                      This is what BENCH_*.json files and the CI counter
+//                      tripwire are built from.
+//   * dump_pretty    — aligned human table (brokerctl stats prints this to
+//                      stderr). Zero-valued slots are skipped.
+//   * write_chrome_trace — the drained span tree as Chrome trace_event JSON
+//                      (load in chrome://tracing or Perfetto for a flame
+//                      chart); counter deltas ride along in "args".
+//
+// obs sits below every other library, so formatting here is hand-rolled
+// rather than borrowed from bsr_io.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace bsr::obs {
+
+/// Versioned JSON snapshot. Histograms serialize as
+/// {"buckets": [[bucket_index, count], ...], "total": N} with zero buckets
+/// omitted; bucket b >= 1 covers values in [2^(b-1), 2^b).
+void write_json(std::ostream& os, const Snapshot& snap);
+
+/// Aligned `name  value` table of every non-zero slot; histograms render as
+/// total plus a compact nonzero-bucket list.
+void dump_pretty(std::ostream& os, const Snapshot& snap);
+
+/// Chrome trace_event ("X" complete events) for one thread's drained spans.
+void write_chrome_trace(std::ostream& os, std::span<const SpanRecord> spans);
+
+}  // namespace bsr::obs

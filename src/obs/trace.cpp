@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace bsr::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// Per-thread trace state. The epoch is the first span's clock reading, so
+/// start_ns values stay small and chrome exports start near zero.
+struct Tracer {
+  std::vector<SpanRecord> records;
+  std::vector<std::int32_t> open;  // indices of currently open spans
+  std::chrono::steady_clock::time_point epoch{};
+  bool epoch_set = false;
+
+  std::uint64_t now_ns() {
+    const auto t = std::chrono::steady_clock::now();
+    if (!epoch_set) {
+      epoch = t;
+      epoch_set = true;
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch).count());
+  }
+};
+
+Tracer& tls_tracer() noexcept {
+  thread_local Tracer tracer;
+  return tracer;
+}
+
+}  // namespace
+
+void set_tracing(bool on) noexcept {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> drain_trace() {
+  Tracer& tracer = tls_tracer();
+  std::vector<SpanRecord> out = std::move(tracer.records);
+  tracer.records.clear();
+  tracer.open.clear();
+  return out;
+}
+
+void clear_trace() noexcept {
+  Tracer& tracer = tls_tracer();
+  tracer.records.clear();
+  tracer.open.clear();
+}
+
+Span::Span(const char* span_name) noexcept {
+  if (!tracing_enabled()) return;
+  Tracer& tracer = tls_tracer();
+  SpanRecord record;
+  record.name = span_name;
+  record.parent = tracer.open.empty() ? -1 : tracer.open.back();
+  record.depth = static_cast<std::uint32_t>(tracer.open.size());
+  record.start_ns = tracer.now_ns();
+  index_ = static_cast<std::int32_t>(tracer.records.size());
+  tracer.records.push_back(std::move(record));
+  tracer.open.push_back(index_);
+  entry_counters_ = tls_block().counters;
+}
+
+Span::~Span() {
+  if (index_ < 0) return;
+  Tracer& tracer = tls_tracer();
+  // Unwind may close spans in strict reverse-open order only; RAII
+  // guarantees the top of the open stack is this span.
+  if (tracer.open.empty() || tracer.open.back() != index_) return;
+  tracer.open.pop_back();
+  SpanRecord& record = tracer.records[static_cast<std::size_t>(index_)];
+  record.duration_ns = tracer.now_ns() - record.start_ns;
+  const auto& now_counters = tls_block().counters;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::uint64_t moved = now_counters[i] - entry_counters_[i];
+    if (moved == 0) continue;
+    const auto c = static_cast<Counter>(i);
+    record.counter_deltas.emplace_back(c, moved);
+    if (is_work_unit(c)) record.work_units += moved;
+  }
+}
+
+}  // namespace bsr::obs

@@ -1,0 +1,80 @@
+// RAII span tracing over the counter registry.
+//
+// BSR_SPAN("layer.phase") opens a scope in the calling thread's trace tree;
+// closing it (normal exit, early return, or exception unwind — the guard is
+// RAII, so nesting is always well-formed) records wall time *and* the delta
+// of every counter that moved while the span was open. Wall time answers
+// "where did the seconds go" on this machine; the counter deltas are the
+// deterministic work-unit dimension that makes two traces of the same run
+// comparable across machines, compilers, and thread counts.
+//
+// Tracing is a runtime switch (set_tracing) on top of the compile-time
+// BSR_STATS gate: counters are always cheap enough to leave on, but spans
+// snapshot the whole counter block on entry, so they only record when a
+// harness (bench, brokerctl stats) opts in. With tracing off a BSR_SPAN site
+// costs one predictable-branch bool load; in a BSR_STATS=OFF build it costs
+// nothing at all.
+//
+// Span records are per-thread and drained per-thread (drain_trace). The
+// bench harness and brokerctl only trace the main thread; engine worker
+// shards never open spans.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace bsr::obs {
+
+/// One closed span. Records appear in *open* (preorder) order, so a parent
+/// always precedes its children and `parent` indexes into the same vector.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::int32_t parent = -1;  // index of enclosing span, -1 for roots
+  std::uint32_t depth = 0;
+  std::uint64_t start_ns = 0;     // since this thread's tracer epoch
+  std::uint64_t duration_ns = 0;  // 0 until the span closes
+  std::uint64_t work_units = 0;   // work-counter delta, children included
+  /// Every counter that moved while the span was open (children included),
+  /// in registry slot order.
+  std::vector<std::pair<Counter, std::uint64_t>> counter_deltas;
+};
+
+/// Process-wide tracing switch; spans record only while on. Default off.
+void set_tracing(bool on) noexcept;
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Moves the calling thread's closed spans out (and clears them). Call with
+/// no spans open — open spans would be dropped with zero duration.
+[[nodiscard]] std::vector<SpanRecord> drain_trace();
+
+/// Discards the calling thread's recorded spans.
+void clear_trace() noexcept;
+
+/// RAII span guard; use through BSR_SPAN so OFF builds compile it away.
+class Span {
+ public:
+  explicit Span(const char* span_name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::int32_t index_ = -1;  // -1: tracing was off at entry; record nothing
+  std::array<std::uint64_t, kNumCounters> entry_counters_{};
+};
+
+}  // namespace bsr::obs
+
+#if BSR_STATS_ENABLED
+#define BSR_OBS_SPAN_CAT2(a, b) a##b
+#define BSR_OBS_SPAN_CAT(a, b) BSR_OBS_SPAN_CAT2(a, b)
+#define BSR_SPAN(span_name) \
+  ::bsr::obs::Span BSR_OBS_SPAN_CAT(bsr_obs_span_, __LINE__)(span_name)
+#else
+#define BSR_SPAN(span_name) \
+  do {                      \
+  } while (false)
+#endif

@@ -8,6 +8,8 @@
 
 #include "broker/dominated.hpp"
 #include "broker/resilience.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace bsr::sim {
 
@@ -38,6 +40,7 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
 ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initial,
                            const ChurnConfig& config, const LinkChurnConfig& link,
                            std::span<const FailureGroup> groups, Rng& rng) {
+  BSR_SPAN("sim.churn");
   if (config.departure_rate <= 0.0 || config.repair_interval <= 0.0 ||
       config.horizon <= 0.0) {
     throw std::invalid_argument("simulate_churn: rates/horizon must be positive");
@@ -72,6 +75,8 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
     now = t;
   };
   const auto record = [&](ChurnEvent::Kind kind) {
+    BSR_COUNT(ChurnEvents);
+    BSR_COUNT(ChurnConnectivityEvals);
     evaluator.rebuild();
     connectivity = evaluator.connectivity();
     result.events.push_back({now, kind, current.size(), connectivity,
@@ -160,6 +165,7 @@ HealthChurnResult simulate_churn_with_health(
     const HealthChurnConfig& config, const LinkChurnConfig& link,
     std::span<const FailureGroup> groups, const HealthConfig& health,
     const RepairPolicy& repair, Rng& rng) {
+  BSR_SPAN("sim.churn.health");
   if (config.horizon <= 0.0 || config.departure_rate < 0.0 ||
       config.mean_return_time < 0.0) {
     throw std::invalid_argument(
@@ -263,6 +269,7 @@ HealthChurnResult simulate_churn_with_health(
     now = t;
   };
   const auto rebuild_believed = [&]() {
+    BSR_COUNT(ChurnConnectivityEvals);
     const HealthView& view = monitor.views()[active_view];
     std::vector<NodeId> routable;
     routable.reserve(current.size());
@@ -295,6 +302,7 @@ HealthChurnResult simulate_churn_with_health(
     // Fixed priority at equal times: the world changes, then the detector
     // observes, then stale views land, then the operator repairs.
     if (fault_time <= t) {
+      BSR_COUNT(ChurnEvents);
       const GroundTruthEvent& event = timeline[next_fault++];
       switch (event.kind) {
         case GroundTruthEvent::Kind::kDeparture:
@@ -320,6 +328,7 @@ HealthChurnResult simulate_churn_with_health(
           ++result.link_heals;
           break;
       }
+      BSR_COUNT_N(ChurnConnectivityEvals, 2);
       oracle_eval.rebuild();
       oracle_conn = oracle_eval.connectivity();
       believed_eval.rebuild();  // physical edges changed under the same belief
@@ -354,6 +363,7 @@ HealthChurnResult simulate_churn_with_health(
       scheduler.report(t, recruited);
       result.replacements_added += recruited;
       if (recruited > 0) {
+        BSR_COUNT(ChurnConnectivityEvals);
         oracle_eval.rebuild();
         oracle_conn = oracle_eval.connectivity();
       }

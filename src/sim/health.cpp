@@ -7,6 +7,7 @@
 #include "graph/check.hpp"
 #include "graph/engine.hpp"
 #include "graph/sampling.hpp"
+#include "obs/stats.hpp"
 
 namespace bsr::sim {
 
@@ -131,9 +132,14 @@ const HealthView& HealthMonitor::view_at(double now) const noexcept {
   // one old enough to have propagated.
   for (std::size_t i = views_.size(); i-- > 1;) {
     if (views_[i].published_at + config_.propagation_delay <= now) {
+      // Staleness in integral milli-units so the histogram is deterministic.
+      BSR_HISTO(HealthViewStalenessMs,
+                static_cast<std::uint64_t>((now - views_[i].published_at) * 1e3));
       return views_[i];
     }
   }
+  BSR_HISTO(HealthViewStalenessMs,
+            static_cast<std::uint64_t>((now - views_.front().published_at) * 1e3));
   return views_.front();
 }
 
@@ -172,6 +178,7 @@ bool HealthMonitor::probe_target(std::size_t index) {
 void HealthMonitor::transition(double now, std::size_t index, HealthState to) {
   Cell& cell = cells_[index];
   BSR_DCHECK(cell.state != to);
+  BSR_COUNT(HealthTransitions);
   transitions_.push_back({now, members_[index], cell.state, to});
   cell.state = to;
   dirty_ = true;
@@ -189,11 +196,14 @@ double HealthMonitor::backoff_delay(std::uint32_t level) {
 
 void HealthMonitor::probe_round(double now) {
   ++rounds_;
+  BSR_COUNT(HealthProbeRounds);
   reach_valid_ = false;  // fault state may have changed since last round
+  BSR_STATS_ONLY(std::uint64_t probes_sent = 0;)
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     Cell& cell = cells_[i];
     // Quarantined brokers are only re-probed on their backoff schedule.
     if (cell.state == HealthState::kQuarantined) continue;
+    BSR_STATS_ONLY(++probes_sent;)
     const bool ok = probe_target(i);
     switch (cell.state) {
       case HealthState::kHealthy:
@@ -239,11 +249,14 @@ void HealthMonitor::probe_round(double now) {
         break;  // unreachable
     }
   }
+  BSR_COUNT_N(HealthProbesSent, probes_sent);
 }
 
 void HealthMonitor::reprobe(double now, std::size_t index) {
   Cell& cell = cells_[index];
   BSR_DCHECK(cell.state == HealthState::kQuarantined);
+  BSR_COUNT(HealthReprobes);
+  BSR_COUNT(HealthProbesSent);
   reach_valid_ = false;  // point-in-time probe: refresh against current faults
   if (probe_target(index)) {
     cell.successes = 0;
@@ -255,6 +268,7 @@ void HealthMonitor::reprobe(double now, std::size_t index) {
 }
 
 void HealthMonitor::publish(double now) {
+  BSR_COUNT(HealthViewsPublished);
   HealthView view;
   view.version = views_.size();
   view.published_at = now;
@@ -278,6 +292,7 @@ void RepairScheduler::request(double now) {
 
 void RepairScheduler::report(double now, std::uint32_t recruited) {
   ++attempts_;
+  BSR_COUNT(RepairAttempts);
   if (recruited > 0) {
     due_ = kNever;
     retries_ = 0;
@@ -288,6 +303,7 @@ void RepairScheduler::report(double now, std::uint32_t recruited) {
     due_ = kNever;  // give up until the next quarantine re-arms us
     return;
   }
+  BSR_COUNT(RepairDeferred);
   double delay = policy_.retry_backoff;
   for (std::uint32_t i = 0; i < retries_; ++i) {
     delay = std::min(delay * policy_.retry_factor, policy_.retry_max);

@@ -5,6 +5,7 @@
 #include "graph/check.hpp"
 #include "graph/engine.hpp"
 #include "graph/sampling.hpp"
+#include "obs/stats.hpp"
 
 namespace bsr::sim {
 
@@ -123,6 +124,7 @@ Route Router::route_healed(NodeId src, NodeId dst, std::uint32_t max_heals,
   const std::uint32_t start = state_of(src, 0);
   state_parent_[start] = start;
   state_queue_.push_back(start);
+  BSR_GAUGE_MAX(RouterStateHighWater, num_states);
   for (std::size_t head = 0; head < state_queue_.size(); ++head) {
     const std::uint32_t s = state_queue_[head];
     const NodeId u = s / layers;
@@ -165,10 +167,13 @@ Route Router::route_dominated(NodeId src, NodeId dst) {
 
 TieredRoute Router::route_with_degradation(NodeId src, NodeId dst,
                                            const DegradationPolicy& policy) {
+  BSR_COUNT(RouterRoutes);
   TieredRoute out;
   out.route = route_dominated(src, dst);
   if (out.route.reachable()) {
     out.tier = RouteTier::kDominated;
+    BSR_COUNT(RouterTierDominated);
+    BSR_HISTO(RouterHops, out.route.hops());
     return out;
   }
   if (faults_ != nullptr && !faults_->pristine() && policy.heal_attempts > 0 &&
@@ -176,6 +181,8 @@ TieredRoute Router::route_with_degradation(NodeId src, NodeId dst,
     out.route = route_healed(src, dst, policy.heal_attempts, out.healed_links);
     if (out.route.reachable()) {
       out.tier = RouteTier::kDegraded;
+      BSR_COUNT(RouterTierDegraded);
+      BSR_HISTO(RouterHops, out.route.hops());
       return out;
     }
     out.healed_links = 0;
@@ -184,16 +191,20 @@ TieredRoute Router::route_with_degradation(NodeId src, NodeId dst,
     out.route = route_free(src, dst);
     if (out.route.reachable()) {
       out.tier = RouteTier::kFreeFallback;
+      BSR_COUNT(RouterTierFallback);
+      BSR_HISTO(RouterHops, out.route.hops());
       return out;
     }
   }
   out.tier = RouteTier::kUnreachable;
+  BSR_COUNT(RouterTierUnreachable);
   return out;
 }
 
 HealthRouteResult Router::route_with_health(NodeId src, NodeId dst) {
   BSR_DCHECK(health_view_ != nullptr);
   BSR_DCHECK(src < graph_->num_vertices() && dst < graph_->num_vertices());
+  BSR_COUNT(RouterRoutes);
   HealthRouteResult out;
   if (src == dst) {
     out.route.path = {src};
@@ -217,6 +228,8 @@ HealthRouteResult Router::route_with_health(NodeId src, NodeId dst) {
         }
       }
     }
+    BSR_COUNT_N(RouterDeadHops, out.dead_hops);
+    BSR_HISTO(RouterHops, out.route.hops());
     out.outcome = out.dead_hops > 0 ? HealthOutcome::kMisrouted : HealthOutcome::kOk;
     return out;
   }
