@@ -11,6 +11,7 @@
 //     "bench_schema": "bsr-bench/1",
 //     "suite": "...", "scale": ..., "seed": ..., "threads": ...,
 //     "stats_enabled": true|false,
+//     "total_work_units": sum of every run's work_units,
 //     "metrics": { suite-level numbers },
 //     "runs": [
 //       { "name": ..., "repetitions": N, "wall_ms": ...,
@@ -100,6 +101,14 @@ class Harness {
 
   [[nodiscard]] const std::deque<RunResult>& runs() const { return runs_; }
 
+  /// Deterministic work across every recorded run — the headline scalar the
+  /// bench trend report (scripts/bench_report.py) compares across commits.
+  [[nodiscard]] std::uint64_t total_work_units() const {
+    std::uint64_t total = 0;
+    for (const RunResult& r : runs_) total += r.work_units;
+    return total;
+  }
+
   void write_json(std::ostream& os) const {
     os << "{\n"
        << "  \"bench_schema\": \"bsr-bench/1\",\n"
@@ -108,6 +117,7 @@ class Harness {
        << "  \"seed\": " << env_.seed << ",\n"
        << "  \"threads\": " << bsr::graph::engine::num_threads() << ",\n"
        << "  \"stats_enabled\": " << (BSR_STATS_ENABLED ? "true" : "false")
+       << ",\n  \"total_work_units\": " << total_work_units()
        << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first

@@ -16,19 +16,33 @@
 //                                             to --stats-out
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
+//   brokerctl record [--events-out=<f>] [--series-out=<f>] [--trace-out=<f>]
+//                    [--interval=<dt>] <subcommand> [args...]
+//                                             run any subcommand with the
+//                                             flight recorder on: event
+//                                             journal (bsr-events/1 JSONL),
+//                                             per-round counter CSV, Chrome
+//                                             trace for Perfetto
+//   brokerctl report <events.jsonl> [--window=<w>]   summarize a journal:
+//                                             event counts, worst misrouting
+//                                             window, quarantine dwells
 //
-// Exit codes: 0 success, 1 runtime failure (bad file, bad argument value),
-// 2 usage error (unknown subcommand, missing operands).
+// Exit codes: 0 success, 1 runtime failure (bad file, bad argument value,
+// unwritable output path), 2 usage error (unknown subcommand, missing
+// operands).
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 
 #include "broker/baselines.hpp"
 #include "broker/coverage.hpp"
@@ -66,7 +80,11 @@ int usage() {
          "  brokerctl stats <in.topo>\n"
          "  brokerctl stats [--stats-out=<file>] <subcommand> [args...]\n"
          "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
-         "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n";
+         "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n"
+         "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
+         "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
+         "[args...]\n"
+         "  brokerctl report <events.jsonl> [--window=<w>]\n";
   return 2;
 }
 
@@ -372,7 +390,8 @@ int cmd_dataset_stats(const std::string& path) {
 bool known_subcommand(const std::string& cmd) {
   return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
-         cmd == "faults" || cmd == "health";
+         cmd == "faults" || cmd == "health" || cmd == "record" ||
+         cmd == "report";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -391,10 +410,16 @@ int run_with_stats(const std::string& stats_out, Fn&& fn) {
   if (!stats_out.empty()) {
     std::ofstream out(stats_out, std::ios::trunc);
     if (!out) {
+      // An unwritable path is a runtime failure, but never *masks* the
+      // wrapped command's own failure code.
       std::cerr << "brokerctl stats: cannot open " << stats_out << '\n';
-      return 1;
+      return rc != 0 ? rc : 1;
     }
     bsr::obs::write_json(out, snap);
+    if (!out) {
+      std::cerr << "brokerctl stats: failed writing " << stats_out << '\n';
+      return rc != 0 ? rc : 1;
+    }
     std::cerr << "stats: wrote " << stats_out << '\n';
   }
   return rc;
@@ -438,6 +463,305 @@ int cmd_stats(int argc, char** argv) {
   });
 }
 
+// Flight-recorder wrapper: runs any subcommand with the event journal and
+// interval sampler on, then writes the requested artifacts. Every output
+// path is opened *before* the run so an unwritable path fails fast (exit 1,
+// diagnostic naming the path) instead of after minutes of simulation.
+int cmd_record(int argc, char** argv) {
+  std::string events_out, series_out, trace_out;
+  double interval = 1.0;
+  int first = 2;
+  const auto flag_value = [&](const std::string& arg, const char* flag,
+                              std::string& out) {
+    if (arg.rfind(flag, 0) != 0) return false;
+    out = arg.substr(std::strlen(flag));
+    if (out.empty()) {
+      throw std::runtime_error(std::string(flag) + " needs a file path");
+    }
+    return true;
+  };
+  for (; first < argc; ++first) {
+    const std::string arg = argv[first];
+    if (flag_value(arg, "--events-out=", events_out) ||
+        flag_value(arg, "--series-out=", series_out) ||
+        flag_value(arg, "--trace-out=", trace_out)) {
+      continue;
+    }
+    if (arg.rfind("--interval=", 0) == 0) {
+      interval = parse_positive_double(
+          "interval", arg.substr(std::strlen("--interval=")), 1e9);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl record: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    break;
+  }
+  if (first >= argc) return usage();
+  if (!known_subcommand(argv[first])) {
+    std::cerr << "brokerctl record: unknown subcommand '" << argv[first]
+              << "'\n";
+    return usage();
+  }
+  std::ofstream events_file, series_file, trace_file;
+  const auto open_out = [](std::ofstream& f, const std::string& path) {
+    if (path.empty()) return true;
+    f.open(path, std::ios::trunc);
+    if (!f) {
+      std::cerr << "brokerctl record: cannot open " << path << '\n';
+      return false;
+    }
+    return true;
+  };
+  if (!open_out(events_file, events_out) ||
+      !open_out(series_file, series_out) || !open_out(trace_file, trace_out)) {
+    return 1;
+  }
+  if (!BSR_STATS_ENABLED) {
+    std::cerr << "brokerctl record: built with BSR_STATS=OFF — "
+                 "the journal will be empty\n";
+  }
+
+  std::vector<char*> sub;
+  sub.push_back(argv[0]);
+  for (int j = first; j < argc; ++j) sub.push_back(argv[j]);
+  bsr::obs::JournalOptions options;
+  options.series_interval = interval;
+  bsr::obs::start_recording(options);
+  int rc = 0;
+  try {
+    rc = dispatch(static_cast<int>(sub.size()), sub.data());
+  } catch (...) {
+    bsr::obs::stop_recording();
+    throw;
+  }
+  bsr::obs::stop_recording();
+
+  const bsr::obs::Journal journal = bsr::obs::snapshot_journal();
+  const auto& series = bsr::obs::journal_series();
+  if (!events_out.empty()) bsr::obs::write_events_jsonl(events_file, journal);
+  if (!series_out.empty()) bsr::obs::write_series_csv(series_file, series);
+  if (!trace_out.empty()) {
+    bsr::obs::write_journal_chrome_trace(trace_file, journal, series);
+  }
+  const auto flush = [&rc](std::ofstream& f, const std::string& path) {
+    if (path.empty()) return;
+    f.flush();
+    if (!f) {
+      std::cerr << "brokerctl record: failed writing " << path << '\n';
+      if (rc == 0) rc = 1;
+    } else {
+      std::cerr << "record: wrote " << path << '\n';
+    }
+  };
+  flush(events_file, events_out);
+  flush(series_file, series_out);
+  flush(trace_file, trace_out);
+  std::cerr << "record: " << journal.events.size() << " events ("
+            << journal.dropped << " dropped), " << series.size()
+            << " series rounds\n";
+  return rc;
+}
+
+/// One journal line, minimally parsed. Field extraction is string-based:
+/// the writer (write_events_jsonl) emits a fixed `"key": value` layout, so
+/// a JSON library would be dead weight here.
+struct JournalLine {
+  double t = 0.0;
+  std::string type;
+  std::uint64_t subject = 0;
+  std::uint64_t corr = 0;
+};
+
+bool parse_journal_field(const std::string& line, const std::string& key,
+                         std::string& out) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t begin = pos + needle.size();
+  std::size_t end;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string::npos || end < begin) return false;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool parse_journal_line(const std::string& line, JournalLine& out) {
+  std::string t, subject, corr;
+  if (!parse_journal_field(line, "t", t) ||
+      !parse_journal_field(line, "type", out.type) ||
+      !parse_journal_field(line, "subject", subject) ||
+      !parse_journal_field(line, "corr", corr)) {
+    return false;
+  }
+  try {
+    out.t = std::stod(t);
+    out.subject = std::stoull(subject);
+    out.corr = std::stoull(corr);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+// Journal summary: per-type event counts, the worst misrouting window (the
+// window of length W with the most integrated broker-down-but-not-yet-
+// quarantined exposure — the interval a departure stays invisible to the
+// detector is exactly when routing misroutes), and quarantine dwell times
+// (quarantine -> first probation/recovery per failure episode).
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string path;
+  double window = 10.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--window=", 0) == 0) {
+      window = parse_positive_double("window",
+                                     arg.substr(std::strlen("--window=")), 1e9);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl report: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    if (!path.empty()) return usage();
+    path = arg;
+  }
+  if (path.empty()) return usage();
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "brokerctl report: cannot open " << path << '\n';
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.find("\"schema\": \"bsr-events/1\"") == std::string::npos) {
+    throw std::runtime_error("'" + path +
+                             "' is not a bsr-events/1 journal (bad header)");
+  }
+
+  std::map<std::string, std::uint64_t> counts;
+  // Misrouting exposure: a departed broker is "exposed" until the detector
+  // quarantines it or it returns on its own. Lines arrive time-sorted
+  // (export order), so one forward scan closes intervals correctly.
+  struct Interval {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  std::map<std::uint64_t, double> down_since;  // vertex -> departure time
+  std::vector<Interval> exposure;
+  std::map<std::uint64_t, double> quarantined_at;  // episode -> quarantine time
+  std::vector<double> dwells;
+  double horizon = 0.0;
+  std::uint64_t bad_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalLine event;
+    if (!parse_journal_line(line, event)) {
+      ++bad_lines;
+      continue;
+    }
+    ++counts[event.type];
+    horizon = std::max(horizon, event.t);
+    if (event.type == "sim.churn.departure") {
+      down_since.emplace(event.subject, event.t);
+    } else if (event.type == "sim.churn.return" ||
+               event.type == "sim.health.quarantine") {
+      const auto it = down_since.find(event.subject);
+      if (it != down_since.end()) {
+        exposure.push_back({it->second, event.t});
+        down_since.erase(it);
+      }
+    }
+    if (event.type == "sim.health.quarantine" && event.corr != 0) {
+      quarantined_at.emplace(event.corr, event.t);
+    } else if (event.type == "sim.health.probation" ||
+               event.type == "sim.health.recover") {
+      const auto it = quarantined_at.find(event.corr);
+      if (it != quarantined_at.end()) {
+        dwells.push_back(event.t - it->second);
+        quarantined_at.erase(it);
+      }
+    }
+  }
+  if (bad_lines > 0) {
+    std::cerr << "brokerctl report: skipped " << bad_lines
+              << " unparseable line(s)\n";
+  }
+  // Departures never detected or returned: exposed to the end of the data.
+  for (const auto& [vertex, since] : down_since) {
+    exposure.push_back({since, horizon});
+  }
+
+  bsr::io::Table counts_table({"event", "count"});
+  for (const auto& [type, count] : counts) {
+    counts_table.row().cell(type).cell(count);
+  }
+  counts_table.print(std::cout);
+
+  // Worst window: maximize the integral of the exposure step function over
+  // [s, s + window]. The maximum is attained with the window flush against a
+  // breakpoint, so trying every interval start and every end - window is
+  // exhaustive. O(n^2) on the handful of departures a sim produces.
+  if (exposure.empty()) {
+    std::cout << "misrouting exposure: none (no undetected departures)\n";
+  } else {
+    const auto window_exposure = [&](double s) {
+      double total = 0.0;
+      for (const Interval& iv : exposure) {
+        total += std::max(
+            0.0, std::min(iv.end, s + window) - std::max(iv.start, s));
+      }
+      return total;
+    };
+    double best_start = 0.0;
+    double best = -1.0;
+    for (const Interval& iv : exposure) {
+      for (const double s : {iv.start, iv.end - window}) {
+        const double candidate = window_exposure(std::max(0.0, s));
+        if (candidate > best) {
+          best = candidate;
+          best_start = std::max(0.0, s);
+        }
+      }
+    }
+    std::cout << "worst misrouting window: ["
+              << bsr::io::format_double(best_start, 2) << ", "
+              << bsr::io::format_double(best_start + window, 2) << ") with "
+              << bsr::io::format_double(best, 2)
+              << " broker-time of undetected-down exposure\n";
+  }
+
+  if (dwells.empty()) {
+    std::cout << "quarantine dwells: none resolved\n";
+  } else {
+    // Same power-of-two-buckets convention as the registry histograms,
+    // over integral milli-units of simulated time.
+    std::array<std::uint64_t, bsr::obs::kHistogramBuckets> buckets{};
+    for (const double dwell : dwells) {
+      ++buckets[bsr::obs::bucket_of(static_cast<std::uint64_t>(dwell * 1e3))];
+    }
+    bsr::io::Table dwell_table({"dwell >= (ms)", "episodes"});
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) continue;
+      const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+      dwell_table.row().cell(lo).cell(buckets[b]);
+    }
+    dwell_table.print(std::cout);
+  }
+  if (!quarantined_at.empty()) {
+    std::cout << quarantined_at.size()
+              << " episode(s) still quarantined at end of journal\n";
+  }
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
@@ -448,6 +772,8 @@ int dispatch(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "faults") return cmd_faults(argc, argv);
   if (cmd == "health") return cmd_health(argc, argv);
+  if (cmd == "record") return cmd_record(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
   std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
   return usage();
 }

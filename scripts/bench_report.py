@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Aggregate bsr-bench/1 suite files into one markdown trend table.
+
+Every bench binary (bench/perf_*) writes a BENCH_<suite>.json in the shared
+bsr-bench/1 schema (see bench/harness.hpp). CI uploads those as artifacts,
+but eyeballing N separate JSON files across commits is hopeless — this script
+folds them into a single markdown report: one summary row per suite (scale,
+seed, threads, total deterministic work units) and one detail row per run
+(wall ms, ms/rep, work units, and the run's largest counters). Committing or
+uploading the report alongside the raw JSON gives a diffable trend line:
+wall-ms columns move with hardware noise, work-unit columns only move when
+the algorithms change.
+
+Usage: bench_report.py [--out report.md] BENCH_a.json [BENCH_b.json ...]
+Exits 1 if no input parses as bsr-bench/1 (so CI fails loudly when the
+bench step silently produced nothing), 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters shown per run, capped so the table stays readable.
+MAX_COUNTERS_PER_RUN = 3
+
+
+def load_suite(path):
+    """Returns the parsed suite dict, or None (with a stderr note) if the
+    file is unreadable or not bsr-bench/1."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_report: skipping {path}: {err}", file=sys.stderr)
+        return None
+    if data.get("bench_schema") != "bsr-bench/1":
+        print(f"bench_report: skipping {path}: bench_schema is "
+              f"{data.get('bench_schema')!r}, expected 'bsr-bench/1'",
+              file=sys.stderr)
+        return None
+    data["_path"] = path
+    return data
+
+
+def headline_counters(run):
+    counters = sorted(run.get("counters", {}).items(),
+                      key=lambda kv: (-kv[1], kv[0]))
+    shown = ", ".join(f"{name}={value:,}"
+                      for name, value in counters[:MAX_COUNTERS_PER_RUN])
+    if len(counters) > MAX_COUNTERS_PER_RUN:
+        shown += f", +{len(counters) - MAX_COUNTERS_PER_RUN} more"
+    return shown or "—"
+
+
+def render(suites):
+    lines = ["# Bench trend report", ""]
+    lines.append("| suite | scale | seed | threads | stats | runs | "
+                 "total work units |")
+    lines.append("|---|---:|---:|---:|---|---:|---:|")
+    for s in suites:
+        total = s.get("total_work_units",
+                      sum(r.get("work_units", 0) for r in s.get("runs", [])))
+        lines.append(
+            f"| {s.get('suite', '?')} | {s.get('scale', '?')} "
+            f"| {s.get('seed', '?')} | {s.get('threads', '?')} "
+            f"| {'on' if s.get('stats_enabled') else 'off'} "
+            f"| {len(s.get('runs', []))} | {total:,} |")
+    for s in suites:
+        lines.append("")
+        lines.append(f"## {s.get('suite', '?')} ({s['_path']})")
+        lines.append("")
+        metrics = s.get("metrics", {})
+        if metrics:
+            shown = ", ".join(f"{k}={v:g}" for k, v in sorted(metrics.items()))
+            lines.append(f"Suite metrics: {shown}")
+            lines.append("")
+        lines.append("| run | reps | wall ms | ms/rep | work units | "
+                     "top counters |")
+        lines.append("|---|---:|---:|---:|---:|---|")
+        for r in s.get("runs", []):
+            reps = r.get("repetitions", 1) or 1
+            wall = r.get("wall_ms", 0.0)
+            lines.append(
+                f"| {r.get('name', '?')} | {reps} | {wall:.3f} "
+                f"| {wall / reps:.3f} | {r.get('work_units', 0):,} "
+                f"| {headline_counters(r)} |")
+    lines.append("")
+    lines.append("Work-unit columns are deterministic (seed + scale only); "
+                 "wall-ms columns carry hardware noise. A work-unit change "
+                 "without a matching code change is drift — see "
+                 "scripts/check_obs_drift.py.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_report.py",
+        description="Aggregate bsr-bench/1 JSON files into a markdown "
+                    "trend table.")
+    parser.add_argument("inputs", nargs="+", metavar="BENCH.json")
+    parser.add_argument("--out", metavar="report.md",
+                        help="write the report here instead of stdout")
+    args = parser.parse_args()
+
+    suites = [s for s in map(load_suite, args.inputs) if s is not None]
+    if not suites:
+        print("bench_report: no valid bsr-bench/1 inputs", file=sys.stderr)
+        return 1
+    suites.sort(key=lambda s: (s.get("suite", ""), s["_path"]))
+
+    report = render(suites)
+    if args.out:
+        try:
+            with open(args.out, "w") as f:
+                f.write(report)
+        except OSError as err:
+            print(f"bench_report: cannot write {args.out}: {err}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench_report: wrote {args.out} "
+              f"({len(suites)} suite(s), "
+              f"{sum(len(s.get('runs', [])) for s in suites)} run(s))")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

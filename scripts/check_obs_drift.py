@@ -9,8 +9,13 @@ any drift beyond the baseline's tolerance means the algorithms started doing
 different work (or counting it differently) without the baseline being
 updated deliberately.
 
+A baseline key that has *disappeared* from the snapshot (a renamed or removed
+counter, or a renamed run) is a hard failure, not a skip: silently checking
+fewer counters than the baseline names would let the tripwire rot into a
+no-op. Likewise a baseline that names no counters at all fails loudly.
+
 Usage: check_obs_drift.py <BENCH_obs.json> <baseline.json>
-Exit codes: 0 within tolerance, 1 drift detected, 2 bad input.
+Exit codes: 0 within tolerance, 1 drift/missing-key detected, 2 bad input.
 """
 
 import json
@@ -33,21 +38,40 @@ def main() -> int:
     if baseline.get("obs_baseline_schema") != 1:
         print("check_obs_drift: unknown baseline schema", file=sys.stderr)
         return 2
+    if not isinstance(baseline.get("tolerance_pct"), (int, float)):
+        print("check_obs_drift: baseline is missing a numeric 'tolerance_pct'",
+              file=sys.stderr)
+        return 2
+    if not isinstance(baseline.get("runs"), dict):
+        print("check_obs_drift: baseline is missing its 'runs' object",
+              file=sys.stderr)
+        return 2
+    if bench.get("bench_schema") != "bsr-bench/1":
+        print(f"check_obs_drift: {sys.argv[1]} is not a bsr-bench/1 file "
+              f"(bench_schema = {bench.get('bench_schema')!r})",
+              file=sys.stderr)
+        return 2
+
     tolerance = baseline["tolerance_pct"] / 100.0
-    runs = {run["name"]: run for run in bench.get("runs", [])}
+    runs = {run.get("name"): run for run in bench.get("runs", [])}
 
     failures = []
     checked = 0
     for run_name, expected_counters in baseline["runs"].items():
         run = runs.get(run_name)
         if run is None:
-            failures.append(f"run '{run_name}' missing from {sys.argv[1]}")
+            failures.append(
+                f"run '{run_name}' missing from {sys.argv[1]} — renamed or "
+                f"removed? (snapshot has: {', '.join(sorted(filter(None, runs))) or 'none'})")
             continue
         actual_counters = run.get("counters", {})
         for counter, expected in expected_counters.items():
             actual = actual_counters.get(counter)
             if actual is None:
-                failures.append(f"{run_name}: counter '{counter}' missing")
+                failures.append(
+                    f"{run_name}: counter '{counter}' missing from the "
+                    f"snapshot — renamed or removed? A baseline key that no "
+                    f"longer exists must be updated deliberately, not skipped")
                 continue
             checked += 1
             drift = abs(actual - expected) / expected if expected else float(
@@ -60,6 +84,9 @@ def main() -> int:
                     f"{run_name}: {counter} drifted {drift * 100:.2f}% "
                     f"(expected {expected}, got {actual})")
 
+    if checked == 0 and not failures:
+        failures.append("baseline names no counters at all — the tripwire "
+                        "checked nothing")
     if failures:
         print(f"\ncheck_obs_drift: {len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:

@@ -17,12 +17,31 @@
 #define BSR_DCHECK_ENABLED 0
 #endif
 
+namespace bsr {
+
+/// Called (when set) right before a failed BSR_DCHECK aborts. The obs flight
+/// recorder installs a handler that dumps the journal tail to stderr
+/// (obs/journal.hpp start_recording), turning the ring buffer into a crash
+/// black box. Header-only and outside bsr::obs on purpose: graph TUs that
+/// use BSR_DCHECK must reference zero obs symbols in a BSR_STATS=OFF build.
+using DcheckFailureHook = void (*)();
+
+[[nodiscard]] inline DcheckFailureHook& dcheck_failure_hook() noexcept {
+  static DcheckFailureHook hook = nullptr;
+  return hook;
+}
+
+}  // namespace bsr
+
 #if BSR_DCHECK_ENABLED
 #define BSR_DCHECK(cond)                                                     \
   do {                                                                       \
     if (!(cond)) {                                                           \
       std::fprintf(stderr, "BSR_DCHECK failed: %s at %s:%d\n", #cond,        \
                    __FILE__, __LINE__);                                      \
+      if (::bsr::dcheck_failure_hook() != nullptr) {                         \
+        ::bsr::dcheck_failure_hook()();                                      \
+      }                                                                      \
       std::abort();                                                          \
     }                                                                        \
   } while (false)

@@ -5,6 +5,7 @@
 
 #include "graph/check.hpp"
 #include "graph/graph_builder.hpp"
+#include "obs/journal.hpp"
 
 namespace bsr::graph {
 
@@ -127,6 +128,9 @@ std::size_t FaultPlane::fail_group(const FailureGroup& group) {
   for (const Edge& e : group.edges) {
     if (fail_edge(e.u, e.v)) ++newly_down;
   }
+  // Stamped at the journal clock: the plane has no notion of simulated time,
+  // but the sim loop driving it does (BSR_EVENT_TIME).
+  BSR_EVENT_NOW(FaultGroupFail, group.center, newly_down);
   return newly_down;
 }
 
@@ -135,6 +139,7 @@ std::size_t FaultPlane::heal_group(const FailureGroup& group) {
   for (const Edge& e : group.edges) {
     if (heal_edge(e.u, e.v)) ++newly_up;
   }
+  BSR_EVENT_NOW(FaultGroupHeal, group.center, newly_up);
   return newly_up;
 }
 

@@ -1,6 +1,9 @@
 #include "obs/export.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -8,6 +11,23 @@
 namespace bsr::obs {
 
 namespace {
+
+/// Shortest round-trip decimal for a double — the only formatting whose
+/// bytes are a pure function of the value, which the byte-identity contract
+/// (same seed, any BSR_THREADS) depends on. Locale-independent by
+/// construction, unlike ostream's `<<`.
+void put_double(std::ostream& os, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  os.write(buf, ptr - buf);
+  static_cast<void>(ec);  // shortest form always fits in 32 chars
+}
+
+/// Simulated time -> trace_event timestamp: microseconds, rounded to an
+/// integer tick so Perfetto gets monotone integral timestamps.
+std::int64_t trace_ts(double t) {
+  return static_cast<std::int64_t>(std::llround(t * 1e6));
+}
 
 void json_histogram(std::ostream& os, const Snapshot& snap, Histogram h) {
   const auto& buckets = snap.histograms[static_cast<std::size_t>(h)];
@@ -106,6 +126,67 @@ void write_chrome_trace(std::ostream& os, std::span<const SpanRecord> spans) {
       os << ", \"" << name(counter) << "\": " << moved;
     }
     os << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void write_events_jsonl(std::ostream& os, const Journal& journal) {
+  os << "{\"schema\": \"" << kEventSchema
+     << "\", \"events\": " << journal.events.size()
+     << ", \"dropped\": " << journal.dropped << "}\n";
+  for (const EventRecord& rec : journal.events) {
+    os << "{\"t\": ";
+    put_double(os, rec.time);
+    os << ", \"type\": \"" << name(rec.type) << "\", \"subject\": "
+       << rec.subject << ", \"corr\": " << rec.correlation << "}\n";
+  }
+}
+
+void write_series_csv(std::ostream& os, std::span<const SeriesRow> rows) {
+  os << "round,t_begin,t_end";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    os << "," << name(static_cast<Counter>(i));
+  }
+  os << "\n";
+  for (const SeriesRow& row : rows) {
+    os << row.round << ",";
+    put_double(os, row.t_begin);
+    os << ",";
+    put_double(os, row.t_end);
+    for (std::size_t i = 0; i < kNumCounters; ++i) os << "," << row.deltas[i];
+    os << "\n";
+  }
+}
+
+void write_journal_chrome_trace(std::ostream& os, const Journal& journal,
+                                std::span<const SeriesRow> rows) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const EventRecord& rec : journal.events) {
+    sep();
+    os << "  {\"name\": \"" << name(rec.type)
+       << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": 1, \"ts\": "
+       << trace_ts(rec.time) << ", \"args\": {\"subject\": " << rec.subject
+       << ", \"corr\": " << rec.correlation << ", \"seq\": " << rec.seq
+       << "}}";
+  }
+  // One counter track per slot that moved anywhere in the series; each round
+  // contributes one sample at its start, holding the round's delta.
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const bool moved = std::any_of(
+        rows.begin(), rows.end(),
+        [i](const SeriesRow& row) { return row.deltas[i] != 0; });
+    if (!moved) continue;
+    for (const SeriesRow& row : rows) {
+      sep();
+      os << "  {\"name\": \"" << name(static_cast<Counter>(i))
+         << "\", \"ph\": \"C\", \"pid\": 1, \"ts\": " << trace_ts(row.t_begin)
+         << ", \"args\": {\"delta\": " << row.deltas[i] << "}}";
+    }
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
 }

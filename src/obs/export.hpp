@@ -12,6 +12,19 @@
 //                      (load in chrome://tracing or Perfetto for a flame
 //                      chart); counter deltas ride along in "args".
 //
+// Flight-recorder formats (journal.hpp / timeseries.hpp):
+//   * write_events_jsonl — the event journal as JSON Lines under the
+//                      versioned `bsr-events/1` schema: one header object
+//                      (schema, event count, drop count), then one object
+//                      per record. Doubles print via std::to_chars shortest
+//                      round-trip, so a fixed seed produces a byte-identical
+//                      file at any BSR_THREADS.
+//   * write_series_csv — the per-round counter time series with one column
+//                      per registry slot (stable header, every slot present).
+//   * write_journal_chrome_trace — journal records as trace_event instant
+//                      ("i") events plus per-round counter ("C") tracks, so
+//                      a whole churn run loads in Perfetto.
+//
 // obs sits below every other library, so formatting here is hand-rolled
 // rather than borrowed from bsr_io.
 #pragma once
@@ -19,7 +32,9 @@
 #include <iosfwd>
 #include <span>
 
+#include "obs/journal.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace bsr::obs {
@@ -35,5 +50,20 @@ void dump_pretty(std::ostream& os, const Snapshot& snap);
 
 /// Chrome trace_event ("X" complete events) for one thread's drained spans.
 void write_chrome_trace(std::ostream& os, std::span<const SpanRecord> spans);
+
+/// Event journal as `bsr-events/1` JSON Lines: header object first
+/// ({"schema": "bsr-events/1", "events": N, "dropped": D}), then one
+/// {"t", "type", "subject", "corr"} object per record in export order.
+void write_events_jsonl(std::ostream& os, const Journal& journal);
+
+/// Per-round counter time series as CSV: `round,t_begin,t_end` followed by
+/// one column per counter slot in registry order, every slot present.
+void write_series_csv(std::ostream& os, std::span<const SeriesRow> rows);
+
+/// Journal + series as Chrome trace_event JSON: records become instant
+/// ("i") events at t*1e6 microseconds, and each counter that moved anywhere
+/// in the series becomes a counter ("C") track with one sample per round.
+void write_journal_chrome_trace(std::ostream& os, const Journal& journal,
+                                std::span<const SeriesRow> rows);
 
 }  // namespace bsr::obs

@@ -1,0 +1,55 @@
+#include "obs/timeseries.hpp"
+
+#include <stdexcept>
+
+namespace bsr::obs {
+
+void IntervalSampler::begin(double start, double interval) {
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument("IntervalSampler: interval must be > 0");
+  }
+  active_ = true;
+  start_ = start;
+  interval_ = interval;
+  round_begin_ = start;
+  last_ = snapshot();
+  rows_.clear();
+}
+
+void IntervalSampler::advance(double now) {
+  if (!active_ || now < next_boundary()) return;
+  // One registry merge covers every boundary crossed by this call: counters
+  // cannot move between the crossed rounds, so the first one gets the whole
+  // delta and the rest close empty.
+  const Snapshot current = snapshot();
+  while (now >= next_boundary()) close_round(next_boundary(), current);
+}
+
+void IntervalSampler::finish(double now) {
+  if (!active_) return;
+  advance(now);
+  const Snapshot current = snapshot();
+  bool moved = false;
+  for (std::size_t i = 0; i < kNumCounters && !moved; ++i) {
+    moved = current.counters[i] != last_.counters[i];
+  }
+  if (now > round_begin_ || moved) {
+    close_round(now > round_begin_ ? now : round_begin_, current);
+  }
+  active_ = false;
+}
+
+void IntervalSampler::close_round(double t_end, const Snapshot& current) {
+  SeriesRow row;
+  row.round = static_cast<std::uint64_t>(rows_.size());
+  row.t_begin = round_begin_;
+  row.t_end = t_end;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    row.deltas[i] = current.counters[i] - last_.counters[i];
+  }
+  rows_.push_back(row);
+  last_ = current;
+  round_begin_ = t_end;
+}
+
+}  // namespace bsr::obs

@@ -1,0 +1,81 @@
+// Per-round counter time series for the flight recorder.
+//
+// The counter registry (stats.hpp) is cumulative: a snapshot at the end of a
+// churn run tells you the totals but not *when* the work happened. The
+// IntervalSampler turns the registry into a trajectory — it snapshots the
+// registry every time the journal clock (journal.hpp) crosses a simulated-
+// time boundary and records the per-round counter deltas, so a misrouting
+// spike mid-horizon shows up as a spike in `sim.router.tier_*` for that
+// round instead of averaging away into the end-of-run totals.
+//
+// Rounds are half-open intervals [t_begin, t_end) of a fixed simulated-time
+// length. Boundaries are computed as start + (k+1)*interval (not
+// accumulated), so the row grid is identical run-to-run regardless of how
+// the clock advanced through it. Rows carry the delta of *every* counter
+// slot — stable columns, in registry slot order — which is what makes the
+// CSV exporter diffable byte-for-byte across runs and thread counts.
+//
+// Same determinism contract as the journal: the sampler is driven only from
+// single-threaded simulation loops, and counter snapshots are bit-identical
+// at any BSR_THREADS (stats.hpp rule 3), so the series is too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace bsr::obs {
+
+/// One closed round: the counter movement inside [t_begin, t_end).
+struct SeriesRow {
+  std::uint64_t round = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  /// Counter deltas in registry slot order — every slot, moved or not.
+  std::array<std::uint64_t, kNumCounters> deltas{};
+};
+
+/// Snapshots the counter registry at fixed simulated-time boundaries and
+/// accumulates per-round deltas. Driven by the journal clock; may also be
+/// used standalone (tests do).
+class IntervalSampler {
+ public:
+  /// Arms the sampler: the first round is [start, start + interval), and the
+  /// current registry totals become the baseline. `interval` must be > 0.
+  void begin(double start, double interval);
+
+  /// Closes every round whose boundary is <= `now`. Non-monotone calls
+  /// (a simulator processing an internal event at a time before the loop
+  /// clock) are ignored — the round grid only moves forward.
+  void advance(double now);
+
+  /// Closes the trailing partial round [round_begin, now) if any counters
+  /// moved or any time elapsed in it, then disarms the sampler.
+  void finish(double now);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] const std::vector<SeriesRow>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  void close_round(double t_end, const Snapshot& current);
+  [[nodiscard]] double next_boundary() const noexcept {
+    return start_ + static_cast<double>(rows_.size() + 1) * interval_;
+  }
+
+  bool active_ = false;
+  double start_ = 0.0;
+  double interval_ = 0.0;
+  double round_begin_ = 0.0;
+  Snapshot last_{};
+  std::vector<SeriesRow> rows_;
+};
+
+/// The rows collected by the journal's sampler during the last (or current)
+/// recording session (see journal.hpp start_recording / JournalOptions).
+[[nodiscard]] const std::vector<SeriesRow>& journal_series() noexcept;
+
+}  // namespace bsr::obs

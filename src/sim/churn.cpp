@@ -8,6 +8,7 @@
 
 #include "broker/dominated.hpp"
 #include "broker/resilience.hpp"
+#include "obs/journal.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
@@ -73,6 +74,7 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
   const auto advance_to = [&](double t) {
     weighted_sum += connectivity * (t - now);
     now = t;
+    BSR_EVENT_TIME(t);
   };
   const auto record = [&](ChurnEvent::Kind kind) {
     BSR_COUNT(ChurnEvents);
@@ -100,28 +102,59 @@ ChurnResult simulate_churn(const bsr::graph::CsrGraph& g, const BrokerSet& initi
       heals.pop();
       faults.heal_group(groups[heal.group]);
       ++result.link_heals;
+      BSR_EVENT(ChurnLinkHeal, now, groups[heal.group].center, 0);
       record(ChurnEvent::Kind::kLinkHeal);
     } else if (next_outage <= next_time) {
       const auto group = static_cast<std::size_t>(rng.uniform(groups.size()));
       faults.fail_group(groups[group]);
       heals.push({now + rng.exponential(1.0 / link.mean_downtime), group});
       ++result.link_outages;
+      BSR_EVENT(ChurnLinkOutage, now, groups[group].center, 0);
       record(ChurnEvent::Kind::kLinkOutage);
       next_outage = now + rng.exponential(link.outage_rate);
     } else if (next_departure <= next_repair) {
       // One uniformly random broker departs (if any remain).
       if (!current.empty()) {
+#if BSR_STATS_ENABLED
+        // fail_brokers only returns the survivor set; recover the departed
+        // vertex by membership diff — but only while the flight recorder is
+        // actually on, so the copy never taxes an unrecorded run.
+        std::vector<NodeId> prior;
+        if (bsr::obs::recording_enabled()) {
+          prior.assign(current.members().begin(), current.members().end());
+        }
+#endif
         current = bsr::broker::fail_brokers(g, current, 1,
                                             bsr::broker::FailureMode::kRandom, rng);
         ++result.departures;
+#if BSR_STATS_ENABLED
+        for (const NodeId m : prior) {
+          if (!current.contains(m)) BSR_EVENT(ChurnDeparture, now, m, 0);
+        }
+#endif
         record(ChurnEvent::Kind::kDeparture);
       }
       next_departure = now + rng.exponential(config.departure_rate);
     } else {
       const std::size_t before = current.size();
+#if BSR_STATS_ENABLED
+      std::vector<NodeId> prior;
+      if (bsr::obs::recording_enabled()) {
+        prior.assign(current.members().begin(), current.members().end());
+      }
+#endif
       current = bsr::broker::repair_brokers(g, current, config.repair_budget, faults);
       ++result.repairs;
       result.replacements_added += current.size() - before;
+#if BSR_STATS_ENABLED
+      if (bsr::obs::recording_enabled() && current.size() > before) {
+        for (const NodeId m : current.members()) {
+          if (std::find(prior.begin(), prior.end(), m) == prior.end()) {
+            BSR_EVENT(ChurnRepair, now, m, 0);
+          }
+        }
+      }
+#endif
       record(ChurnEvent::Kind::kRepair);
       next_repair = now + config.repair_interval;
     }
@@ -243,6 +276,9 @@ HealthChurnResult simulate_churn_with_health(
 
   std::size_t active_view = 0;       // index into monitor.views()
   std::size_t seen_transitions = 0;  // transitions already post-processed
+  // Episode of the quarantine that most recently armed the repair scheduler
+  // (journal correlation only, hence gated with the stats plane).
+  BSR_STATS_ONLY(std::uint64_t repair_episode = 0;)
   std::vector<double> down_since(n, kNever);
   std::vector<bool> credited(n, false);  // this outage episode already timed
 
@@ -267,6 +303,7 @@ HealthChurnResult simulate_churn_with_health(
     believed_weighted += believed_conn * dt;
     segment_costs(dt);
     now = t;
+    BSR_EVENT_TIME(t);
   };
   const auto rebuild_believed = [&]() {
     BSR_COUNT(ChurnConnectivityEvals);
@@ -311,6 +348,7 @@ HealthChurnResult simulate_churn_with_health(
             credited[event.vertex] = false;
           }
           ++result.departures;
+          BSR_EVENT(ChurnDeparture, t, event.vertex, 0);
           break;
         case GroundTruthEvent::Kind::kReturn:
           if (plane.heal_vertex(event.vertex)) {
@@ -318,14 +356,17 @@ HealthChurnResult simulate_churn_with_health(
             credited[event.vertex] = false;
           }
           ++result.returns;
+          BSR_EVENT(ChurnReturn, t, event.vertex, 0);
           break;
         case GroundTruthEvent::Kind::kOutage:
           plane.fail_group(groups[event.group]);
           ++result.link_outages;
+          BSR_EVENT(ChurnLinkOutage, t, groups[event.group].center, 0);
           break;
         case GroundTruthEvent::Kind::kLinkHeal:
           plane.heal_group(groups[event.group]);
           ++result.link_heals;
+          BSR_EVENT(ChurnLinkHeal, t, groups[event.group].center, 0);
           break;
       }
       BSR_COUNT_N(ChurnConnectivityEvals, 2);
@@ -340,6 +381,10 @@ HealthChurnResult simulate_churn_with_health(
         const HealthTransition& tr = transitions[seen_transitions];
         if (tr.to != HealthState::kQuarantined) continue;
         scheduler.request(t);
+        // The episode that armed the scheduler; the eventual repair attempt
+        // journals under it, closing the probe -> quarantine -> repair chain.
+        BSR_STATS_ONLY(repair_episode = tr.episode;)
+        BSR_EVENT(RepairRequest, t, tr.broker, tr.episode);
         if (down_since[tr.broker] != kNever && !credited[tr.broker]) {
           result.detection_latencies.push_back(t - down_since[tr.broker]);
           credited[tr.broker] = true;
@@ -359,7 +404,9 @@ HealthChurnResult simulate_churn_with_health(
         current.add(m);
         monitor.add_broker(m, t);
         ++recruited;
+        BSR_EVENT(RepairRecruit, t, m, repair_episode);
       }
+      BSR_EVENT(RepairAttempt, t, recruited, repair_episode);
       scheduler.report(t, recruited);
       result.replacements_added += recruited;
       if (recruited > 0) {

@@ -7,6 +7,7 @@
 #include "graph/check.hpp"
 #include "graph/engine.hpp"
 #include "graph/sampling.hpp"
+#include "obs/journal.hpp"
 #include "obs/stats.hpp"
 
 namespace bsr::sim {
@@ -179,7 +180,24 @@ void HealthMonitor::transition(double now, std::size_t index, HealthState to) {
   Cell& cell = cells_[index];
   BSR_DCHECK(cell.state != to);
   BSR_COUNT(HealthTransitions);
-  transitions_.push_back({now, members_[index], cell.state, to});
+  // Leaving kHealthy opens a new failure episode; the id rides every later
+  // transition (and repair event) of the same suspicion chain as `corr`.
+  if (cell.state == HealthState::kHealthy) cell.episode = next_episode_++;
+  transitions_.push_back({now, members_[index], cell.state, to, cell.episode});
+  switch (to) {
+    case HealthState::kSuspect:
+      BSR_EVENT(HealthSuspect, now, members_[index], cell.episode);
+      break;
+    case HealthState::kQuarantined:
+      BSR_EVENT(HealthQuarantine, now, members_[index], cell.episode);
+      break;
+    case HealthState::kProbation:
+      BSR_EVENT(HealthProbation, now, members_[index], cell.episode);
+      break;
+    case HealthState::kHealthy:
+      BSR_EVENT(HealthRecover, now, members_[index], cell.episode);
+      break;
+  }
   cell.state = to;
   dirty_ = true;
 }
@@ -205,6 +223,11 @@ void HealthMonitor::probe_round(double now) {
     if (cell.state == HealthState::kQuarantined) continue;
     BSR_STATS_ONLY(++probes_sent;)
     const bool ok = probe_target(i);
+    if (ok) {
+      BSR_EVENT(HealthProbeOk, now, members_[i], cell.episode);
+    } else {
+      BSR_EVENT(HealthProbeMiss, now, members_[i], cell.episode);
+    }
     switch (cell.state) {
       case HealthState::kHealthy:
         if (ok) {
@@ -259,9 +282,11 @@ void HealthMonitor::reprobe(double now, std::size_t index) {
   BSR_COUNT(HealthProbesSent);
   reach_valid_ = false;  // point-in-time probe: refresh against current faults
   if (probe_target(index)) {
+    BSR_EVENT(HealthProbeOk, now, members_[index], cell.episode);
     cell.successes = 0;
     transition(now, index, HealthState::kProbation);
   } else {
+    BSR_EVENT(HealthProbeMiss, now, members_[index], cell.episode);
     ++cell.backoff_level;
     cell.next_reprobe = now + backoff_delay(cell.backoff_level);
   }
@@ -269,6 +294,7 @@ void HealthMonitor::reprobe(double now, std::size_t index) {
 
 void HealthMonitor::publish(double now) {
   BSR_COUNT(HealthViewsPublished);
+  BSR_EVENT(HealthViewPublish, now, views_.size(), 0);
   HealthView view;
   view.version = views_.size();
   view.published_at = now;

@@ -103,11 +103,17 @@ struct HealthView {
 };
 
 /// One state-machine transition, for invariant checking and debugging.
+/// `episode` is the failure-episode id: allocated when a broker leaves
+/// kHealthy, carried through quarantine/probation/recovery (and into repair
+/// scheduling), so one suspicion chain correlates end to end — it is the
+/// `corr` field of the flight recorder's sim.health.* / sim.repair.* events.
+/// Zero means "no episode" (a broker that has never been suspected).
 struct HealthTransition {
   double time = 0.0;
   bsr::graph::NodeId broker = 0;
   HealthState from = HealthState::kHealthy;
   HealthState to = HealthState::kHealthy;
+  std::uint64_t episode = 0;
 };
 
 /// Deterministic probe-based failure detector over a fault plane.
@@ -188,6 +194,7 @@ class HealthMonitor {
     std::uint32_t successes = 0;  // consecutive probation successes
     std::uint32_t backoff_level = 0;
     double next_reprobe = 0.0;    // valid only in kQuarantined
+    std::uint64_t episode = 0;    // current failure episode (0 = none yet)
   };
 
   void probe_round(double now);
@@ -218,6 +225,7 @@ class HealthMonitor {
   bsr::graph::engine::Workspace ws_;  // vantage BFS scratch
   bool reach_valid_ = false;          // ws_ holds reachability for this round
   bool dirty_ = false;                // state changed since last publish
+  std::uint64_t next_episode_ = 1;    // failure-episode id allocator
   std::uint64_t next_round_ = 1;      // probe rounds at k * probe_interval
   std::uint64_t rounds_ = 0;
   std::uint64_t quarantines_ = 0;

@@ -5,6 +5,7 @@
 #include "graph/check.hpp"
 #include "graph/engine.hpp"
 #include "graph/sampling.hpp"
+#include "obs/journal.hpp"
 #include "obs/stats.hpp"
 
 namespace bsr::sim {
@@ -231,11 +232,25 @@ HealthRouteResult Router::route_with_health(NodeId src, NodeId dst) {
     BSR_COUNT_N(RouterDeadHops, out.dead_hops);
     BSR_HISTO(RouterHops, out.route.hops());
     out.outcome = out.dead_hops > 0 ? HealthOutcome::kMisrouted : HealthOutcome::kOk;
+    // Verdict events carry the pair packed (src << 32) | dst; the router has
+    // no clock of its own, so records land at the journal clock.
+    if (out.outcome == HealthOutcome::kMisrouted) {
+      BSR_EVENT_NOW(RouteMisrouted,
+                    (std::uint64_t{src} << 32) | std::uint64_t{dst}, 0);
+    } else {
+      BSR_EVENT_NOW(RouteOk, (std::uint64_t{src} << 32) | std::uint64_t{dst}, 0);
+    }
     return out;
   }
   // Belief found nothing: ask the oracle whether real capacity was shunned.
   out.outcome = route_dominated(src, dst).reachable() ? HealthOutcome::kShunned
                                                       : HealthOutcome::kUnreachable;
+  if (out.outcome == HealthOutcome::kShunned) {
+    BSR_EVENT_NOW(RouteShunned, (std::uint64_t{src} << 32) | std::uint64_t{dst}, 0);
+  } else {
+    BSR_EVENT_NOW(RouteUnreachable,
+                  (std::uint64_t{src} << 32) | std::uint64_t{dst}, 0);
+  }
   return out;
 }
 

@@ -1,0 +1,393 @@
+// Tests for the simulation flight recorder: event-table integrity, ring
+// bounding and drop accounting, deterministic export ordering, the
+// bsr-events/1 golden format, the interval sampler's round grid, the DCHECK
+// black-box hook, and byte-identity of the exported journal across
+// BSR_THREADS values for a fixed seed.
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/check.hpp"
+#include "graph/engine.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/churn.hpp"
+#include "sim/health.hpp"
+#include "test_util.hpp"
+
+namespace bsr::obs {
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::NodeId;
+using bsr::graph::Rng;
+using bsr::test::JsonValue;
+using bsr::test::make_connected_random;
+using bsr::test::parse_json;
+
+namespace engine = bsr::graph::engine;
+
+/// Stops recording, restores thread count, and clears the registry even if
+/// a test fails mid-way.
+struct JournalTestGuard {
+  JournalTestGuard() {
+    engine::set_num_threads(0);
+    if (recording_enabled()) stop_recording();
+    reset();
+  }
+  ~JournalTestGuard() {
+    engine::set_num_threads(0);
+    if (recording_enabled()) stop_recording();
+    reset();
+  }
+};
+
+TEST(Journal, EventNamesAreUniqueAndFollowConvention) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const auto n = name(static_cast<Event>(i));
+    EXPECT_FALSE(n.empty());
+    EXPECT_NE(n.find('.'), std::string_view::npos) << n;
+    EXPECT_TRUE(seen.insert(n).second) << "duplicate event name " << n;
+  }
+}
+
+TEST(Journal, RecordingOffIsANoOp) {
+  JournalTestGuard guard;
+  ASSERT_FALSE(recording_enabled());
+  // journal_event is the function behind BSR_EVENT: without start_recording
+  // it must record nothing and allocate nothing.
+  journal_event(Event::kChurnDeparture, 1.0, 7, 0);
+  journal_event_now(Event::kRouteOk, 9, 0);
+  const Journal j = snapshot_journal();
+  EXPECT_TRUE(j.events.empty());
+  EXPECT_EQ(j.recorded, 0u);
+  EXPECT_EQ(j.dropped, 0u);
+}
+
+TEST(Journal, StartValidatesOptions) {
+  JournalTestGuard guard;
+  JournalOptions zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(start_recording(zero_capacity), std::invalid_argument);
+  JournalOptions negative_interval;
+  negative_interval.series_interval = -1.0;
+  EXPECT_THROW(start_recording(negative_interval), std::invalid_argument);
+  EXPECT_FALSE(recording_enabled());
+}
+
+TEST(Journal, RingBoundsAndCountsDrops) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.capacity = 8;
+  options.series_interval = 0.0;
+  start_recording(options);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    journal_event(Event::kRouteOk, static_cast<double>(i), i, 0);
+  }
+  stop_recording();
+  const Journal j = snapshot_journal();
+  EXPECT_EQ(j.recorded, 20u);
+  EXPECT_EQ(j.dropped, 12u);
+  ASSERT_EQ(j.events.size(), 8u);
+  // The survivors are the 8 newest records.
+  for (std::size_t i = 0; i < j.events.size(); ++i) {
+    EXPECT_EQ(j.events[i].subject, 12 + i);
+  }
+}
+
+TEST(Journal, SnapshotOrdersByTimeSlotSubjectThenSeq) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.series_interval = 0.0;
+  start_recording(options);
+  // Recorded deliberately out of export order.
+  journal_event(Event::kHealthSuspect, 2.0, 5, 1);    // later time
+  journal_event(Event::kRouteOk, 1.0, 9, 0);          // same time, later slot
+  journal_event(Event::kChurnDeparture, 1.0, 4, 0);   // same time+slot, later subject
+  journal_event(Event::kChurnDeparture, 1.0, 3, 0);
+  journal_event(Event::kChurnDeparture, 1.0, 3, 7);   // full tie: program order
+  stop_recording();
+  const Journal j = snapshot_journal();
+  ASSERT_EQ(j.events.size(), 5u);
+  EXPECT_EQ(j.events[0].subject, 3u);
+  EXPECT_EQ(j.events[0].correlation, 0u);
+  EXPECT_EQ(j.events[1].subject, 3u);
+  EXPECT_EQ(j.events[1].correlation, 7u);  // seq breaks the tie, stably
+  EXPECT_EQ(j.events[2].subject, 4u);
+  EXPECT_EQ(j.events[3].type, Event::kRouteOk);
+  EXPECT_EQ(j.events[4].type, Event::kHealthSuspect);
+  EXPECT_EQ(j.events[4].time, 2.0);
+}
+
+TEST(Journal, GoldenEventsJsonl) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.capacity = 4;
+  options.series_interval = 0.0;
+  start_recording(options);
+  journal_event(Event::kChurnDeparture, 0.5, 17, 0);
+  journal_event(Event::kHealthQuarantine, 2.25, 17, 3);
+  journal_event(Event::kRouteMisrouted, 2.25, (std::uint64_t{1} << 32) | 2, 0);
+  stop_recording();
+  std::ostringstream os;
+  write_events_jsonl(os, snapshot_journal());
+  EXPECT_EQ(os.str(),
+            "{\"schema\": \"bsr-events/1\", \"events\": 3, \"dropped\": 0}\n"
+            "{\"t\": 0.5, \"type\": \"sim.churn.departure\", \"subject\": 17, "
+            "\"corr\": 0}\n"
+            "{\"t\": 2.25, \"type\": \"sim.health.quarantine\", \"subject\": 17, "
+            "\"corr\": 3}\n"
+            "{\"t\": 2.25, \"type\": \"sim.router.misrouted\", "
+            "\"subject\": 4294967298, \"corr\": 0}\n");
+}
+
+TEST(Journal, ClockDrivesEventNow) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.series_interval = 0.0;
+  start_recording(options);
+  journal_set_time(3.5);
+  EXPECT_EQ(journal_time(), 3.5);
+  journal_event_now(Event::kFaultGroupFail, 11, 2);
+  stop_recording();
+  const Journal j = snapshot_journal();
+  ASSERT_EQ(j.events.size(), 1u);
+  EXPECT_EQ(j.events[0].time, 3.5);
+  EXPECT_EQ(j.events[0].subject, 11u);
+  EXPECT_EQ(j.events[0].correlation, 2u);
+}
+
+TEST(Journal, DumpTailShowsNewestRecordsInProgramOrder) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.capacity = 4;
+  options.series_interval = 0.0;
+  start_recording(options);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    journal_event(Event::kHealthProbeMiss, static_cast<double>(i), 100 + i, 0);
+  }
+  std::ostringstream os;
+  dump_journal_tail(os, 3);
+  stop_recording();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("sim.health.probe_miss"), std::string::npos);
+  // Only the 3 newest survive the cap; the dump keeps program order.
+  EXPECT_EQ(text.find("subject=102"), std::string::npos);
+  const auto pos3 = text.find("subject=103");
+  const auto pos5 = text.find("subject=105");
+  ASSERT_NE(pos3, std::string::npos);
+  ASSERT_NE(pos5, std::string::npos);
+  EXPECT_LT(pos3, pos5);
+}
+
+TEST(Journal, InstallsAndRemovesDcheckHook) {
+  JournalTestGuard guard;
+  EXPECT_EQ(bsr::dcheck_failure_hook(), nullptr);
+  start_recording();
+  EXPECT_NE(bsr::dcheck_failure_hook(), nullptr);
+  stop_recording();
+  EXPECT_EQ(bsr::dcheck_failure_hook(), nullptr);
+}
+
+TEST(IntervalSamplerTest, RejectsNonPositiveInterval) {
+  IntervalSampler sampler;
+  EXPECT_THROW(sampler.begin(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sampler.begin(0.0, -2.0), std::invalid_argument);
+}
+
+TEST(IntervalSamplerTest, ClosesOneRowPerBoundaryOnAFixedGrid) {
+  JournalTestGuard guard;
+  IntervalSampler sampler;
+  sampler.begin(0.0, 1.0);
+  EXPECT_TRUE(sampler.active());
+  sampler.advance(0.7);  // inside round 0: nothing closes
+  EXPECT_TRUE(sampler.rows().empty());
+  sampler.advance(3.2);  // crosses boundaries 1, 2, 3 in one step
+  ASSERT_EQ(sampler.rows().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sampler.rows()[i].round, i);
+    EXPECT_EQ(sampler.rows()[i].t_begin, static_cast<double>(i));
+    EXPECT_EQ(sampler.rows()[i].t_end, static_cast<double>(i + 1));
+  }
+  sampler.advance(2.0);  // non-monotone: ignored
+  EXPECT_EQ(sampler.rows().size(), 3u);
+  sampler.finish(3.6);  // trailing partial round [3, 3.6)
+  ASSERT_EQ(sampler.rows().size(), 4u);
+  EXPECT_EQ(sampler.rows()[3].t_begin, 3.0);
+  EXPECT_EQ(sampler.rows()[3].t_end, 3.6);
+  EXPECT_FALSE(sampler.active());
+}
+
+TEST(IntervalSamplerTest, RowsCarryPerRoundCounterDeltas) {
+  // count() is the runtime function behind BSR_COUNT: it works in any build,
+  // so this test covers the sampler even under BSR_STATS=OFF.
+  JournalTestGuard guard;
+  IntervalSampler sampler;
+  sampler.begin(0.0, 1.0);
+  count(Counter::kRouterRoutes, 3);
+  sampler.advance(1.0);  // closes [0, 1) holding the 3 routes
+  count(Counter::kRouterRoutes, 5);
+  count(Counter::kHealthProbesSent, 2);
+  sampler.finish(1.5);  // closes [1, 1.5) holding the rest
+  ASSERT_EQ(sampler.rows().size(), 2u);
+  const auto slot = static_cast<std::size_t>(Counter::kRouterRoutes);
+  const auto probe_slot = static_cast<std::size_t>(Counter::kHealthProbesSent);
+  EXPECT_EQ(sampler.rows()[0].deltas[slot], 3u);
+  EXPECT_EQ(sampler.rows()[0].deltas[probe_slot], 0u);
+  EXPECT_EQ(sampler.rows()[1].deltas[slot], 5u);
+  EXPECT_EQ(sampler.rows()[1].deltas[probe_slot], 2u);
+}
+
+TEST(IntervalSamplerTest, SeriesCsvHasStableColumnsAndOneLinePerRow) {
+  JournalTestGuard guard;
+  IntervalSampler sampler;
+  sampler.begin(0.0, 2.0);
+  sampler.advance(2.0);
+  sampler.finish(2.0);
+  std::ostringstream os;
+  write_series_csv(os, sampler.rows());
+  const std::string csv = os.str();
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("round,t_begin,t_end,", 0), 0u);
+  // One column per counter slot, every slot named.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(header.begin(), header.end(), ',')),
+            2 + kNumCounters);
+  EXPECT_NE(header.find("sim.router.routes"), std::string::npos);
+  std::string row;
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(row.rfind("0,0,2,", 0), 0u);
+  EXPECT_FALSE(std::getline(lines, row));  // exactly one data row
+}
+
+TEST(Journal, ChromeTraceParsesAndCarriesInstantEvents) {
+  JournalTestGuard guard;
+  JournalOptions options;
+  options.series_interval = 1.0;
+  start_recording(options);
+  journal_set_time(0.25);
+  journal_event_now(Event::kChurnDeparture, 6, 0);
+  journal_set_time(1.75);
+  journal_event_now(Event::kHealthQuarantine, 6, 1);
+  stop_recording();
+  std::ostringstream os;
+  write_journal_chrome_trace(os, snapshot_journal(), journal_series());
+  const JsonValue trace = parse_json(os.str());
+  const JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events->array.size(), 2u);  // no counters moved: instants only
+  const JsonValue& first = events->array[0];
+  EXPECT_EQ(first.find("ph")->string, "i");
+  EXPECT_EQ(first.find("name")->string, "sim.churn.departure");
+  EXPECT_EQ(first.find("ts")->number, 250000.0);  // 0.25 s -> µs
+  EXPECT_EQ(first.find("args")->find("subject")->number, 6.0);
+  const JsonValue& second = events->array[1];
+  EXPECT_EQ(second.find("name")->string, "sim.health.quarantine");
+  EXPECT_EQ(second.find("args")->find("corr")->number, 1.0);
+}
+
+// --- end-to-end determinism --------------------------------------------------
+
+/// Records a fixed-seed health-churn run and returns the exported JSONL and
+/// CSV as strings.
+std::pair<std::string, std::string> record_churn_run(int threads) {
+  const bsr::graph::CsrGraph g = make_connected_random(120, 0.05, 42);
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < 20; ++v) members.push_back(v);
+  const BrokerSet brokers(120, members);
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (NodeId v = 0; v < 6; ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+  bsr::sim::HealthChurnConfig churn;
+  churn.departure_rate = 0.6;
+  churn.mean_return_time = 10.0;
+  churn.horizon = 40.0;
+  bsr::sim::LinkChurnConfig link;
+  link.outage_rate = 0.1;
+  link.mean_downtime = 5.0;
+  bsr::sim::HealthConfig health;
+  health.jitter = 0.0;
+  bsr::sim::RepairPolicy repair;
+  repair.budget = 2;
+
+  engine::set_num_threads(threads);
+  reset();
+  JournalOptions options;
+  options.series_interval = 5.0;
+  start_recording(options);
+  Rng rng(123);
+  (void)bsr::sim::simulate_churn_with_health(g, brokers, churn, link, groups,
+                                             health, repair, rng);
+  stop_recording();
+  std::ostringstream events_os, series_os;
+  write_events_jsonl(events_os, snapshot_journal());
+  write_series_csv(series_os, journal_series());
+  engine::set_num_threads(0);
+  return {events_os.str(), series_os.str()};
+}
+
+// The acceptance-critical property: a fixed seed produces a byte-identical
+// exported journal and time series at any BSR_THREADS value, because events
+// are only recorded from the single-threaded simulation loop and the export
+// order is deterministic.
+TEST(Journal, ExportIsByteIdenticalAcrossThreadCounts) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+  JournalTestGuard guard;
+  const auto [events_1, series_1] = record_churn_run(1);
+  const auto [events_4, series_4] = record_churn_run(4);
+  EXPECT_EQ(events_1, events_4);
+  EXPECT_EQ(series_1, series_4);
+  // And the run actually journaled something worth comparing.
+  EXPECT_GT(std::count(events_1.begin(), events_1.end(), '\n'), 100);
+  EXPECT_NE(events_1.find("sim.health.quarantine"), std::string::npos);
+  EXPECT_NE(events_1.find("sim.repair.request"), std::string::npos);
+}
+
+// Correlation ids stitch detector chains together: every quarantine's
+// episode id must also appear on a suspect record, and repair requests must
+// reference a real episode.
+TEST(Journal, CorrelationIdsLinkDetectionChains) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+  JournalTestGuard guard;
+  (void)record_churn_run(1);
+  const Journal j = snapshot_journal();
+  std::set<std::uint64_t> suspect_episodes;
+  for (const EventRecord& rec : j.events) {
+    if (rec.type == Event::kHealthSuspect) {
+      EXPECT_NE(rec.correlation, 0u);
+      suspect_episodes.insert(rec.correlation);
+    }
+  }
+  ASSERT_FALSE(suspect_episodes.empty());
+  std::size_t quarantines = 0;
+  for (const EventRecord& rec : j.events) {
+    if (rec.type == Event::kHealthQuarantine) {
+      ++quarantines;
+      EXPECT_TRUE(suspect_episodes.contains(rec.correlation))
+          << "quarantine episode " << rec.correlation << " never suspected";
+    }
+    if (rec.type == Event::kRepairRequest) {
+      EXPECT_TRUE(suspect_episodes.contains(rec.correlation));
+    }
+  }
+  EXPECT_GT(quarantines, 0u);
+}
+
+}  // namespace
+}  // namespace bsr::obs

@@ -344,5 +344,53 @@ TEST(ObsExport, ChromeTraceEmitsCompleteEvents) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
 }
 
+// Round-trips the trace through a real JSON parse: the file must be valid
+// JSON (Perfetto rejects almost-JSON), and the span tree's nesting must
+// survive the flattening into [ts, ts+dur) complete events.
+TEST(ObsExport, ChromeTraceRoundTripPreservesNesting) {
+  ObsTestGuard guard;
+  set_tracing(true);
+  {
+    Span root("rt_root");
+    { Span child("rt_child_a"); }
+    { Span child("rt_child_b"); }
+  }
+  set_tracing(false);
+  std::ostringstream os;
+  write_chrome_trace(os, drain_trace());
+  const bsr::test::JsonValue trace = bsr::test::parse_json(os.str());
+  const bsr::test::JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, bsr::test::JsonValue::Kind::kArray);
+  const auto by_name = [&](std::string_view name) -> const bsr::test::JsonValue& {
+    for (const auto& e : events->array) {
+      if (e.find("name") != nullptr && e.find("name")->string == name) return e;
+    }
+    ADD_FAILURE() << "no trace event named " << name;
+    return events->array.front();
+  };
+  const auto& root = by_name("rt_root");
+  const auto& child_a = by_name("rt_child_a");
+  const auto& child_b = by_name("rt_child_b");
+  for (const auto* e : {&root, &child_a, &child_b}) {
+    EXPECT_EQ(e->find("ph")->string, "X");
+    ASSERT_NE(e->find("ts"), nullptr);
+    ASSERT_NE(e->find("dur"), nullptr);
+  }
+  // Both children's [ts, ts+dur) intervals nest inside the root's, and the
+  // siblings run in program order. ts and dur are rounded to µs
+  // independently, so containment only holds up to 1µs of slack per rounded
+  // quantity.
+  constexpr double kSlackUs = 2.0;
+  const double root_end = root.find("ts")->number + root.find("dur")->number;
+  for (const auto* child : {&child_a, &child_b}) {
+    EXPECT_GE(child->find("ts")->number, root.find("ts")->number - kSlackUs);
+    EXPECT_LE(child->find("ts")->number + child->find("dur")->number,
+              root_end + kSlackUs);
+  }
+  EXPECT_LE(child_a.find("ts")->number + child_a.find("dur")->number,
+            child_b.find("ts")->number + child_b.find("dur")->number + kSlackUs);
+}
+
 }  // namespace
 }  // namespace bsr::obs
