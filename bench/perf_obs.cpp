@@ -34,6 +34,7 @@
 #include "bench_common.hpp"
 #include "instr_kernels.hpp"
 #include "broker/maxsg.hpp"
+#include "broker/robust.hpp"
 #include "graph/engine.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/sampling.hpp"
@@ -213,6 +214,19 @@ int main() {
   bsr::bench::Harness::metric(maxsg_run, "instrumented_ms_min",
                               maxsg_overhead.instrumented_s * 1e3);
   bsr::bench::Harness::metric(maxsg_run, "overhead_pct", maxsg_overhead.pct());
+
+  // --- robust selection (counters only) -------------------------------------
+  // No bare twin: robust_maxsg is not on the priced hot path — this recorded
+  // run exists so the drift tripwire pins its deterministic round/scenario/
+  // evaluation counters. The tiny budget keeps the C(|B|, r) scenario
+  // enumeration cheap while still exercising every counter in the family.
+  constexpr std::uint32_t kRobustK = 6;
+  auto& robust_run = harness.run("robust.instrumented", [&] {
+    bsr::broker::RobustOptions opts;
+    opts.redundancy = 2;
+    sink += bsr::broker::robust_maxsg(g, kRobustK, opts).surviving_pairs;
+  });
+  bsr::bench::Harness::metric(robust_run, "k", kRobustK);
 
   if (sink == 0xdeadbeef) std::cerr << "";  // keep `sink` observable
 

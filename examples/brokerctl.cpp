@@ -16,6 +16,11 @@
 //                                             to --stats-out
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
+//   brokerctl robust [--groups] <in.topo> <k> [r]   r-redundant selection vs
+//                                             plain greedy: worst-case
+//                                             surviving connectivity after any
+//                                             r broker failures (or, with
+//                                             --groups, any single IXP outage)
 //   brokerctl record [--events-out=<f>] [--series-out=<f>] [--trace-out=<f>]
 //                    [--interval=<dt>] <subcommand> [args...]
 //                                             run any subcommand with the
@@ -52,6 +57,7 @@
 #include "broker/maxsg.hpp"
 #include "broker/mcbg_approx.hpp"
 #include "broker/resilience.hpp"
+#include "broker/robust.hpp"
 #include "broker/weighted.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/sampling.hpp"
@@ -81,6 +87,7 @@ int usage() {
          "  brokerctl stats [--stats-out=<file>] <subcommand> [args...]\n"
          "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
          "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n"
+         "  brokerctl robust [--groups] <in.topo> <k> [r]\n"
          "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
          "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
          "[args...]\n"
@@ -370,6 +377,92 @@ int cmd_health(int argc, char** argv) {
   return 0;
 }
 
+// Proactive-vs-reactive comparison: plain MaxSG and the r-redundant
+// selection at the same budget, scored by the worst case the adversary can
+// inflict — any r broker failures, or (with --groups) any single IXP outage.
+int cmd_robust(int argc, char** argv) {
+  bool group_mode = false;
+  int first = 2;
+  for (; first < argc; ++first) {
+    const std::string arg = argv[first];
+    if (arg == "--groups") {
+      group_mode = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl robust: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    break;
+  }
+  if (first + 1 >= argc) return usage();
+  const auto topo = bsr::topology::load_topology_file(argv[first]);
+  const auto& g = topo.graph;
+  const auto k = parse_u32("k", argv[first + 1]);
+  const std::uint32_t r =
+      first + 2 < argc ? parse_u32("r", argv[first + 2]) : 1;
+
+  std::vector<bsr::graph::FailureGroup> groups;
+  if (group_mode) {
+    if (topo.num_ixps == 0) {
+      std::cerr << "brokerctl robust: topology has no IXPs to fail\n";
+      return 1;
+    }
+    groups.reserve(topo.num_ixps);
+    for (bsr::graph::NodeId v = topo.num_ases; v < topo.num_vertices(); ++v) {
+      groups.push_back(bsr::graph::incident_group(g, v));
+    }
+  }
+
+  bsr::broker::RobustOptions options;
+  if (group_mode) {
+    options.mode = bsr::broker::RobustMode::kFailureGroups;
+    options.groups = groups;
+  } else {
+    options.redundancy = r;
+  }
+
+  const BrokerSet plain = bsr::broker::maxsg(g, k).brokers;
+  const auto robust = bsr::broker::robust_maxsg(g, k, options);
+
+  const auto worst_of = [&](const BrokerSet& b) {
+    return group_mode
+               ? bsr::broker::worst_case_surviving_pairs(
+                     g, b, std::span<const bsr::graph::FailureGroup>(groups))
+               : bsr::broker::worst_case_surviving_pairs(g, b, r);
+  };
+  const double total_pairs =
+      static_cast<double>(g.num_vertices()) *
+      static_cast<double>(g.num_vertices() - 1) / 2.0;
+  const std::uint64_t plain_worst = worst_of(plain);
+  const std::uint64_t robust_worst = worst_of(robust.brokers);
+
+  std::cout << "adversary: "
+            << (group_mode ? "any single IXP outage"
+                           : "any " + std::to_string(r) + " broker failure(s)")
+            << "\n";
+  bsr::io::Table table(
+      {"selection", "members", "coverage", "nominal conn", "surviving conn"});
+  table.row()
+      .cell("maxsg (plain)")
+      .cell(static_cast<std::uint64_t>(plain.size()))
+      .cell(std::uint64_t{bsr::broker::coverage(g, plain)})
+      .percent(bsr::broker::saturated_connectivity(g, plain))
+      .percent(static_cast<double>(plain_worst) / total_pairs);
+  table.row()
+      .cell(group_mode ? "robust (groups)" : "robust (r=" + std::to_string(r) + ")")
+      .cell(static_cast<std::uint64_t>(robust.brokers.size()))
+      .cell(std::uint64_t{robust.coverage})
+      .percent(bsr::broker::saturated_connectivity(g, robust.brokers))
+      .percent(static_cast<double>(robust_worst) / total_pairs);
+  table.print(std::cout);
+  std::cout << "robust surviving pairs " << robust_worst << " vs plain "
+            << plain_worst << " ("
+            << (robust_worst >= plain_worst ? "no worse" : "WORSE")
+            << " under this adversary)\n";
+  return 0;
+}
+
 // Legacy `stats <in.topo>` form: Table-2-style dataset summary.
 int cmd_dataset_stats(const std::string& path) {
   const auto env = bsr::io::experiment_env();
@@ -390,8 +483,8 @@ int cmd_dataset_stats(const std::string& path) {
 bool known_subcommand(const std::string& cmd) {
   return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
-         cmd == "faults" || cmd == "health" || cmd == "record" ||
-         cmd == "report";
+         cmd == "faults" || cmd == "health" || cmd == "robust" ||
+         cmd == "record" || cmd == "report";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -772,6 +865,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "faults") return cmd_faults(argc, argv);
   if (cmd == "health") return cmd_health(argc, argv);
+  if (cmd == "robust") return cmd_robust(argc, argv);
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
   std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";

@@ -1,6 +1,7 @@
 #include "broker/disjoint.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "graph/bfs.hpp"
@@ -20,8 +21,11 @@ std::uint64_t edge_key(NodeId u, NodeId v) {
   return (static_cast<std::uint64_t>(u) << 32) | v;
 }
 
-/// Shortest dominating path avoiding `removed` edges; empty if none.
+/// Shortest dominating path avoiding `removed` edges; empty if none. When a
+/// fault plane is given, down edges and edges into down vertices are treated
+/// exactly like removed edges.
 std::vector<NodeId> shortest_avoiding(const CsrGraph& g, const BrokerSet& b,
+                                      const bsr::graph::FaultPlane* faults,
                                       NodeId src, NodeId dst,
                                       const std::unordered_set<std::uint64_t>& removed,
                                       std::vector<NodeId>& parent,
@@ -32,10 +36,16 @@ std::vector<NodeId> shortest_avoiding(const CsrGraph& g, const BrokerSet& b,
   queue.push_back(src);
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const NodeId u = queue[head];
-    for (const NodeId v : g.neighbors(u)) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t slot = 0; slot < nbrs.size(); ++slot) {
+      const NodeId v = nbrs[slot];
       if (parent[v] != kUnreachable) continue;
       if (!b.dominates_edge(u, v)) continue;
       if (removed.contains(edge_key(u, v))) continue;
+      if (faults != nullptr &&
+          (!faults->edge_up_at(u, slot) || !faults->vertex_ok(v))) {
+        continue;
+      }
       parent[v] = u;
       if (v == dst) {
         std::vector<NodeId> path{dst};
@@ -49,20 +59,21 @@ std::vector<NodeId> shortest_avoiding(const CsrGraph& g, const BrokerSet& b,
   return {};
 }
 
-}  // namespace
-
-DisjointPathsResult disjoint_dominating_paths(const CsrGraph& g, const BrokerSet& b,
-                                              NodeId src, NodeId dst,
-                                              std::uint32_t max_paths) {
+DisjointPathsResult disjoint_impl(const CsrGraph& g, const BrokerSet& b,
+                                  const bsr::graph::FaultPlane* faults, NodeId src,
+                                  NodeId dst, std::uint32_t max_paths) {
   DisjointPathsResult result;
   if (src == dst || src >= g.num_vertices() || dst >= g.num_vertices()) return result;
+  if (faults != nullptr && (!faults->vertex_ok(src) || !faults->vertex_ok(dst))) {
+    return result;
+  }
 
   std::unordered_set<std::uint64_t> removed;
   std::vector<NodeId> parent(g.num_vertices());
   std::vector<NodeId> queue;
   queue.reserve(g.num_vertices());
   for (std::uint32_t i = 0; i < max_paths; ++i) {
-    auto path = shortest_avoiding(g, b, src, dst, removed, parent, queue);
+    auto path = shortest_avoiding(g, b, faults, src, dst, removed, parent, queue);
     if (path.empty()) break;
     for (std::size_t j = 0; j + 1 < path.size(); ++j) {
       removed.insert(edge_key(path[j], path[j + 1]));
@@ -70,6 +81,25 @@ DisjointPathsResult disjoint_dominating_paths(const CsrGraph& g, const BrokerSet
     result.paths.push_back(std::move(path));
   }
   return result;
+}
+
+}  // namespace
+
+DisjointPathsResult disjoint_dominating_paths(const CsrGraph& g, const BrokerSet& b,
+                                              NodeId src, NodeId dst,
+                                              std::uint32_t max_paths) {
+  return disjoint_impl(g, b, nullptr, src, dst, max_paths);
+}
+
+DisjointPathsResult disjoint_dominating_paths(const CsrGraph& g, const BrokerSet& b,
+                                              const bsr::graph::FaultPlane& faults,
+                                              NodeId src, NodeId dst,
+                                              std::uint32_t max_paths) {
+  if (&faults.graph() != &g) {
+    throw std::invalid_argument(
+        "disjoint_dominating_paths: fault plane bound to another graph");
+  }
+  return disjoint_impl(g, b, &faults, src, dst, max_paths);
 }
 
 PathDiversityStats path_diversity(const CsrGraph& g, const BrokerSet& b, Rng& rng,

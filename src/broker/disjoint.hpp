@@ -15,6 +15,7 @@
 
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
 
 namespace bsr::broker {
@@ -29,6 +30,14 @@ struct DisjointPathsResult {
 /// O(max_paths · (|V| + |E|)).
 [[nodiscard]] DisjointPathsResult disjoint_dominating_paths(
     const bsr::graph::CsrGraph& g, const BrokerSet& b, bsr::graph::NodeId src,
+    bsr::graph::NodeId dst, std::uint32_t max_paths = 2);
+
+/// Fault-aware variant: extraction runs on the surviving subgraph, so failed
+/// edges (and edges incident to down vertices) never appear in any extracted
+/// path. A down src or dst yields zero paths. The plane must be bound to `g`.
+[[nodiscard]] DisjointPathsResult disjoint_dominating_paths(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b,
+    const bsr::graph::FaultPlane& faults, bsr::graph::NodeId src,
     bsr::graph::NodeId dst, std::uint32_t max_paths = 2);
 
 struct PathDiversityStats {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "broker/dominated.hpp"
+#include "graph/check.hpp"
 #include "graph/engine.hpp"
 #include "graph/union_find.hpp"
 
@@ -24,6 +25,8 @@ BrokerSet fail_brokers(const CsrGraph& g, const BrokerSet& b, std::size_t failur
   std::vector<NodeId> members(b.members().begin(), b.members().end());
   std::vector<NodeId> doomed;
   if (failures >= members.size()) {
+    // failures >= |B| (including |B| == 0): nobody survives, and the rng is
+    // deliberately not consumed — the outcome has no randomness left in it.
     doomed = members;
   } else if (mode == FailureMode::kRandom) {
     // Partial Fisher-Yates over a copy.
@@ -34,6 +37,8 @@ BrokerSet fail_brokers(const CsrGraph& g, const BrokerSet& b, std::size_t failur
       doomed.push_back(pool[i]);
     }
   } else {
+    // Adversarial order: highest degree first, ties broken by lowest NodeId
+    // so equal-degree brokers die in a deterministic order.
     std::vector<NodeId> sorted = members;
     std::stable_sort(sorted.begin(), sorted.end(), [&g](NodeId a, NodeId b2) {
       if (g.degree(a) != g.degree(b2)) return g.degree(a) > g.degree(b2);
@@ -42,6 +47,7 @@ BrokerSet fail_brokers(const CsrGraph& g, const BrokerSet& b, std::size_t failur
     doomed.assign(sorted.begin(),
                   sorted.begin() + static_cast<std::ptrdiff_t>(failures));
   }
+  BSR_DCHECK(doomed.size() == std::min(failures, members.size()));
 
   std::vector<bool> dead(g.num_vertices(), false);
   for (const NodeId v : doomed) dead[v] = true;
@@ -79,6 +85,7 @@ BrokerSet repair_sweep(const CsrGraph& g, const BrokerSet& survivors,
                        std::uint32_t budget, const FaultPlane* faults,
                        Filter admit) {
   const NodeId n = g.num_vertices();
+  BSR_DCHECK(survivors.num_vertices() == n);
   BrokerSet repaired = survivors;
 
   const auto vertex_ok = [&](NodeId v) {
@@ -140,6 +147,9 @@ BrokerSet repair_sweep(const CsrGraph& g, const BrokerSet& survivors,
 
 BrokerSet repair_impl(const CsrGraph& g, const BrokerSet& survivors,
                       std::uint32_t budget, const FaultPlane* faults) {
+  if (survivors.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("repair_brokers: size mismatch");
+  }
   if (faults == nullptr) {
     return repair_sweep(g, survivors, budget, nullptr, engine::AllEdges{});
   }
@@ -160,6 +170,32 @@ BrokerSet repair_brokers(const CsrGraph& g, const BrokerSet& survivors,
     throw std::invalid_argument("repair_brokers: fault plane bound to another graph");
   }
   return repair_impl(g, survivors, budget, &faults);
+}
+
+ResilienceCurve resilience_curve(const CsrGraph& g, const BrokerSet& b,
+                                 std::span<const FailureGroup> groups,
+                                 std::span<const std::size_t> steps, Rng& rng) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("resilience_curve: size mismatch");
+  }
+  // Same nested-prefix discipline as link_resilience_curve: one shuffled
+  // outage order shared by every step, so damage only accumulates.
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+
+  ResilienceCurve curve;
+  FaultPlane plane(g);
+  for (const std::size_t step : steps) {
+    const std::size_t failed = std::min(step, groups.size());
+    plane.heal_all();
+    for (std::size_t i = 0; i < failed; ++i) plane.fail_group(groups[order[i]]);
+    curve.failures.push_back(failed);
+    curve.connectivity.push_back(saturated_connectivity(g, b, plane));
+  }
+  return curve;
 }
 
 LinkResilienceCurve link_resilience_curve(const CsrGraph& g, const BrokerSet& b,

@@ -1,0 +1,302 @@
+#include "broker/robust.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "broker/coverage.hpp"
+#include "graph/engine.hpp"
+#include "graph/rollback_union_find.hpp"
+#include "obs/journal.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace bsr::broker {
+
+using bsr::graph::CsrGraph;
+using bsr::graph::FailureGroup;
+using bsr::graph::FaultPlane;
+using bsr::graph::NodeId;
+using bsr::graph::RollbackUnionFind;
+
+namespace engine = bsr::graph::engine;
+
+namespace {
+
+constexpr std::uint64_t kNoPairs = std::numeric_limits<std::uint64_t>::max();
+
+inline std::uint64_t choose2(std::uint64_t s) noexcept { return s * (s - 1) / 2; }
+
+/// Enumerates every scenario that excludes exactly `excl` of
+/// members[idx..end) on one shared RollbackUnionFind: at each complete
+/// scenario the stars of all *surviving* members are united and `visit()`
+/// runs against that forest. Shared unite prefixes are done once — the
+/// recursion checkpoints before a "keep member" branch and rolls back after,
+/// so work is proportional to the DFS tree, not scenarios × |B|.
+template <class Visit>
+void enumerate_exclusions(const CsrGraph& g, RollbackUnionFind& uf,
+                          std::span<const NodeId> members, std::size_t idx,
+                          std::size_t excl, const Visit& visit) {
+  BSR_DCHECK(members.size() - idx >= excl);
+  if (excl == 0) {
+    const RollbackUnionFind::Checkpoint mark = uf.checkpoint();
+    for (std::size_t i = idx; i < members.size(); ++i) {
+      engine::unite_star(g, uf, members[i], engine::AllEdges{});
+    }
+    visit();
+    uf.rollback(mark);
+    return;
+  }
+  if (members.size() - idx == excl) {
+    visit();  // everything left is excluded
+    return;
+  }
+  enumerate_exclusions(g, uf, members, idx + 1, excl - 1, visit);
+  const RollbackUnionFind::Checkpoint mark = uf.checkpoint();
+  engine::unite_star(g, uf, members[idx], engine::AllEdges{});
+  enumerate_exclusions(g, uf, members, idx + 1, excl, visit);
+  uf.rollback(mark);
+}
+
+/// Flat-snapshot candidate sweep over one scenario forest. The root/size
+/// refresh and the per-candidate scans are sharded by index range: every
+/// entry is computed independently and each candidate's slot is written by
+/// exactly one shard, so results are bit-identical at any BSR_THREADS. The
+/// stamp-dedup scratch is per shard (find() is const, so concurrent reads
+/// of the forest are safe).
+class CandidateSweeper {
+ public:
+  explicit CandidateSweeper(const CsrGraph& g)
+      : g_(g), root_of_(g.num_vertices()), size_of_(g.num_vertices()) {
+    const std::size_t shards = engine::plan_shards(g.num_vertices());
+    stamps_.assign(shards, std::vector<std::uint32_t>(g.num_vertices(), 0));
+    epochs_.assign(shards, 0);
+  }
+
+  /// For every non-broker w, the connected-pair count of the scenario forest
+  /// after uniting w's admitted star. take_min folds into target via min
+  /// (scenario sweeps); otherwise overwrites (the no-failure sweep).
+  template <class Filter>
+  void sweep(const RollbackUnionFind& uf, const std::vector<bool>& is_broker,
+             Filter admit, bool take_min, std::vector<std::uint64_t>& target) {
+    const NodeId n = g_.num_vertices();
+    engine::for_each_shard(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        root_of_[v] = uf.find(static_cast<NodeId>(v));
+      }
+    });
+    for (NodeId v = 0; v < n; ++v) {
+      if (root_of_[v] == v) size_of_[v] = uf.root_size(v);
+    }
+    const std::uint64_t base = uf.connected_pairs();
+    engine::for_each_shard(n, [&](std::size_t shard, std::size_t begin,
+                                  std::size_t end) {
+      std::vector<std::uint32_t>& stamp = stamps_[shard];
+      std::uint32_t& epoch = epochs_[shard];
+      if (epoch >= std::numeric_limits<std::uint32_t>::max() - n - 1) {
+        std::fill(stamp.begin(), stamp.end(), 0u);
+        epoch = 0;
+      }
+      for (std::size_t wi = begin; wi < end; ++wi) {
+        const auto w = static_cast<NodeId>(wi);
+        if (is_broker[w]) continue;
+        ++epoch;
+        const NodeId rw = root_of_[w];
+        stamp[rw] = epoch;
+        std::uint64_t merged = size_of_[rw];
+        std::uint64_t unmerged_pairs = choose2(size_of_[rw]);
+        const auto nbrs = g_.neighbors(w);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if (!admit(w, i, v)) continue;
+          const NodeId r = root_of_[v];
+          if (stamp[r] != epoch) {
+            stamp[r] = epoch;
+            merged += size_of_[r];
+            unmerged_pairs += choose2(size_of_[r]);
+          }
+        }
+        const std::uint64_t after = base - unmerged_pairs + choose2(merged);
+        if (take_min) {
+          if (after < target[wi]) target[wi] = after;
+        } else {
+          target[wi] = after;
+        }
+      }
+    });
+  }
+
+ private:
+  const CsrGraph& g_;
+  std::vector<NodeId> root_of_;
+  std::vector<std::uint32_t> size_of_;
+  std::vector<std::vector<std::uint32_t>> stamps_;
+  std::vector<std::uint32_t> epochs_;
+};
+
+}  // namespace
+
+RobustResult robust_maxsg(const CsrGraph& g, std::uint32_t k,
+                          const RobustOptions& options) {
+  BSR_SPAN("broker.robust");
+  const NodeId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("robust_maxsg: empty graph");
+  if (options.mode == RobustMode::kBrokerFailures && options.redundancy == 0) {
+    throw std::invalid_argument("robust_maxsg: redundancy must be >= 1");
+  }
+  if (options.mode == RobustMode::kFailureGroups && options.groups.empty()) {
+    throw std::invalid_argument("robust_maxsg: kFailureGroups needs failure groups");
+  }
+
+  RobustResult result;
+  result.brokers = BrokerSet(n);
+  if (k == 0) return result;
+
+  const std::uint32_t r = options.redundancy;
+  RollbackUnionFind uf(n);
+  CandidateSweeper sweeper(g);
+  std::optional<FaultPlane> plane;
+  if (options.mode == RobustMode::kFailureGroups) plane.emplace(g);
+
+  std::vector<bool> is_broker(n, false);
+  std::vector<NodeId> members;
+  members.reserve(k);
+  std::vector<std::uint64_t> worst(n), full(n);
+  std::uint64_t prev_worst = 0;  // adversary's optimum vs the current set
+  std::uint64_t prev_full = 0;   // no-failure pairs of the current set
+
+  while (members.size() < k) {
+    BSR_COUNT(RobustRounds);
+    const std::span<const NodeId> mspan(members);
+
+    // No-failure sweep: pairs(B ∪ {w}) for every candidate — the secondary
+    // objective that bootstraps the selection while |B| is still below the
+    // redundancy level (where the worst case is identically zero).
+    std::uint64_t current_full = 0;
+    enumerate_exclusions(g, uf, mspan, 0, 0, [&] {
+      BSR_COUNT(RobustScenarios);
+      current_full = uf.connected_pairs();
+      sweeper.sweep(uf, is_broker, engine::AllEdges{}, false, full);
+    });
+    BSR_COUNT_N(RobustGainEvals, n - members.size());
+
+    if (options.mode == RobustMode::kBrokerFailures) {
+      if (members.size() + 1 <= r) {
+        // Any r failures can take down the whole candidate set.
+        std::fill(worst.begin(), worst.end(), 0);
+      } else {
+        std::fill(worst.begin(), worst.end(), kNoPairs);
+        // Scenarios not containing the candidate: r failures among B, then
+        // the candidate's star joins the survivors.
+        enumerate_exclusions(g, uf, mspan, 0, r, [&] {
+          BSR_COUNT(RobustScenarios);
+          sweeper.sweep(uf, is_broker, engine::AllEdges{}, true, worst);
+          BSR_COUNT_N(RobustGainEvals, n - members.size());
+        });
+        // Scenarios containing the candidate: the candidate itself plus any
+        // r-1 members fail, leaving pairs(B \ F') — candidate-independent.
+        std::uint64_t worst_without = kNoPairs;
+        if (r == 1) {
+          worst_without = current_full;
+        } else {
+          enumerate_exclusions(g, uf, mspan, 0, r - 1, [&] {
+            BSR_COUNT(RobustScenarios);
+            worst_without = std::min(worst_without, uf.connected_pairs());
+          });
+        }
+        for (NodeId w = 0; w < n; ++w) {
+          if (worst[w] > worst_without) worst[w] = worst_without;
+        }
+      }
+    } else {
+      std::fill(worst.begin(), worst.end(), kNoPairs);
+      const engine::FaultAwareFilter admit{&*plane};
+      for (const FailureGroup& group : options.groups) {
+        plane->fail_group(group);
+        const RollbackUnionFind::Checkpoint mark = uf.checkpoint();
+        for (const NodeId m : members) {
+          if (plane->vertex_ok(m)) engine::unite_star(g, uf, m, admit);
+        }
+        BSR_COUNT(RobustScenarios);
+        sweeper.sweep(uf, is_broker, admit, true, worst);
+        BSR_COUNT_N(RobustGainEvals, n - members.size());
+        uf.rollback(mark);
+        plane->heal_group(group);
+      }
+    }
+
+    // Deterministic argmax on (surviving pairs, nominal pairs, lowest id).
+    NodeId best = bsr::graph::kUnreachable;
+    std::uint64_t best_worst = 0, best_full = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (is_broker[w]) continue;
+      if (best == bsr::graph::kUnreachable || worst[w] > best_worst ||
+          (worst[w] == best_worst && full[w] > best_full)) {
+        best = w;
+        best_worst = worst[w];
+        best_full = full[w];
+      }
+    }
+    if (best == bsr::graph::kUnreachable) break;  // every vertex is a broker
+    // No candidate moves either pair objective — further picks are dead
+    // weight, so the remaining budget stays unspent.
+    if (best_worst == prev_worst && best_full == prev_full) break;
+
+    is_broker[best] = true;
+    members.push_back(best);
+    result.brokers.add(best);
+    result.surviving_curve.push_back(best_worst);
+    prev_worst = best_worst;
+    prev_full = best_full;
+    BSR_EVENT_NOW(SelectionRobustPick, best, best_worst);
+  }
+
+  result.surviving_pairs = prev_worst;
+  result.nominal_pairs = prev_full;
+  result.coverage = coverage(g, result.brokers);
+  return result;
+}
+
+std::uint64_t worst_case_surviving_pairs(const CsrGraph& g, const BrokerSet& b,
+                                         std::uint32_t r) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("worst_case_surviving_pairs: size mismatch");
+  }
+  if (b.size() <= r) return 0;  // the adversary can fail every broker
+  RollbackUnionFind uf(g.num_vertices());
+  std::uint64_t worst = kNoPairs;
+  enumerate_exclusions(g, uf, b.members(), 0, r, [&] {
+    BSR_COUNT(RobustScenarios);
+    worst = std::min(worst, uf.connected_pairs());
+  });
+  return worst;
+}
+
+std::uint64_t worst_case_surviving_pairs(const CsrGraph& g, const BrokerSet& b,
+                                         std::span<const FailureGroup> groups) {
+  if (b.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("worst_case_surviving_pairs: size mismatch");
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("worst_case_surviving_pairs: no failure groups");
+  }
+  FaultPlane plane(g);
+  RollbackUnionFind uf(g.num_vertices());
+  const engine::FaultAwareFilter admit{&plane};
+  std::uint64_t worst = kNoPairs;
+  for (const FailureGroup& group : groups) {
+    plane.fail_group(group);
+    const RollbackUnionFind::Checkpoint mark = uf.checkpoint();
+    for (const NodeId m : b.members()) {
+      if (plane.vertex_ok(m)) engine::unite_star(g, uf, m, admit);
+    }
+    BSR_COUNT(RobustScenarios);
+    worst = std::min(worst, uf.connected_pairs());
+    uf.rollback(mark);
+    plane.heal_group(group);
+  }
+  return worst;
+}
+
+}  // namespace bsr::broker

@@ -10,6 +10,7 @@
 
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/fault_plane.hpp"
 
 namespace bsr::broker {
 
@@ -34,5 +35,30 @@ namespace bsr::broker {
 /// the pairwise dominating-path guarantee. Exponential — tests only.
 [[nodiscard]] std::uint32_t brute_force_mcbg_optimum(const bsr::graph::CsrGraph& g,
                                                      std::uint32_t k);
+
+// --- r-survivability (fault-tolerant selection) ----------------------------
+
+/// Exhaustive worst case over all C(|B|, r) broker-failure scenarios of the
+/// connected-pair count of the surviving dominated subgraph. Components are
+/// found by DFS per scenario — no code shared with robust.cpp's incremental
+/// union-find path. 0 when |B| <= r. Throws for |B| > 22 members.
+[[nodiscard]] std::uint64_t brute_force_surviving_pairs(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b, std::uint32_t r);
+
+/// Exhaustive worst case over single correlated failure groups: for each
+/// group, its member edges are deleted and the dominated pair count of the
+/// full set is recomputed by DFS. Throws on empty `groups`.
+[[nodiscard]] std::uint64_t brute_force_group_surviving_pairs(
+    const bsr::graph::CsrGraph& g, const BrokerSet& b,
+    std::span<const bsr::graph::FailureGroup> groups);
+
+/// Exhaustive r-redundant optimum: max over all broker subsets of size <= k
+/// of brute_force_surviving_pairs. Doubly exponential in spirit — tiny test
+/// graphs only (<= 22 vertices). tests/test_robust.cpp uses it to pin an
+/// instance where greedy redundancy is strictly suboptimal (the note paper's
+/// approximation failure).
+[[nodiscard]] std::uint64_t brute_force_robust_optimum(const bsr::graph::CsrGraph& g,
+                                                       std::uint32_t k,
+                                                       std::uint32_t r);
 
 }  // namespace bsr::broker

@@ -126,6 +126,9 @@ bool FaultPlane::heal_vertex(NodeId v) {
 std::size_t FaultPlane::fail_group(const FailureGroup& group) {
   std::size_t newly_down = 0;
   for (const Edge& e : group.edges) {
+    // Group edges are canonical (u < v) and in range by construction; a
+    // violation means the group was built against a different graph.
+    BSR_DCHECK(e.u < e.v && e.v < graph_->num_vertices());
     if (fail_edge(e.u, e.v)) ++newly_down;
   }
   // Stamped at the journal clock: the plane has no notion of simulated time,
@@ -137,6 +140,7 @@ std::size_t FaultPlane::fail_group(const FailureGroup& group) {
 std::size_t FaultPlane::heal_group(const FailureGroup& group) {
   std::size_t newly_up = 0;
   for (const Edge& e : group.edges) {
+    BSR_DCHECK(e.u < e.v && e.v < graph_->num_vertices());
     if (heal_edge(e.u, e.v)) ++newly_up;
   }
   BSR_EVENT_NOW(FaultGroupHeal, group.center, newly_up);

@@ -55,7 +55,10 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
 // version; router verdicts pack (src << 32) | dst. Correlation conventions:
 // sim.health.* / sim.repair.* carry the failure-episode id
 // (HealthTransition::episode; 0 = none); graph.fault.* carry the count of
-// edges that actually transitioned; everything else 0.
+// edges that actually transitioned; selection.robust.pick carries the
+// worst-case surviving pair count after the pick; selection.robust.exposed
+// carries the number of connected pairs the departure severed (absorbed
+// departures severed none, so their correlation is 0); everything else 0.
 
 #define BSR_OBS_EVENT_TABLE(X)                            \
   X(ChurnDeparture, "sim.churn.departure")                \
@@ -78,7 +81,10 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
   X(RouteShunned, "sim.router.shunned")                   \
   X(RouteUnreachable, "sim.router.unreachable")           \
   X(FaultGroupFail, "graph.fault.group_fail")             \
-  X(FaultGroupHeal, "graph.fault.group_heal")
+  X(FaultGroupHeal, "graph.fault.group_heal")             \
+  X(SelectionRobustPick, "selection.robust.pick")         \
+  X(SelectionRobustAbsorbed, "selection.robust.absorbed") \
+  X(SelectionRobustExposed, "selection.robust.exposed")
 
 enum class Event : std::uint16_t {
 #define BSR_OBS_X(id, name) k##id,

@@ -81,6 +81,9 @@ inline constexpr int kSchemaVersion = 1;
   X(LocalSearchSwaps, "broker.local_search.swaps", false)          \
   X(McbgStitchRounds, "broker.mcbg.stitch_rounds", false)          \
   X(McbgStitchPromotions, "broker.mcbg.stitch_promotions", true)   \
+  X(RobustRounds, "broker.robust.rounds", false)                   \
+  X(RobustScenarios, "broker.robust.scenarios", false)             \
+  X(RobustGainEvals, "broker.robust.gain_evals", true)             \
   X(ChurnEvents, "sim.churn.events", true)                         \
   X(ChurnConnectivityEvals, "sim.churn.connectivity_evals", false) \
   X(HealthProbeRounds, "sim.health.probe_rounds", false)           \

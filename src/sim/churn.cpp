@@ -179,6 +179,13 @@ double HealthChurnResult::false_positive_rate() const noexcept {
                                 static_cast<double>(quarantines);
 }
 
+double HealthChurnResult::mean_time_to_recover() const noexcept {
+  if (recovery_times.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double t : recovery_times) sum += t;
+  return sum / static_cast<double>(recovery_times.size());
+}
+
 namespace {
 
 /// Pre-drawn ground-truth event: the physical world's timeline, fixed
@@ -189,6 +196,13 @@ struct GroundTruthEvent {
       Kind::kDeparture;
   bsr::graph::NodeId vertex = 0;  // kDeparture / kReturn
   std::size_t group = 0;          // kOutage / kLinkHeal
+};
+
+/// An exposed departure awaiting the oracle pair count to climb back to its
+/// pre-departure baseline.
+struct PendingRecovery {
+  double time = 0.0;
+  std::uint64_t baseline_pairs = 0;
 };
 
 }  // namespace
@@ -273,6 +287,10 @@ HealthChurnResult simulate_churn_with_health(
   BrokerSet believed = current;
   bsr::broker::DominatedEvaluator oracle_eval(g, current, &plane);
   bsr::broker::DominatedEvaluator believed_eval(g, believed, &plane);
+  // The *promise*: the believed set on the pristine graph. Belief carries no
+  // fault knowledge, so this is the connectivity the control plane is
+  // implicitly advertising; the believed_eval number is what traffic gets.
+  bsr::broker::DominatedEvaluator promised_eval(g, believed, nullptr);
 
   std::size_t active_view = 0;       // index into monitor.views()
   std::size_t seen_transitions = 0;  // transitions already post-processed
@@ -285,7 +303,19 @@ HealthChurnResult simulate_churn_with_health(
   double now = 0.0;
   double oracle_conn = oracle_eval.connectivity();
   double believed_conn = believed_eval.connectivity();
+  double promised_conn = promised_eval.connectivity();
   double oracle_weighted = 0.0, believed_weighted = 0.0;
+  std::vector<PendingRecovery> pending_recoveries;
+  std::size_t recovery_head = 0;  // FIFO drain position
+  const auto drain_recoveries = [&]() {
+    const std::uint64_t pairs = oracle_eval.uf().connected_pairs();
+    while (recovery_head < pending_recoveries.size() &&
+           pairs >= pending_recoveries[recovery_head].baseline_pairs) {
+      result.recovery_times.push_back(now -
+                                      pending_recoveries[recovery_head].time);
+      ++recovery_head;
+    }
+  };
 
   const auto segment_costs = [&](double dt) {
     // Per-broker belief-vs-truth mismatch, integrated over the segment.
@@ -301,12 +331,14 @@ HealthChurnResult simulate_churn_with_health(
     const double dt = t - now;
     oracle_weighted += oracle_conn * dt;
     believed_weighted += believed_conn * dt;
+    result.misrouting_pair_exposure +=
+        std::max(0.0, promised_conn - believed_conn) * dt;
     segment_costs(dt);
     now = t;
     BSR_EVENT_TIME(t);
   };
   const auto rebuild_believed = [&]() {
-    BSR_COUNT(ChurnConnectivityEvals);
+    BSR_COUNT_N(ChurnConnectivityEvals, 2);
     const HealthView& view = monitor.views()[active_view];
     std::vector<NodeId> routable;
     routable.reserve(current.size());
@@ -316,6 +348,8 @@ HealthChurnResult simulate_churn_with_health(
     believed = BrokerSet(n, routable);
     believed_eval.rebuild();
     believed_conn = believed_eval.connectivity();
+    promised_eval.rebuild();
+    promised_conn = promised_eval.connectivity();
   };
 
   std::size_t next_fault = 0;
@@ -341,11 +375,22 @@ HealthChurnResult simulate_churn_with_health(
     if (fault_time <= t) {
       BSR_COUNT(ChurnEvents);
       const GroundTruthEvent& event = timeline[next_fault++];
+      // Baseline for departure classification: the oracle pair count the
+      // world had the instant before this event landed.
+      const std::uint64_t prev_pairs = oracle_eval.uf().connected_pairs();
+      bool classify_departure = false;
+      std::uint64_t inevitable_loss = 0;
       switch (event.kind) {
         case GroundTruthEvent::Kind::kDeparture:
           if (plane.fail_vertex(event.vertex)) {
             down_since[event.vertex] = t;
             credited[event.vertex] = false;
+            classify_departure = true;
+            // Pairs involving the departed vertex itself are lost no matter
+            // how redundant the selection is — the classification below only
+            // charges the selection for severing *third-party* pairs.
+            inevitable_loss =
+                oracle_eval.uf().component_size(event.vertex) - 1;
           }
           ++result.departures;
           BSR_EVENT(ChurnDeparture, t, event.vertex, 0);
@@ -374,6 +419,25 @@ HealthChurnResult simulate_churn_with_health(
       oracle_conn = oracle_eval.connectivity();
       believed_eval.rebuild();  // physical edges changed under the same belief
       believed_conn = believed_eval.connectivity();
+      if (classify_departure) {
+        // Absorbed: every *surviving* pair the coalition served still has a
+        // dominating path through the survivors — exactly what an
+        // r-redundant selection buys. Exposed: third-party pairs were
+        // severed; remember the survivable baseline so the first rebuild
+        // that restores it closes the recovery episode.
+        const std::uint64_t baseline = prev_pairs - inevitable_loss;
+        const std::uint64_t new_pairs = oracle_eval.uf().connected_pairs();
+        if (new_pairs >= baseline) {
+          ++result.absorbed_departures;
+          BSR_EVENT(SelectionRobustAbsorbed, t, event.vertex, 0);
+        } else {
+          ++result.exposed_departures;
+          BSR_EVENT(SelectionRobustExposed, t, event.vertex,
+                    baseline - new_pairs);
+          pending_recoveries.push_back({t, baseline});
+        }
+      }
+      drain_recoveries();  // a return / link heal may have restored pairs
     } else if (monitor_time <= t) {
       monitor.advance(t);
       const auto transitions = monitor.transitions();
@@ -413,6 +477,7 @@ HealthChurnResult simulate_churn_with_health(
         BSR_COUNT(ChurnConnectivityEvals);
         oracle_eval.rebuild();
         oracle_conn = oracle_eval.connectivity();
+        drain_recoveries();
       }
     }
   }

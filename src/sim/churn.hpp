@@ -135,9 +135,29 @@ struct HealthChurnResult {
   /// Integral of (vertex up AND member AND view says unroutable)
   /// broker-time: healthy capacity shunned. Grows as probing gets jumpier.
   double shunned_up_time = 0.0;
+  // Redundancy ablation metrics (broker/robust.hpp). A departure is
+  // *absorbed* when the only pairs lost are the departed vertex's own — a
+  // redundant selection keeps a dominating path through every surviving
+  // pair — and *exposed* when third-party pairs are severed until repair or
+  // return restores them.
+  std::size_t absorbed_departures = 0;
+  std::size_t exposed_departures = 0;
+  /// Integral over time of (promised - realized) connectivity, where
+  /// *promised* is the in-force believed set evaluated on the pristine graph
+  /// (belief has no fault knowledge) and *realized* is the same set on the
+  /// damaged graph. The gap is the fraction of pairs the control plane
+  /// promises but cannot deliver; r-redundant selections keep it near zero
+  /// through undetected-failure windows.
+  double misrouting_pair_exposure = 0.0;
+  /// Seconds from each exposed departure until the oracle pair count first
+  /// climbs back to its pre-departure baseline minus the departed vertex's
+  /// own (inevitably lost) pairs (FIFO; episodes still unrecovered at the
+  /// horizon contribute nothing).
+  std::vector<double> recovery_times;
 
   [[nodiscard]] double mean_detection_latency() const noexcept;
   [[nodiscard]] double false_positive_rate() const noexcept;
+  [[nodiscard]] double mean_time_to_recover() const noexcept;
 };
 
 /// One event loop interleaving broker-vertex outages/returns, correlated

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "broker/maxsg.hpp"
 #include "broker/verify.hpp"
+#include "graph/engine.hpp"
+#include "graph/fault_plane.hpp"
 #include "test_util.hpp"
 
 namespace bsr::broker {
@@ -87,6 +90,94 @@ TEST(DisjointPaths, ShortestFirstOrdering) {
       EXPECT_TRUE(is_dominating_path(g, b, path));
     }
   }
+}
+
+TEST(DisjointPaths, FaultAwareSkipsFailedEdges) {
+  // Cycle of 6, all brokers: normally two disjoint 0->3 paths. Failing one
+  // clockwise edge must leave exactly the counterclockwise route, and no
+  // extracted path may ever contain a failed edge.
+  const CsrGraph g = make_cycle(6);
+  BrokerSet b(6);
+  for (NodeId v = 0; v < 6; ++v) b.add(v);
+  bsr::graph::FaultPlane plane(g);
+  plane.fail_edge(1, 2);
+  const auto result = disjoint_dominating_paths(g, b, plane, 0, 3, 4);
+  ASSERT_EQ(result.count(), 1u);
+  EXPECT_EQ(result.paths[0], (std::vector<NodeId>{0, 5, 4, 3}));
+}
+
+TEST(DisjointPaths, FaultAwareNeverUsesFailedEdgesOnRandomGraphs) {
+  const CsrGraph g = make_connected_random(60, 0.08, 9);
+  const auto b = maxsg(g, 15).brokers;
+  bsr::graph::FaultPlane plane(g);
+  Rng fault_rng(10);
+  for (const auto& e : g.edges()) {
+    if (fault_rng.bernoulli(0.2)) plane.fail_edge(e.u, e.v);
+  }
+  for (NodeId v = 40; v < 50; ++v) {
+    if (fault_rng.bernoulli(0.3)) plane.fail_vertex(v);
+  }
+  for (NodeId src = 0; src < 10; ++src) {
+    const auto result = disjoint_dominating_paths(g, b, plane, src, 59, 3);
+    for (const auto& path : result.paths) {
+      EXPECT_TRUE(is_dominating_path(g, b, path));
+      for (const NodeId v : path) EXPECT_TRUE(plane.vertex_ok(v));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(plane.edge_ok(path[i], path[i + 1]))
+            << "failed edge {" << path[i] << "," << path[i + 1]
+            << "} appeared in an extracted path";
+      }
+    }
+  }
+}
+
+TEST(DisjointPaths, DownEndpointYieldsZeroPaths) {
+  const CsrGraph g = make_cycle(6);
+  BrokerSet b(6);
+  for (NodeId v = 0; v < 6; ++v) b.add(v);
+  bsr::graph::FaultPlane plane(g);
+  plane.fail_vertex(0);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, plane, 0, 3).count(), 0u);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, plane, 3, 0).count(), 0u);
+  plane.heal_vertex(0);
+  EXPECT_EQ(disjoint_dominating_paths(g, b, plane, 0, 3).count(), 2u);
+}
+
+TEST(DisjointPaths, PristinePlaneMatchesUnfaultedOverload) {
+  const CsrGraph g = make_connected_random(40, 0.15, 11);
+  const auto b = maxsg(g, 10).brokers;
+  const bsr::graph::FaultPlane plane(g);
+  for (NodeId dst = 20; dst < 28; ++dst) {
+    const auto plain = disjoint_dominating_paths(g, b, 3, dst, 3);
+    const auto faulted = disjoint_dominating_paths(g, b, plane, 3, dst, 3);
+    EXPECT_EQ(plain.paths, faulted.paths);
+  }
+}
+
+TEST(DisjointPaths, PlaneBoundToOtherGraphThrows) {
+  const CsrGraph g = make_cycle(6);
+  const CsrGraph other = make_cycle(6);
+  BrokerSet b(6);
+  b.add(0);
+  const bsr::graph::FaultPlane plane(other);
+  EXPECT_THROW((void)disjoint_dominating_paths(g, b, plane, 0, 3),
+               std::invalid_argument);
+}
+
+TEST(PathDiversity, BitIdenticalAcrossThreadCounts) {
+  const CsrGraph g = make_connected_random(100, 0.06, 12);
+  const auto b = maxsg(g, 20).brokers;
+  const int saved = bsr::graph::engine::num_threads();
+  bsr::graph::engine::set_num_threads(1);
+  Rng rng_serial(13);
+  const auto serial = path_diversity(g, b, rng_serial, 400);
+  bsr::graph::engine::set_num_threads(4);
+  Rng rng_parallel(13);
+  const auto parallel = path_diversity(g, b, rng_parallel, 400);
+  bsr::graph::engine::set_num_threads(saved);
+  EXPECT_EQ(serial.pairs_sampled, parallel.pairs_sampled);
+  EXPECT_EQ(serial.with_one, parallel.with_one);
+  EXPECT_EQ(serial.with_two, parallel.with_two);
 }
 
 TEST(PathDiversity, MoreBrokersMoreDiversity) {

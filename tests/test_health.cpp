@@ -571,6 +571,67 @@ TEST(HealthChurnTest, MisroutingExposureShrinksWithFasterProbing) {
   }
 }
 
+TEST(HealthChurnTest, ClassifiesDeparturesAndTracksExposure) {
+  const ChurnFixture fx;
+  const auto result = fx.run(1.0);
+  // Every broker departure that actually took the vertex down is classified
+  // exactly once as absorbed (oracle pair count held) or exposed (pairs were
+  // severed); departures of already-down vertices are unclassifiable.
+  EXPECT_GT(result.absorbed_departures + result.exposed_departures, 0u);
+  EXPECT_LE(result.absorbed_departures + result.exposed_departures,
+            result.departures);
+  EXPECT_GE(result.misrouting_pair_exposure, 0.0);
+  // Exposure integrates promised-minus-realized connectivity, so with
+  // exposed departures present it must register.
+  if (result.exposed_departures > 0) {
+    EXPECT_GT(result.misrouting_pair_exposure, 0.0);
+  }
+  for (const double t : result.recovery_times) EXPECT_GE(t, 0.0);
+  if (result.recovery_times.empty()) {
+    EXPECT_EQ(result.mean_time_to_recover(), 0.0);
+  } else {
+    EXPECT_GT(result.mean_time_to_recover(), 0.0);
+  }
+}
+
+TEST(HealthChurnTest, AbsorbedDepartureOnRedundantSelection) {
+  // Complete graph, two brokers: either one alone still dominates every
+  // surviving vertex, so the *first* departure severs no third-party pairs —
+  // it must be absorbed. Only a second departure (no brokers left) can
+  // expose pairs, so at most one departure is ever exposed.
+  const auto g = bsr::test::make_complete(8);
+  BrokerSet b(8);
+  b.add(0);
+  b.add(1);
+  HealthChurnConfig churn;
+  churn.departure_rate = 0.3;
+  churn.mean_return_time = 0.0;  // the dead stay dead
+  churn.horizon = 30.0;
+  Rng rng(5);
+  const auto result = bsr::sim::simulate_churn_with_health(
+      g, b, churn, {}, {}, tight_config(), {}, rng);
+  ASSERT_GT(result.departures, 0u);
+  EXPECT_EQ(result.absorbed_departures, 1u);
+  EXPECT_LE(result.exposed_departures, 1u);
+  if (result.exposed_departures == 0) {
+    EXPECT_EQ(result.misrouting_pair_exposure, 0.0);
+  }
+}
+
+TEST(HealthChurnTest, NewMetricsBitIdenticalAcrossThreadCounts) {
+  const ChurnFixture fx;
+  const int saved = bsr::graph::engine::num_threads();
+  bsr::graph::engine::set_num_threads(1);
+  const auto serial = fx.run(0.5);
+  bsr::graph::engine::set_num_threads(4);
+  const auto parallel = fx.run(0.5);
+  bsr::graph::engine::set_num_threads(saved);
+  EXPECT_EQ(serial.absorbed_departures, parallel.absorbed_departures);
+  EXPECT_EQ(serial.exposed_departures, parallel.exposed_departures);
+  EXPECT_EQ(serial.misrouting_pair_exposure, parallel.misrouting_pair_exposure);
+  EXPECT_EQ(serial.recovery_times, parallel.recovery_times);
+}
+
 TEST(HealthChurnTest, RepairRecruitsOnPermanentDepartures) {
   const ChurnFixture fx;
   HealthChurnConfig churn;

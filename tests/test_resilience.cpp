@@ -83,6 +83,96 @@ TEST(ResilienceCurve, TargetedAtLeastAsDamagingOnHubGraphs) {
   EXPECT_LE(targeted.connectivity[0], random.connectivity[0] + 1e-12);
 }
 
+TEST(ResilienceCurve, GroupCurveMatchesManualGroupRemoval) {
+  // Star hub 0 is the only broker and every leaf edge is its own failure
+  // group. All groups are interchangeable by symmetry, so whatever order the
+  // curve's internal shuffle picks, failing s groups must give exactly the
+  // connectivity of s hand-failed leaf edges: the survivors are a star on
+  // (10 - s) vertices.
+  const CsrGraph g = make_star(10);
+  BrokerSet b(10);
+  b.add(0);
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (NodeId v = 1; v < 10; ++v) {
+    groups.push_back({.center = v, .edges = {{0, v}}});
+  }
+  const std::vector<std::size_t> steps{0, 1, 3, 6, 9, 12};
+  Rng rng(26);
+  const auto curve = resilience_curve(
+      g, b, std::span<const bsr::graph::FailureGroup>(groups), steps, rng);
+  ASSERT_EQ(curve.connectivity.size(), steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::size_t failed = std::min(steps[i], groups.size());
+    EXPECT_EQ(curve.failures[i], failed);
+    bsr::graph::FaultPlane plane(g);
+    for (std::size_t j = 0; j < failed; ++j) plane.fail_group(groups[j]);
+    EXPECT_NEAR(curve.connectivity[i], saturated_connectivity(g, b, plane),
+                1e-12)
+        << "step " << steps[i];
+  }
+}
+
+TEST(ResilienceCurve, SingleGroupCurveMatchesManualRemoval) {
+  // With one group the shuffle is the identity, so the s=1 point must equal
+  // a by-hand FaultPlane application of that exact group.
+  const CsrGraph g = make_connected_random(50, 0.08, 27);
+  const auto brokers = maxsg(g, 10).brokers;
+  const std::vector<bsr::graph::FailureGroup> groups{
+      bsr::graph::incident_group(g, 7)};
+  const std::vector<std::size_t> steps{0, 1};
+  Rng rng(28);
+  const auto curve = resilience_curve(
+      g, brokers, std::span<const bsr::graph::FailureGroup>(groups), steps, rng);
+  EXPECT_NEAR(curve.connectivity[0], saturated_connectivity(g, brokers), 1e-12);
+  bsr::graph::FaultPlane plane(g);
+  plane.fail_group(groups[0]);
+  EXPECT_NEAR(curve.connectivity[1], saturated_connectivity(g, brokers, plane),
+              1e-12);
+}
+
+TEST(ResilienceCurve, GroupCurveNonIncreasingAndDeterministic) {
+  const CsrGraph g = make_connected_random(80, 0.06, 29);
+  const auto brokers = maxsg(g, 16).brokers;
+  std::vector<bsr::graph::FailureGroup> groups;
+  for (NodeId v = 0; v < 12; ++v) {
+    groups.push_back(bsr::graph::incident_group(g, v));
+  }
+  const std::vector<std::size_t> steps{0, 2, 5, 9, 12, 20};
+  Rng rng_a(30), rng_b(30);
+  const auto a = resilience_curve(
+      g, brokers, std::span<const bsr::graph::FailureGroup>(groups), steps, rng_a);
+  const auto b = resilience_curve(
+      g, brokers, std::span<const bsr::graph::FailureGroup>(groups), steps, rng_b);
+  EXPECT_EQ(a.connectivity, b.connectivity);  // deterministic in the seed
+  EXPECT_EQ(a.failures, b.failures);
+  for (std::size_t i = 1; i < a.connectivity.size(); ++i) {
+    // Nested prefixes: damage only accumulates.
+    EXPECT_LE(a.connectivity[i], a.connectivity[i - 1] + 1e-12);
+  }
+  EXPECT_EQ(a.failures.back(), groups.size());  // steps clamp to |groups|
+}
+
+TEST(ResilienceCurve, GroupCurveSizeMismatchThrows) {
+  const CsrGraph g = make_star(6);
+  const std::vector<bsr::graph::FailureGroup> groups{
+      bsr::graph::incident_group(g, 0)};
+  const std::vector<std::size_t> steps{0, 1};
+  Rng rng(31);
+  EXPECT_THROW(
+      (void)resilience_curve(g, BrokerSet(7),
+                             std::span<const bsr::graph::FailureGroup>(groups),
+                             steps, rng),
+      std::invalid_argument);
+}
+
+TEST(Repair, SizeMismatchThrows) {
+  const CsrGraph g = make_star(6);
+  EXPECT_THROW((void)repair_brokers(g, BrokerSet(7), 1), std::invalid_argument);
+  bsr::graph::FaultPlane plane(g);
+  EXPECT_THROW((void)repair_brokers(g, BrokerSet(7), 1, plane),
+               std::invalid_argument);
+}
+
 TEST(Repair, RestoresConnectivity) {
   const CsrGraph g = make_connected_random(80, 0.06, 9);
   const auto brokers = maxsg(g, 20).brokers;
