@@ -38,7 +38,28 @@
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace bsr::bench {
+
+/// Peak resident set size of this process in bytes; 0 when the platform
+/// offers no getrusage. The scale suite uses this to track the memory cost
+/// of the 10x stress topology alongside its wall times.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#else
+  return 0;
+#endif
+}
 
 struct RunResult {
   std::string name;
@@ -117,8 +138,11 @@ class Harness {
        << "  \"seed\": " << env_.seed << ",\n"
        << "  \"threads\": " << bsr::graph::engine::num_threads() << ",\n"
        << "  \"stats_enabled\": " << (BSR_STATS_ENABLED ? "true" : "false")
-       << ",\n  \"total_work_units\": " << total_work_units()
-       << ",\n  \"metrics\": {";
+       << ",\n  \"total_work_units\": " << total_work_units();
+    if (const std::uint64_t rss = peak_rss_bytes(); rss != 0) {
+      os << ",\n  \"peak_rss_bytes\": " << rss;
+    }
+    os << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       os << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
          << "\": " << metrics_[i].second;

@@ -31,6 +31,11 @@
 //   brokerctl report <events.jsonl> [--window=<w>]   summarize a journal:
 //                                             event counts, worst misrouting
 //                                             window, quarantine dwells
+//   brokerctl topo [--scale <s>]              generate the calibrated topology
+//                                             at scale s and print size,
+//                                             degree, and locality metrics
+//                                             (avg neighbor-id gap before and
+//                                             after degree renumbering)
 //
 // Exit codes: 0 success, 1 runtime failure (bad file, bad argument value,
 // unwritable output path), 2 usage error (unknown subcommand, missing
@@ -59,7 +64,9 @@
 #include "broker/resilience.hpp"
 #include "broker/robust.hpp"
 #include "broker/weighted.hpp"
+#include "graph/degree_stats.hpp"
 #include "graph/fault_plane.hpp"
+#include "graph/renumbering.hpp"
 #include "graph/sampling.hpp"
 #include "io/dot_export.hpp"
 #include "io/env.hpp"
@@ -67,6 +74,7 @@
 #include "sim/churn.hpp"
 #include "sim/router.hpp"
 #include "topology/caida_import.hpp"
+#include "topology/renumber.hpp"
 #include "topology/serialization.hpp"
 #include "topology/stats.hpp"
 
@@ -91,7 +99,8 @@ int usage() {
          "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
          "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
          "[args...]\n"
-         "  brokerctl report <events.jsonl> [--window=<w>]\n";
+         "  brokerctl report <events.jsonl> [--window=<w>]\n"
+         "  brokerctl topo [--scale <s>]\n";
   return 2;
 }
 
@@ -480,11 +489,71 @@ int cmd_dataset_stats(const std::string& path) {
   return 0;
 }
 
+// Topology inspector: generate the calibrated synthetic Internet at the
+// requested scale and print the numbers an operator sizes a deployment by —
+// vertex/edge counts, the degree profile, and the memory-locality metrics
+// the renumbering pass targets (average neighbor-id gap before/after).
+int cmd_topo(int argc, char** argv) {
+  const auto env = bsr::io::experiment_env();
+  double scale = env.scale;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = parse_positive_double("scale", arg.substr(std::strlen("--scale=")),
+                                    10.0);
+      continue;
+    }
+    if (arg == "--scale") {
+      if (i + 1 >= argc) {
+        std::cerr << "brokerctl topo: --scale needs a value\n";
+        return usage();
+      }
+      scale = parse_positive_double("scale", argv[++i], 10.0);
+      continue;
+    }
+    std::cerr << "brokerctl topo: unknown argument '" << arg << "'\n";
+    return usage();
+  }
+
+  auto config = bsr::topology::InternetConfig{}.scaled(scale);
+  config.seed = env.seed;
+  const auto topo = bsr::topology::make_internet(config);
+  const auto& g = topo.graph;
+  const auto degrees = bsr::graph::compute_degree_stats(g);
+  const auto renumbered = bsr::topology::renumber_topology(topo);
+  const double gap_before = bsr::graph::average_neighbor_gap(g);
+  const double gap_after =
+      bsr::graph::average_neighbor_gap(renumbered.topo.graph);
+
+  bsr::io::Table table({"metric", "value"});
+  table.row().cell("scale").cell(scale, 4);
+  table.row().cell("ASes").cell(std::uint64_t{topo.num_ases});
+  table.row().cell("IXPs").cell(std::uint64_t{topo.num_ixps});
+  table.row().cell("vertices").cell(std::uint64_t{g.num_vertices()});
+  table.row().cell("edges").cell(g.num_edges());
+  table.row().cell("degree min / max").cell(std::to_string(degrees.min) + " / " +
+                                            std::to_string(degrees.max));
+  table.row().cell("degree mean").cell(degrees.mean, 2);
+  table.row().cell("degree median").cell(degrees.median, 1);
+  table.row().cell("degree p90 / p99").cell(
+      bsr::io::format_double(degrees.p90, 1) + " / " +
+      bsr::io::format_double(degrees.p99, 1));
+  if (degrees.power_law_alpha > 0.0) {
+    table.row().cell("power-law alpha").cell(degrees.power_law_alpha, 2);
+  }
+  table.row().cell("avg neighbor gap").cell(gap_before, 1);
+  table.row().cell("avg neighbor gap (renumbered)").cell(gap_after, 1);
+  table.row().cell("gap reduction").percent(
+      gap_before > 0.0 ? 1.0 - gap_after / gap_before : 0.0);
+  table.print(std::cout);
+  return 0;
+}
+
 bool known_subcommand(const std::string& cmd) {
   return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
          cmd == "faults" || cmd == "health" || cmd == "robust" ||
-         cmd == "record" || cmd == "report";
+         cmd == "record" || cmd == "report" || cmd == "topo";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -868,6 +937,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "robust") return cmd_robust(argc, argv);
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "topo") return cmd_topo(argc, argv);
   std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
   return usage();
 }

@@ -5,11 +5,16 @@ Every bench binary (bench/perf_*) writes a BENCH_<suite>.json in the shared
 bsr-bench/1 schema (see bench/harness.hpp). CI uploads those as artifacts,
 but eyeballing N separate JSON files across commits is hopeless — this script
 folds them into a single markdown report: one summary row per suite (scale,
-seed, threads, total deterministic work units) and one detail row per run
-(wall ms, ms/rep, work units, and the run's largest counters). Committing or
-uploading the report alongside the raw JSON gives a diffable trend line:
-wall-ms columns move with hardware noise, work-unit columns only move when
-the algorithms change.
+seed, threads, peak RSS when recorded, total deterministic work units) and
+one detail row per run (wall ms, ms/rep, work units, and the run's largest
+counters). Committing or uploading the report alongside the raw JSON gives a
+diffable trend line: wall-ms columns move with hardware noise, work-unit
+columns only move when the algorithms change.
+
+Inputs are treated as best-effort: a missing file, truncated JSON (a bench
+binary killed mid-write), or a malformed field produces a stderr warning and
+a skipped file or placeholder cell, never a traceback — CI aggregates
+whatever artifacts the matrix produced, including partial ones.
 
 Usage: bench_report.py [--out report.md] BENCH_a.json [BENCH_b.json ...]
 Exits 1 if no input parses as bsr-bench/1 (so CI fails loudly when the
@@ -26,12 +31,16 @@ MAX_COUNTERS_PER_RUN = 3
 
 def load_suite(path):
     """Returns the parsed suite dict, or None (with a stderr note) if the
-    file is unreadable or not bsr-bench/1."""
+    file is unreadable, not JSON, or not a bsr-bench/1 object."""
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"bench_report: skipping {path}: {err}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"bench_report: skipping {path}: top level is "
+              f"{type(data).__name__}, expected an object", file=sys.stderr)
         return None
     if data.get("bench_schema") != "bsr-bench/1":
         print(f"bench_report: skipping {path}: bench_schema is "
@@ -42,9 +51,33 @@ def load_suite(path):
     return data
 
 
-def headline_counters(run):
-    counters = sorted(run.get("counters", {}).items(),
-                      key=lambda kv: (-kv[1], kv[0]))
+def as_number(value, path, what):
+    """Returns value as a number, or None (with a stderr warning) when a
+    field that should be numeric isn't — partial artifacts stay reportable."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if value is not None:
+        print(f"bench_report: {path}: ignoring non-numeric {what}: "
+              f"{value!r}", file=sys.stderr)
+    return None
+
+
+def runs_of(suite):
+    runs = suite.get("runs", [])
+    if not isinstance(runs, list):
+        print(f"bench_report: {suite['_path']}: 'runs' is not a list",
+              file=sys.stderr)
+        return []
+    return [r for r in runs if isinstance(r, dict)]
+
+
+def headline_counters(run, path):
+    raw = run.get("counters", {})
+    if not isinstance(raw, dict):
+        return "—"
+    counters = [(name, value) for name, value in raw.items()
+                if as_number(value, path, f"counter {name}") is not None]
+    counters.sort(key=lambda kv: (-kv[1], kv[0]))
     shown = ", ".join(f"{name}={value:,}"
                       for name, value in counters[:MAX_COUNTERS_PER_RUN])
     if len(counters) > MAX_COUNTERS_PER_RUN:
@@ -52,43 +85,62 @@ def headline_counters(run):
     return shown or "—"
 
 
+def format_rss(rss_bytes):
+    if rss_bytes is None:
+        return "—"
+    return f"{rss_bytes / (1024.0 * 1024.0):,.1f}"
+
+
 def render(suites):
     lines = ["# Bench trend report", ""]
     lines.append("| suite | scale | seed | threads | stats | runs | "
-                 "total work units |")
-    lines.append("|---|---:|---:|---:|---|---:|---:|")
+                 "peak RSS (MiB) | total work units |")
+    lines.append("|---|---:|---:|---:|---|---:|---:|---:|")
     for s in suites:
-        total = s.get("total_work_units",
-                      sum(r.get("work_units", 0) for r in s.get("runs", [])))
+        path = s["_path"]
+        runs = runs_of(s)
+        total = as_number(s.get("total_work_units"), path, "total_work_units")
+        if total is None:
+            total = sum(as_number(r.get("work_units", 0), path,
+                                  "work_units") or 0 for r in runs)
+        rss = as_number(s.get("peak_rss_bytes"), path, "peak_rss_bytes")
         lines.append(
             f"| {s.get('suite', '?')} | {s.get('scale', '?')} "
             f"| {s.get('seed', '?')} | {s.get('threads', '?')} "
             f"| {'on' if s.get('stats_enabled') else 'off'} "
-            f"| {len(s.get('runs', []))} | {total:,} |")
+            f"| {len(runs)} | {format_rss(rss)} | {total:,} |")
     for s in suites:
+        path = s["_path"]
         lines.append("")
-        lines.append(f"## {s.get('suite', '?')} ({s['_path']})")
+        lines.append(f"## {s.get('suite', '?')} ({path})")
         lines.append("")
         metrics = s.get("metrics", {})
-        if metrics:
-            shown = ", ".join(f"{k}={v:g}" for k, v in sorted(metrics.items()))
-            lines.append(f"Suite metrics: {shown}")
-            lines.append("")
+        if isinstance(metrics, dict) and metrics:
+            shown = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(metrics.items())
+                if as_number(v, path, f"metric {k}") is not None)
+            if shown:
+                lines.append(f"Suite metrics: {shown}")
+                lines.append("")
         lines.append("| run | reps | wall ms | ms/rep | work units | "
                      "top counters |")
         lines.append("|---|---:|---:|---:|---:|---|")
-        for r in s.get("runs", []):
-            reps = r.get("repetitions", 1) or 1
-            wall = r.get("wall_ms", 0.0)
+        for r in runs_of(s):
+            reps = as_number(r.get("repetitions", 1), path, "repetitions") or 1
+            wall = as_number(r.get("wall_ms", 0.0), path, "wall_ms")
+            work = as_number(r.get("work_units", 0), path, "work_units")
+            wall_cell = f"{wall:.3f}" if wall is not None else "—"
+            per_rep = f"{wall / reps:.3f}" if wall is not None else "—"
+            work_cell = f"{work:,}" if work is not None else "—"
             lines.append(
-                f"| {r.get('name', '?')} | {reps} | {wall:.3f} "
-                f"| {wall / reps:.3f} | {r.get('work_units', 0):,} "
-                f"| {headline_counters(r)} |")
+                f"| {r.get('name', '?')} | {reps} | {wall_cell} "
+                f"| {per_rep} | {work_cell} "
+                f"| {headline_counters(r, path)} |")
     lines.append("")
     lines.append("Work-unit columns are deterministic (seed + scale only); "
-                 "wall-ms columns carry hardware noise. A work-unit change "
-                 "without a matching code change is drift — see "
-                 "scripts/check_obs_drift.py.")
+                 "wall-ms and peak-RSS columns carry hardware noise. A "
+                 "work-unit change without a matching code change is drift — "
+                 "see scripts/check_obs_drift.py.")
     lines.append("")
     return "\n".join(lines)
 
@@ -120,7 +172,7 @@ def main() -> int:
             return 1
         print(f"bench_report: wrote {args.out} "
               f"({len(suites)} suite(s), "
-              f"{sum(len(s.get('runs', [])) for s in suites)} run(s))")
+              f"{sum(len(runs_of(s)) for s in suites)} run(s))")
     else:
         print(report)
     return 0

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "graph/renumbering.hpp"
+
 namespace bsr::broker {
 
 using bsr::graph::NodeId;
@@ -39,6 +41,26 @@ BrokerSet BrokerSet::unite(const BrokerSet& other) const {
   BrokerSet out = *this;
   for (const NodeId v : other.members_) out.add(v);
   return out;
+}
+
+namespace {
+
+void check_sizes(const bsr::graph::Renumbering& ren, const BrokerSet& b) {
+  if (ren.size() != b.num_vertices()) {
+    throw std::invalid_argument("BrokerSet renumber: size mismatch");
+  }
+}
+
+}  // namespace
+
+BrokerSet renumber_to_new(const bsr::graph::Renumbering& ren, const BrokerSet& b) {
+  check_sizes(ren, b);
+  return BrokerSet(b.num_vertices(), ren.map_to_new(b.members()));
+}
+
+BrokerSet renumber_to_old(const bsr::graph::Renumbering& ren, const BrokerSet& b) {
+  check_sizes(ren, b);
+  return BrokerSet(b.num_vertices(), ren.map_to_old(b.members()));
 }
 
 }  // namespace bsr::broker

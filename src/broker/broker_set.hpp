@@ -11,6 +11,10 @@
 
 #include "graph/csr_graph.hpp"
 
+namespace bsr::graph {
+class Renumbering;
+}  // namespace bsr::graph
+
 namespace bsr::broker {
 
 class BrokerSet {
@@ -63,5 +67,14 @@ class BrokerSet {
   std::vector<bool> mask_;
   std::vector<bsr::graph::NodeId> members_;
 };
+
+/// `b` with every member translated into the renumbered id space (selection
+/// order preserved). Throws std::invalid_argument on a size mismatch.
+[[nodiscard]] BrokerSet renumber_to_new(const bsr::graph::Renumbering& ren,
+                                        const BrokerSet& b);
+
+/// Inverse of renumber_to_new: members back in the original id space.
+[[nodiscard]] BrokerSet renumber_to_old(const bsr::graph::Renumbering& ren,
+                                        const BrokerSet& b);
 
 }  // namespace bsr::broker

@@ -2,8 +2,11 @@
 
 #include <queue>
 #include <stdexcept>
+#include <vector>
 
 #include "broker/coverage.hpp"
+#include "graph/engine.hpp"
+#include "graph/renumbering.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
@@ -11,17 +14,26 @@ namespace bsr::broker {
 
 using bsr::graph::CsrGraph;
 using bsr::graph::NodeId;
+using bsr::graph::Renumbering;
 
-GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
+GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k,
+                           const Renumbering* ren) {
   BSR_SPAN("broker.greedy_mcb");
   const NodeId n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("greedy_mcb: empty graph");
+  if (ren != nullptr && ren->size() != n) {
+    throw std::invalid_argument("greedy_mcb: renumbering size mismatch");
+  }
 
   GreedyMcbResult result;
   result.brokers = BrokerSet(n);
   if (k == 0) return result;
 
   CoverageTracker tracker(g);
+  // Heap entries and all ids below live in the ORIGINAL label space; only
+  // tracker calls translate through the renumbering. With ren == nullptr
+  // to_graph is the identity.
+  const auto to_graph = [&](NodeId v) { return ren ? ren->to_new(v) : v; };
 
   // Lazy greedy: heap entries carry the iteration at which the gain was
   // computed; submodularity guarantees gains only shrink, so a stale top
@@ -37,25 +49,38 @@ GreedyMcbResult greedy_mcb(const CsrGraph& g, std::uint32_t k) {
   };
   std::priority_queue<Entry> heap;
   BSR_STATS_ONLY(std::uint64_t evals = 0;)
-  for (NodeId v = 0; v < n; ++v) {
-    BSR_STATS_ONLY(++evals;)
-    heap.push(Entry{tracker.marginal_gain(v), v, 0});
+  // The initial full gain pass is the only O(|E|) step — shard it.
+  // marginal_gain is const (pure reads of the covered bitmap), the gains are
+  // integers in disjoint slots, and the heap is built by a serial
+  // ascending-id push afterwards, so the heap state is independent of the
+  // shard count.
+  {
+    std::vector<std::uint32_t> init_gain(n);
+    bsr::graph::engine::for_each_shard(
+        n, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            init_gain[v] =
+                tracker.marginal_gain(to_graph(static_cast<NodeId>(v)));
+          }
+        });
+    BSR_STATS_ONLY(evals += n;)
+    for (NodeId v = 0; v < n; ++v) heap.push(Entry{init_gain[v], v, 0});
   }
 
   std::uint32_t round = 0;
   while (result.brokers.size() < k && !heap.empty() && !tracker.all_covered()) {
     Entry top = heap.top();
     heap.pop();
-    if (tracker.is_broker(top.vertex)) continue;
+    if (tracker.is_broker(to_graph(top.vertex))) continue;
     if (top.stamp != round) {
       BSR_STATS_ONLY(++evals;)
-      top.gain = tracker.marginal_gain(top.vertex);
+      top.gain = tracker.marginal_gain(to_graph(top.vertex));
       top.stamp = round;
       if (top.gain == 0) continue;  // nothing new to cover from this vertex
       heap.push(top);
       continue;
     }
-    tracker.add(top.vertex);
+    tracker.add(to_graph(top.vertex));
     result.brokers.add(top.vertex);
     result.coverage_curve.push_back(tracker.covered_count());
     BSR_COUNT(GreedyRounds);

@@ -6,12 +6,21 @@
 // best possible ratio unless P = NP (Lemma 5). We use lazy evaluation:
 // stale gains sit in a max-heap and are only recomputed when popped, which
 // in practice turns O(k|V|) gain evaluations into nearly O(|V| log |V|).
+//
+// The initial full gain pass (the only O(|E|) step) is sharded across
+// BSR_THREADS workers; gains are integers written to disjoint slots and
+// pushed into the heap in ascending-id order afterwards, so the heap — and
+// therefore the selection — is bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
 
 #include "broker/broker_set.hpp"
 #include "graph/csr_graph.hpp"
+
+namespace bsr::graph {
+class Renumbering;
+}  // namespace bsr::graph
 
 namespace bsr::broker {
 
@@ -24,8 +33,13 @@ struct GreedyMcbResult {
 };
 
 /// Greedy MCB for budget k. Stops early when everything is covered.
-/// Throws std::invalid_argument for an empty graph.
-[[nodiscard]] GreedyMcbResult greedy_mcb(const bsr::graph::CsrGraph& g,
-                                         std::uint32_t k);
+/// When `renumbering` is non-null, `g` is a locality-renumbered graph and
+/// the result carries ORIGINAL ids, bit-identical to the un-renumbered run
+/// (heap order and tie-breaks are keyed on original ids).
+/// Throws std::invalid_argument for an empty graph or a size-mismatched
+/// renumbering.
+[[nodiscard]] GreedyMcbResult greedy_mcb(
+    const bsr::graph::CsrGraph& g, std::uint32_t k,
+    const bsr::graph::Renumbering* renumbering = nullptr);
 
 }  // namespace bsr::broker

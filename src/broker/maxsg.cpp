@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "broker/coverage.hpp"
 #include "graph/components.hpp"
 #include "graph/engine.hpp"
+#include "graph/renumbering.hpp"
 #include "graph/union_find.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
@@ -13,13 +15,38 @@
 namespace bsr::broker {
 
 using bsr::graph::CsrGraph;
+using bsr::graph::kUnreachable;
 using bsr::graph::NodeId;
+using bsr::graph::Renumbering;
 using bsr::graph::UnionFind;
+
+namespace {
+
+/// Per-shard stamp scratch for distinct-root dedup during gain evaluation:
+/// O(deg) per candidate even for 5,000-degree hubs (a scan-based dedup would
+/// be O(deg²) there). One instance per shard so workers never share stamps.
+struct GainScratch {
+  std::vector<std::uint32_t> root_stamp;
+  std::uint32_t epoch = 0;
+
+  void bump() {
+    if (++epoch == 0) {  // wrap: re-zero once per ~4B evaluations
+      std::fill(root_stamp.begin(), root_stamp.end(), 0u);
+      epoch = 1;
+    }
+  }
+};
+
+}  // namespace
 
 MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k, const MaxSgOptions& options) {
   BSR_SPAN("broker.maxsg");
   const NodeId n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("maxsg: empty graph");
+  const Renumbering* ren = options.renumbering;
+  if (ren != nullptr && ren->size() != n) {
+    throw std::invalid_argument("maxsg: renumbering size mismatch");
+  }
 
   MaxSgResult result;
   result.brokers = BrokerSet(n);
@@ -31,71 +58,200 @@ MaxSgResult maxsg(const CsrGraph& g, std::uint32_t k, const MaxSgOptions& option
       bsr::graph::connected_components(g).largest_size();
 
   UnionFind uf(n);  // components of the dominated subgraph G_B
-  std::vector<bool> is_broker(n, false);
+  std::vector<bool> is_broker(n, false);  // graph-id space
   std::uint32_t largest = 0;
 
-  // Per-round snapshot of the union-find: no unions happen during a sweep,
-  // so root/size lookups can be flat array loads instead of find() chains —
-  // a candidate's gain costs two independent loads per edge.
+  // Per-round snapshot of the union-find, refreshed serially: no unions
+  // happen during a sweep, and find() path-halves (mutates), so shards read
+  // only these flat arrays — a candidate's gain costs two loads per edge.
   std::vector<NodeId> root_of(n);
   std::vector<std::uint32_t> size_of(n);
 
-  // Stamp-based root dedup: O(deg) per candidate even for 5,000-degree hubs
-  // (a scan-based dedup would be O(deg²) there).
-  std::vector<std::uint32_t> root_stamp(n, 0);
-  std::uint32_t epoch = 0;
+  // Anchor-factored gain cache (see maxsg.hpp). All graph-id indexed.
+  //   gain(w) = rest_gain[w] + (adj_anchor[w] ? size(anchor) : 0)
+  // adj_anchor is uint8_t, not vector<bool>: shards write disjoint entries
+  // concurrently and must not share bytes.
+  std::vector<std::uint32_t> rest_gain(n, 0);
+  std::vector<std::uint8_t> adj_anchor(n, 0);
+  std::vector<std::uint32_t> dirty_round(n, 1);  // every candidate dirty in round 1
+  NodeId anchor_rep = kUnreachable;  // any vertex of the anchor component
 
-  const auto candidate_gain = [&](NodeId w) -> std::uint32_t {
-    ++epoch;
-    std::uint32_t merged = 0;
-    const NodeId rw = root_of[w];
-    root_stamp[rw] = epoch;
-    merged += size_of[rw];
-    for (const NodeId v : g.neighbors(w)) {
-      const NodeId r = root_of[v];
-      if (root_stamp[r] != epoch) {
-        root_stamp[r] = epoch;
-        merged += size_of[r];
-      }
-    }
-    return merged;
+  // Intrusive per-component member lists for dirty marking: head/next chains
+  // terminate at kUnreachable and are spliced O(1) when components merge.
+  // Only *current root* heads are ever traversed, so stale entries under
+  // absorbed roots are harmless.
+  std::vector<NodeId> list_head(n);
+  std::vector<NodeId> list_tail(n);
+  std::vector<NodeId> list_next(n, kUnreachable);
+  for (NodeId v = 0; v < n; ++v) {
+    list_head[v] = v;
+    list_tail[v] = v;
+  }
+
+  const std::size_t shards = bsr::graph::engine::plan_shards(n);
+  std::vector<GainScratch> scratch(shards);
+  for (auto& s : scratch) s.root_stamp.assign(n, 0);
+  struct Best {
+    std::uint32_t gain = 0;
+    NodeId cand = kUnreachable;  // candidate index == ORIGINAL id
   };
+  std::vector<Best> shard_best(shards);
+  std::vector<std::uint64_t> shard_evals(shards, 0);
+  std::vector<NodeId> star_roots;
 
+  std::uint32_t round = 1;
   while (result.brokers.size() < k) {
     BSR_COUNT(MaxsgRounds);
     for (NodeId v = 0; v < n; ++v) root_of[v] = uf.find(v);
     for (NodeId v = 0; v < n; ++v) {
       if (root_of[v] == v) size_of[v] = uf.root_size(v);
     }
-    // Full sweep: find the candidate whose activation yields the largest
-    // merged dominated component. Deterministic tie-break: lowest id.
-    NodeId best_vertex = bsr::graph::kUnreachable;
-    std::uint32_t best_gain = 0;
-    for (NodeId w = 0; w < n; ++w) {
-      if (is_broker[w]) continue;
-      const std::uint32_t gain = candidate_gain(w);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_vertex = w;
+    const NodeId anchor_root =
+        anchor_rep == kUnreachable ? kUnreachable : root_of[anchor_rep];
+    const std::uint32_t anchor_size =
+        anchor_root == kUnreachable ? 0 : size_of[anchor_root];
+
+    // Sharded sweep: recompute dirty candidates, argmax over all of them.
+    // Candidates are iterated in ORIGINAL-id order (candidate index c; graph
+    // vertex w = to_new(c)), so the lowest-original-id tie-break — and hence
+    // the selected set — is invariant under renumbering AND thread count:
+    // shards cover ascending contiguous candidate ranges and are merged in
+    // shard order with a strict comparison.
+    bsr::graph::engine::for_each_shard(n, [&](std::size_t shard, std::size_t begin,
+                                  std::size_t end) {
+      GainScratch& sc = scratch[shard];
+      Best best;
+      std::uint64_t evals = 0;
+      for (std::size_t c = begin; c < end; ++c) {
+        const NodeId w =
+            ren ? ren->to_new(static_cast<NodeId>(c)) : static_cast<NodeId>(c);
+        if (is_broker[w]) continue;
+        if (dirty_round[w] == round) {
+          ++evals;
+          sc.bump();
+          std::uint32_t rest = 0;
+          std::uint8_t adj = 0;
+          const NodeId rw = root_of[w];
+          sc.root_stamp[rw] = sc.epoch;
+          if (rw == anchor_root) {
+            adj = 1;
+          } else {
+            rest += size_of[rw];
+          }
+          for (const NodeId v : g.neighbors(w)) {
+            const NodeId r = root_of[v];
+            if (sc.root_stamp[r] != sc.epoch) {
+              sc.root_stamp[r] = sc.epoch;
+              if (r == anchor_root) {
+                adj = 1;
+              } else {
+                rest += size_of[r];
+              }
+            }
+          }
+          rest_gain[w] = rest;
+          adj_anchor[w] = adj;
+        }
+        const std::uint32_t gain =
+            rest_gain[w] + (adj_anchor[w] != 0 ? anchor_size : 0);
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.cand = static_cast<NodeId>(c);
+        }
+      }
+      shard_best[shard] = best;
+      shard_evals[shard] = evals;
+    });
+    Best best;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (shard_best[s].gain > best.gain) best = shard_best[s];
+    }
+    BSR_STATS_ONLY(std::uint64_t total_evals = 0;
+                   for (const std::uint64_t e
+                        : shard_evals) total_evals += e;
+                   BSR_COUNT_N(MaxsgGainEvals, total_evals);)
+    if (best.cand == kUnreachable) break;
+
+    const NodeId w_best = ren ? ren->to_new(best.cand) : best.cand;
+    is_broker[w_best] = true;
+    result.brokers.add(best.cand);  // original id
+
+    // Distinct components of the star {w_best} ∪ N(w_best), pre-unite.
+    GainScratch& sc0 = scratch[0];
+    sc0.bump();
+    star_roots.clear();
+    const NodeId rw = root_of[w_best];
+    sc0.root_stamp[rw] = sc0.epoch;
+    star_roots.push_back(rw);
+    for (const NodeId v : g.neighbors(w_best)) {
+      const NodeId r = root_of[v];
+      if (sc0.root_stamp[r] != sc0.epoch) {
+        sc0.root_stamp[r] = sc0.epoch;
+        star_roots.push_back(r);
       }
     }
-    // Every non-broker vertex is evaluated exactly once per sweep, so the
-    // eval count needs no in-loop accumulator (which would cost a register
-    // in the hottest loop of the selection layer).
-    BSR_COUNT_N(MaxsgGainEvals, n - result.brokers.size());
-    if (best_vertex == bsr::graph::kUnreachable) break;
+    const bool involves_anchor =
+        anchor_root != kUnreachable && sc0.root_stamp[anchor_root] == sc0.epoch;
 
-    is_broker[best_vertex] = true;
-    result.brokers.add(best_vertex);
-    bsr::graph::engine::unite_star(g, uf, best_vertex, bsr::graph::engine::AllEdges{});
-    largest = std::max(largest, uf.component_size(best_vertex));
+    // Dirty marking, BEFORE the splices below so each chain still enumerates
+    // exactly one pre-merge component. Every candidate whose closed
+    // neighborhood touches a *non-anchor* merged component must recompute
+    // next round (its component-membership/size terms changed). Candidates
+    // touching only the anchor stay clean: the anchor never shrinks and its
+    // fresh size is applied at evaluation time. Each vertex is absorbed into
+    // the anchor at most once, so this marking is amortized O(|V| + |E|)
+    // over the whole run.
+    if (star_roots.size() >= 2) {
+      const std::uint32_t next_round = round + 1;
+      for (const NodeId r : star_roots) {
+        if (r == anchor_root) continue;
+        for (NodeId m = list_head[r]; m != kUnreachable; m = list_next[m]) {
+          dirty_round[m] = next_round;
+          for (const NodeId nb : g.neighbors(m)) dirty_round[nb] = next_round;
+        }
+      }
+    }
+
+    // Activate w_best: unite its star (same merge sequence as
+    // engine::unite_star) and splice the member lists of merged components.
+    {
+      const auto neigh = g.neighbors(w_best);
+      BSR_STATS_ONLY(std::uint64_t admitted = 0;)
+      for (const NodeId v : neigh) {
+        BSR_STATS_ONLY(++admitted;)
+        const NodeId ra = uf.find(w_best);
+        const NodeId rb = uf.find(v);
+        if (ra == rb) continue;
+        uf.unite(ra, rb);
+        const NodeId winner = uf.find(ra);
+        const NodeId loser = winner == ra ? rb : ra;
+        list_next[list_tail[winner]] = list_head[loser];
+        list_tail[winner] = list_tail[loser];
+      }
+      BSR_COUNT_N(EngineUniteEdgeScans, neigh.size());
+      BSR_COUNT_N(EngineUniteAdmitted, admitted);
+    }
+
+    // The merged component becomes (or extends) the anchor only when it
+    // contains the previous anchor — switching the anchor to a disjoint
+    // component would invalidate every cached adj_anchor bit.
+    if (anchor_rep == kUnreachable || involves_anchor) anchor_rep = w_best;
+
+    largest = std::max(largest, uf.component_size(w_best));
     result.component_curve.push_back(largest);
+    ++round;
 
     if (options.stop_when_dominating && largest >= reachable_ceiling) break;
   }
 
   result.final_component = largest;
-  result.coverage = coverage(g, result.brokers);
+  if (ren != nullptr) {
+    // Brokers carry original ids; coverage runs on the renumbered graph.
+    const std::vector<NodeId> mapped = ren->map_to_new(result.brokers.members());
+    result.coverage = coverage(g, BrokerSet(n, mapped));
+  } else {
+    result.coverage = coverage(g, result.brokers);
+  }
   return result;
 }
 

@@ -13,6 +13,11 @@ CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjac
     }
     return;
   }
+  if (offsets_.size() - 1 >= kUnreachable) {
+    // NodeId must be able to address every vertex AND keep kUnreachable as an
+    // out-of-band sentinel for dist/parent arrays.
+    throw std::invalid_argument("CsrGraph: vertex count exceeds NodeId range");
+  }
   if (offsets_.front() != 0 || offsets_.back() != adjacency_.size()) {
     throw std::invalid_argument("CsrGraph: offsets must start at 0 and end at |adjacency|");
   }

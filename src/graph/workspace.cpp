@@ -29,6 +29,16 @@ void Workspace::begin(NodeId n) {
   BSR_GAUGE_MAX(EngineWorkspaceHighWater, capacity());
 }
 
+std::vector<std::uint64_t>& Workspace::visited_bits(NodeId n) {
+  visited_bits_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  return visited_bits_;
+}
+
+std::vector<std::uint64_t>& Workspace::frontier_bits(NodeId n) {
+  frontier_bits_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  return frontier_bits_;
+}
+
 void Workspace::begin_marks(NodeId n) {
   ensure(n);
   if (++mark_epoch_ == 0) {

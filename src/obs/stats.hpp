@@ -62,6 +62,7 @@ inline constexpr int kSchemaVersion = 1;
   X(EngineBfsRuns, "engine.bfs.runs", false)                       \
   X(EngineBfsEdgesScanned, "engine.bfs.edges_scanned", true)       \
   X(EngineBfsVerticesVisited, "engine.bfs.vertices_visited", false)\
+  X(EngineBfsBottomUpLevels, "engine.bfs.bottom_up_levels", false) \
   X(EngineUniteEdgeScans, "engine.unite.edge_scans", true)         \
   X(EngineUniteAdmitted, "engine.unite.admitted", false)           \
   X(EngineWorkspaceEpochBumps, "engine.workspace.epoch_bumps", false) \
