@@ -41,6 +41,8 @@
 #include "harness.hpp"
 #include "io/table.hpp"
 #include "obs/export.hpp"
+#include "sim/demand.hpp"
+#include "sim/route_service.hpp"
 
 namespace {
 
@@ -227,6 +229,31 @@ int main() {
     sink += bsr::broker::robust_maxsg(g, kRobustK, opts).surviving_pairs;
   });
   bsr::bench::Harness::metric(robust_run, "k", kRobustK);
+
+  // --- route service (counters only) ----------------------------------------
+  // Pins the sim.route_service.* counter family with one full lifecycle:
+  // fresh serving, a broker fault with degraded (stale) serving, and the
+  // rebuilt epoch — the three tiers every query-side counter can land in.
+  auto& serve_run = harness.run("route_service.instrumented", [&] {
+    bsr::graph::FaultPlane serve_faults(g);
+    bsr::sim::RouteService service(g, inst_result.brokers, &serve_faults);
+    bsr::sim::DemandConfig demand;
+    demand.num_flows = ctx.env.scaled(20'000, 2'000);
+    bsr::graph::Rng serve_rng(ctx.env.seed + 9);
+    const auto flows = bsr::sim::generate_flows(g, demand, serve_rng);
+    std::vector<bsr::sim::RouteAnswer> answers;
+    service.serve_batch(flows, 0.0, answers);  // fresh epoch
+    serve_faults.fail_vertex(inst_result.brokers.members()[0]);
+    service.on_fault(1.0);
+    service.serve_batch(flows, 1.5, answers);  // degraded, stale-served
+    while (service.next_event_time() <= 1e9) {
+      service.advance(service.next_event_time());
+    }
+    service.serve_batch(flows, 20.0, answers);  // rebuilt epoch, fresh again
+    sink += answers.size() + service.epoch_id();
+  });
+  bsr::bench::Harness::metric(serve_run, "flows",
+                              static_cast<double>(ctx.env.scaled(20'000, 2'000)));
 
   if (sink == 0xdeadbeef) std::cerr << "";  // keep `sink` observable
 

@@ -16,6 +16,13 @@
 //                                             to --stats-out
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
+//   brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]
+//                                             route-serving plane: epochal
+//                                             landmark oracle over a MaxSG
+//                                             set, driven through a broker
+//                                             churn schedule with degraded-
+//                                             mode serving and budgeted
+//                                             rebuilds
 //   brokerctl robust [--groups] <in.topo> <k> [r]   r-redundant selection vs
 //                                             plain greedy: worst-case
 //                                             surviving connectivity after any
@@ -72,6 +79,8 @@
 #include "io/env.hpp"
 #include "io/table.hpp"
 #include "sim/churn.hpp"
+#include "sim/demand.hpp"
+#include "sim/route_service.hpp"
 #include "sim/router.hpp"
 #include "topology/caida_import.hpp"
 #include "topology/renumber.hpp"
@@ -81,6 +90,8 @@
 namespace {
 
 using bsr::broker::BrokerSet;
+using bsr::sim::RouteAnswer;
+using bsr::sim::RouteService;
 using bsr::topology::InternetTopology;
 
 int usage() {
@@ -95,6 +106,7 @@ int usage() {
          "  brokerctl stats [--stats-out=<file>] <subcommand> [args...]\n"
          "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
          "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n"
+         "  brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]\n"
          "  brokerctl robust [--groups] <in.topo> <k> [r]\n"
          "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
          "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
@@ -319,6 +331,106 @@ int cmd_faults(int argc, char** argv) {
         .percent(shares.fraction(shares.unreachable))
         .percent(repaired);
   }
+  table.print(std::cout);
+  return 0;
+}
+
+// Route-serving plane: a long-lived RouteService (epochal landmark oracle)
+// over a MaxSG broker set, driven end to end through a deterministic broker
+// churn schedule — fail the top brokers one per round, heal them later —
+// while gravity-demand query batches are served at every round. Shows the
+// degradation tiers (fresh/stale/shedded/refused), the rebuild pipeline
+// (starts, crashes, discards) and the deterministic answer digest.
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto env = bsr::io::experiment_env();
+  const auto topo = bsr::topology::load_topology_file(argv[2]);
+  const auto k = parse_u32("k", argv[3]);
+  std::uint32_t queries = 100'000;
+  std::uint32_t churn_events = 8;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--queries" && i + 1 < argc) {
+      queries = parse_u32("queries", argv[++i]);
+    } else if (arg == "--churn" && i + 1 < argc) {
+      churn_events = parse_u32("churn", argv[++i]);
+    } else {
+      std::cerr << "serve: unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  const BrokerSet brokers = run_algorithm(topo, "maxsg", k, env.seed);
+  bsr::graph::FaultPlane faults(topo.graph);
+  RouteService service(topo.graph, brokers, &faults);
+  std::cout << "route service: epoch " << service.epoch_id() << ", "
+            << service.landmarks().size() << " landmarks over "
+            << service.usable_broker_count() << " usable brokers\n";
+
+  // One fail per round for the first half of the schedule, then the heals in
+  // the same order — every event hits a distinct top-degree broker.
+  std::vector<bsr::graph::NodeId> hubs(brokers.members().begin(),
+                                       brokers.members().end());
+  std::sort(hubs.begin(), hubs.end(),
+            [&](bsr::graph::NodeId a, bsr::graph::NodeId b) {
+              const auto da = topo.graph.degree(a);
+              const auto db = topo.graph.degree(b);
+              return da != db ? da > db : a < b;
+            });
+  const std::uint32_t fails =
+      std::min<std::uint32_t>(churn_events / 2 + churn_events % 2,
+                              static_cast<std::uint32_t>(hubs.size()));
+
+  bsr::sim::DemandConfig demand;
+  const std::uint32_t rounds = churn_events + 2;
+  demand.num_flows = std::max<std::uint32_t>(queries / rounds, 1);
+  bsr::graph::Rng demand_rng(env.seed + 70);
+  const auto flows = bsr::sim::generate_flows(topo.graph, demand, demand_rng);
+
+  std::vector<RouteAnswer> answers;
+  std::vector<RouteAnswer> all;
+  double now = 0.0;
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    now = static_cast<double>(round);
+    service.advance(now);
+    if (round >= 1 && round - 1 < churn_events) {
+      const std::uint32_t e = round - 1;
+      if (e < fails) {
+        faults.fail_vertex(hubs[e]);
+        service.on_fault(now);
+      } else if (e - fails < fails) {
+        faults.heal_vertex(hubs[e - fails]);
+        service.on_heal(now);
+      }
+    }
+    service.serve_batch(flows, now, answers);
+    all.insert(all.end(), answers.begin(), answers.end());
+  }
+  service.advance(now + 64.0);  // let the last rebuild land
+  service.serve_batch(flows, now + 64.0, answers);
+  all.insert(all.end(), answers.begin(), answers.end());
+
+  const auto& stats = service.stats();
+  std::cout << "served " << stats.queries << " routes over " << (rounds + 1)
+            << " rounds (" << churn_events << " churn events)\n";
+  bsr::io::Table table({"metric", "value"});
+  table.row().cell("fresh answers").cell(stats.fresh);
+  table.row().cell("stale served").cell(stats.stale_served);
+  table.row().cell("shedded").cell(stats.shedded);
+  table.row().cell("refused").cell(stats.refused);
+  table.row().cell("staleness high-water").cell(stats.max_stale_served);
+  table.row().cell("epochs published").cell(stats.epochs_published);
+  table.row().cell("incremental patches").cell(stats.patches);
+  table.row()
+      .cell("rebuilds (crashed/discarded)")
+      .cell(std::to_string(stats.rebuilds_started) + " (" +
+            std::to_string(stats.rebuild_crashes) + "/" +
+            std::to_string(stats.rebuilds_discarded) + ")");
+  table.row().cell("final epoch").cell(service.epoch_id());
+  table.row()
+      .cell("degraded at exit")
+      .cell(service.degraded() ? "yes" : "no");
+  table.row().cell("answer digest").cell(bsr::sim::answer_digest(all));
   table.print(std::cout);
   return 0;
 }
@@ -552,8 +664,8 @@ int cmd_topo(int argc, char** argv) {
 bool known_subcommand(const std::string& cmd) {
   return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
-         cmd == "faults" || cmd == "health" || cmd == "robust" ||
-         cmd == "record" || cmd == "report" || cmd == "topo";
+         cmd == "faults" || cmd == "health" || cmd == "serve" ||
+         cmd == "robust" || cmd == "record" || cmd == "report" || cmd == "topo";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -934,6 +1046,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "faults") return cmd_faults(argc, argv);
   if (cmd == "health") return cmd_health(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "robust") return cmd_robust(argc, argv);
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);

@@ -58,7 +58,13 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
 // edges that actually transitioned; selection.robust.pick carries the
 // worst-case surviving pair count after the pick; selection.robust.exposed
 // carries the number of connected pairs the departure severed (absorbed
-// departures severed none, so their correlation is 0); everything else 0.
+// departures severed none, so their correlation is 0);
+// sim.route_service.* carry the serving epoch id as subject — rebuild
+// lifecycle events (rebuild_start/crash/discard/give_up and the
+// epoch_publish that ends a successful attempt) carry the rebuild-attempt
+// id as correlation so one attempt chain links end to end, while
+// degrade/patch carry the truth version that triggered them; everything
+// else 0.
 
 #define BSR_OBS_EVENT_TABLE(X)                            \
   X(ChurnDeparture, "sim.churn.departure")                \
@@ -84,7 +90,14 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
   X(FaultGroupHeal, "graph.fault.group_heal")             \
   X(SelectionRobustPick, "selection.robust.pick")         \
   X(SelectionRobustAbsorbed, "selection.robust.absorbed") \
-  X(SelectionRobustExposed, "selection.robust.exposed")
+  X(SelectionRobustExposed, "selection.robust.exposed")   \
+  X(RouteServiceDegrade, "sim.route_service.degrade")     \
+  X(RouteServicePatch, "sim.route_service.patch")         \
+  X(RouteServiceRebuildStart, "sim.route_service.rebuild_start") \
+  X(RouteServiceRebuildCrash, "sim.route_service.rebuild_crash") \
+  X(RouteServiceRebuildDiscard, "sim.route_service.rebuild_discard") \
+  X(RouteServiceRebuildGiveUp, "sim.route_service.rebuild_give_up") \
+  X(RouteServiceEpochPublish, "sim.route_service.epoch_publish")
 
 enum class Event : std::uint16_t {
 #define BSR_OBS_X(id, name) k##id,

@@ -99,17 +99,28 @@ inline constexpr int kSchemaVersion = 1;
   X(RouterTierDegraded, "sim.router.tier_degraded", false)         \
   X(RouterTierFallback, "sim.router.tier_fallback", false)         \
   X(RouterTierUnreachable, "sim.router.tier_unreachable", false)   \
-  X(RouterDeadHops, "sim.router.dead_hops", false)
+  X(RouterDeadHops, "sim.router.dead_hops", false)                 \
+  X(RouteServiceQueries, "sim.route_service.queries", true)        \
+  X(RouteServiceFresh, "sim.route_service.fresh", false)           \
+  X(RouteServiceStaleServed, "sim.route_service.stale_served", false) \
+  X(RouteServiceShedded, "sim.route_service.shedded", false)       \
+  X(RouteServiceRefused, "sim.route_service.refused", false)       \
+  X(RouteServiceRebuilds, "sim.route_service.rebuilds", false)     \
+  X(RouteServiceRebuildCrashes, "sim.route_service.rebuild_crashes", false) \
+  X(RouteServicePatches, "sim.route_service.patches", false)       \
+  X(RouteServiceEpochsPublished, "sim.route_service.epochs_published", false)
 
 #define BSR_OBS_GAUGE_TABLE(X)                                     \
   X(EngineWorkspaceHighWater, "engine.workspace.high_water")       \
   X(UfLogHighWater, "graph.uf.log_high_water")                     \
-  X(RouterStateHighWater, "sim.router.state_high_water")
+  X(RouterStateHighWater, "sim.router.state_high_water")           \
+  X(RouteServiceStaleHighWater, "sim.route_service.stale_high_water")
 
 #define BSR_OBS_HISTOGRAM_TABLE(X)                                 \
   X(UfFindDepth, "graph.uf.find_depth")                            \
   X(HealthViewStalenessMs, "sim.health.view_staleness_ms")         \
-  X(RouterHops, "sim.router.hops")
+  X(RouterHops, "sim.router.hops")                                 \
+  X(RouteServiceDistBound, "sim.route_service.dist_bound")
 
 enum class Counter : std::uint16_t {
 #define BSR_OBS_X(id, name, work) k##id,

@@ -1,0 +1,620 @@
+#include "sim/route_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/engine.hpp"
+#include "obs/journal.hpp"
+#include "obs/stats.hpp"
+
+namespace bsr::sim {
+
+using bsr::graph::FaultPlane;
+using bsr::graph::NodeId;
+namespace engine = bsr::graph::engine;
+
+const char* to_string(AnswerStatus status) noexcept {
+  switch (status) {
+    case AnswerStatus::kFresh: return "fresh";
+    case AnswerStatus::kStaleServed: return "stale-served";
+    case AnswerStatus::kShedded: return "shedded";
+    case AnswerStatus::kRefused: return "refused";
+  }
+  return "?";
+}
+
+std::uint64_t answer_digest(std::span<const RouteAnswer> answers) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const RouteAnswer& a : answers) {
+    mix((static_cast<std::uint64_t>(a.status) << 8) |
+        static_cast<std::uint64_t>(a.reachable));
+    mix(a.dist_bound);
+    mix(a.next_hop);
+    mix(a.epoch);
+  }
+  return h;
+}
+
+AuditOutcome audit_answer(const RouteAnswer& answer, bool truth_reachable) noexcept {
+  const bool served = answer.status == AnswerStatus::kFresh ||
+                      answer.status == AnswerStatus::kStaleServed;
+  const bool claims = served && answer.reachable;
+  if (claims) return truth_reachable ? AuditOutcome::kAgree : AuditOutcome::kMisrouted;
+  return truth_reachable ? AuditOutcome::kShunned : AuditOutcome::kUnreachable;
+}
+
+// --- RebuildScheduler -------------------------------------------------------
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void RebuildScheduler::request(double now) {
+  if (due_ != kNever) return;  // an attempt is already pending
+  if (exhausted()) return;     // lifetime budget spent; parked for good
+  retries_ = 0;
+  due_ = now + policy_.retry_backoff;
+}
+
+bool RebuildScheduler::begin(double) {
+  due_ = kNever;
+  if (exhausted()) return false;
+  ++starts_;
+  return true;
+}
+
+void RebuildScheduler::cancel() noexcept {
+  due_ = kNever;
+  retries_ = 0;
+}
+
+void RebuildScheduler::report(double now, bool success) {
+  if (success) {
+    due_ = kNever;
+    retries_ = 0;
+    return;
+  }
+  ++failures_;
+  if (++retries_ > policy_.max_retries || exhausted()) {
+    due_ = kNever;  // give up until the next truth event re-arms us
+    return;
+  }
+  double delay = policy_.retry_backoff;
+  for (std::uint32_t i = 0; i < retries_; ++i) {
+    delay = std::min(delay * policy_.retry_factor, policy_.retry_max);
+  }
+  due_ = now + delay;
+}
+
+// --- RouteService -----------------------------------------------------------
+
+namespace {
+
+/// Invokes `body` with the usable-dominated edge filter: >= 1 usable-broker
+/// endpoint, and (when a plane is bound) both endpoints and the link up.
+/// Both branches are symmetric filters, so bfs_dir_opt may use them.
+template <class Body>
+void with_usable_filter(const std::vector<bool>& mask, const FaultPlane* faults,
+                        Body&& body) {
+  const engine::DominatedEdgeFilter dom{&mask};
+  if (faults != nullptr) {
+    body(engine::BothFilters<engine::DominatedEdgeFilter, engine::FaultAwareFilter>{
+        dom, engine::FaultAwareFilter{faults}});
+  } else {
+    body(dom);
+  }
+}
+
+}  // namespace
+
+RouteService::RouteService(const bsr::graph::CsrGraph& g,
+                           const bsr::broker::BrokerSet& brokers,
+                           const FaultPlane* faults,
+                           const RouteServiceConfig& config,
+                           const RebuildInjection& injection)
+    : graph_(&g),
+      brokers_(&brokers),
+      faults_(faults),
+      config_(config),
+      injection_(injection),
+      crash_rng_(injection.seed),
+      uf_(g.num_vertices()),
+      scheduler_(config.rebuild) {
+  if (brokers.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "RouteService: broker set covers " +
+        std::to_string(brokers.num_vertices()) + " vertices but the graph has " +
+        std::to_string(g.num_vertices()));
+  }
+  BSR_DCHECK(faults_ == nullptr || &faults_->graph() == graph_);
+  config_.degraded_admit_factor =
+      std::clamp(config_.degraded_admit_factor, 0.0, 1.0);
+  tokens_ = config_.admit_burst > 0.0 ? config_.admit_burst : config_.admit_rate;
+  build_epoch(0.0, 0);
+}
+
+void RouteService::build_epoch(double now, std::uint64_t attempt) {
+  const NodeId n = graph_->num_vertices();
+  vertex_up_.assign(n, 1);
+  if (faults_ != nullptr) {
+    for (NodeId v = 0; v < n; ++v) vertex_up_[v] = faults_->vertex_ok(v) ? 1 : 0;
+  }
+  usable_mask_.assign(n, false);
+  usable_broker_count_ = 0;
+  for (const NodeId v : brokers_->members()) {
+    if (vertex_up_[v] == 0) continue;
+    if (has_belief_ &&
+        !(v < believed_routable_.size() && believed_routable_[v])) {
+      continue;
+    }
+    usable_mask_[v] = true;
+    ++usable_broker_count_;
+  }
+
+  null_epoch_ = usable_broker_count_ == 0;
+  uf_.reset(n);
+  comp_.resize(n);
+  landmarks_.clear();
+  lm_dist_.clear();
+  lm_parent_.clear();
+  if (!null_epoch_) {
+    with_usable_filter(usable_mask_, faults_, [&](auto admit) {
+      engine::unite_edges(*graph_, uf_, admit);
+    });
+    // Materialize component labels. RollbackUnionFind::find is const (no
+    // path compression), so concurrent reads from shards are safe, and the
+    // label values are independent of the sharding.
+    engine::for_each_shard(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        comp_[v] = uf_.find(static_cast<NodeId>(v));
+      }
+    });
+
+    // Landmarks: the top-degree usable brokers (ties by ascending id), the
+    // hubs most shortest dominated paths already route through.
+    for (NodeId v = 0; v < n; ++v) {
+      if (usable_mask_[v]) landmarks_.push_back(v);
+    }
+    std::sort(landmarks_.begin(), landmarks_.end(), [this](NodeId a, NodeId b) {
+      const auto da = graph_->degree(a);
+      const auto db = graph_->degree(b);
+      return da != db ? da > db : a < b;
+    });
+    if (landmarks_.size() > config_.num_landmarks) {
+      landmarks_.resize(config_.num_landmarks);
+    }
+
+    const std::size_t num_lm = landmarks_.size();
+    lm_dist_.assign(num_lm * n, kLmUnreachable);
+    lm_parent_.assign(num_lm * n, kNoNextHop);
+    // One BFS tree per landmark, sharded over landmarks: each tree is a
+    // fully serial kernel writing a disjoint row, so the arrays are
+    // bit-identical at any BSR_THREADS value.
+    with_usable_filter(usable_mask_, faults_, [&](auto admit) {
+      engine::for_each_shard(
+          num_lm, [&](std::size_t, std::size_t begin, std::size_t end) {
+            engine::Workspace& ws = engine::tls_workspace();
+            for (std::size_t li = begin; li < end; ++li) {
+              const NodeId root = landmarks_[li];
+              engine::bfs_dir_opt(*graph_, root, ws, admit);
+              const std::size_t row = li * n;
+              for (NodeId v = 0; v < n; ++v) {
+                if (!ws.visited(v)) continue;
+                const std::uint32_t d = ws.dist_unchecked(v);
+                lm_dist_[row + v] = static_cast<std::uint16_t>(
+                    std::min<std::uint32_t>(d, kLmUnreachable - 1));
+                lm_parent_[row + v] = v == root ? root : ws.parent(v);
+              }
+            }
+          });
+    });
+  }
+
+  ++epoch_id_;
+  epoch_truth_version_ = truth_version_;
+  ++stats_.epochs_published;
+  BSR_COUNT(RouteServiceEpochsPublished);
+  record(now, EpochEventKind::kPublish, attempt);
+}
+
+void RouteService::try_patch(double now) {
+  // Heal-only delta: the usable set can only have grown, so uniting every
+  // currently-usable dominated edge on top of the epoch's union-find yields
+  // exactly the current edge set — reachability stays exact, the landmark
+  // bounds stay admissible (paths only got shorter), and old next hops stay
+  // usable. Staged through temporaries + a checkpoint so an injected crash
+  // leaves the serving epoch untouched.
+  std::vector<std::uint8_t> new_up(graph_->num_vertices(), 1);
+  if (faults_ != nullptr) {
+    for (NodeId v = 0; v < graph_->num_vertices(); ++v) {
+      new_up[v] = faults_->vertex_ok(v) ? 1 : 0;
+    }
+  }
+  std::vector<bool> new_mask(graph_->num_vertices(), false);
+  std::size_t new_count = 0;
+  for (const NodeId v : brokers_->members()) {
+    if (new_up[v] == 0) continue;
+    if (has_belief_ &&
+        !(v < believed_routable_.size() && believed_routable_[v])) {
+      continue;
+    }
+    new_mask[v] = true;
+    ++new_count;
+  }
+
+  const auto mark = uf_.checkpoint();
+  const bool crash = draw_crash(injection_.crash_next_patches);
+  with_usable_filter(new_mask, faults_, [&](auto admit) {
+    engine::unite_edges(*graph_, uf_, admit);
+  });
+  if (crash) {
+    uf_.rollback(mark);
+    ++stats_.patch_crashes;
+    record(now, EpochEventKind::kDegrade, 0);
+    if (!build_active_) scheduler_.request(now);
+    return;
+  }
+  vertex_up_ = std::move(new_up);
+  usable_mask_ = std::move(new_mask);
+  usable_broker_count_ = new_count;
+  engine::for_each_shard(graph_->num_vertices(),
+                         [&](std::size_t, std::size_t begin, std::size_t end) {
+                           for (std::size_t v = begin; v < end; ++v) {
+                             comp_[v] = uf_.find(static_cast<NodeId>(v));
+                           }
+                         });
+  epoch_truth_version_ = truth_version_;
+  ++stats_.patches;
+  BSR_COUNT(RouteServicePatches);
+  record(now, EpochEventKind::kPatch, 0);
+}
+
+void RouteService::on_fault(double now) {
+  const bool was_fresh = stale_events() == 0;
+  ++truth_version_;
+  if (was_fresh) record(now, EpochEventKind::kDegrade, 0);
+  if (!build_active_) scheduler_.request(now);
+}
+
+void RouteService::on_heal(double now) {
+  const bool was_fresh = stale_events() == 0;
+  ++truth_version_;
+  if (was_fresh && !null_epoch_ && !build_active_) {
+    try_patch(now);
+    return;
+  }
+  if (was_fresh) record(now, EpochEventKind::kDegrade, 0);
+  if (!build_active_) scheduler_.request(now);
+}
+
+void RouteService::on_health_view(const HealthView& view, double now) {
+  believed_routable_ = view.routable;
+  has_belief_ = true;
+  const bool was_fresh = stale_events() == 0;
+  ++truth_version_;
+  if (was_fresh) record(now, EpochEventKind::kDegrade, 0);
+  if (!build_active_) scheduler_.request(now);
+}
+
+double RouteService::next_event_time() const noexcept {
+  const double done = build_active_ ? build_completes_at_ : kNever;
+  return std::min(done, scheduler_.next_due());
+}
+
+std::size_t RouteService::advance(double now) {
+  std::size_t processed = 0;
+  for (;;) {
+    const double done = build_active_ ? build_completes_at_ : kNever;
+    const double start = scheduler_.next_due();
+    const double t = std::min(done, start);
+    if (t > now || t == kNever) break;
+    // Completions before starts at equal times: a completion may re-arm the
+    // scheduler, and the order is fixed so the event stream is deterministic.
+    if (done <= start) {
+      complete_build(done);
+    } else {
+      start_due_build(start);
+    }
+    ++processed;
+  }
+  return processed;
+}
+
+void RouteService::start_due_build(double now) {
+  if (stale_events() == 0) {
+    // A patch (or an earlier rebuild) already made the epoch fresh.
+    scheduler_.cancel();
+    return;
+  }
+  if (build_active_) {
+    // The in-flight build's completion path re-arms on failure.
+    scheduler_.cancel();
+    return;
+  }
+  if (!scheduler_.begin(now)) {
+    record(now, EpochEventKind::kRebuildGiveUp, 0);
+    return;
+  }
+  build_active_ = true;
+  build_attempt_ = next_attempt_++;
+  build_base_truth_ = truth_version_;
+  build_will_crash_ = draw_crash(injection_.crash_next_rebuilds);
+  build_completes_at_ = now + config_.rebuild.build_time;
+  ++stats_.rebuilds_started;
+  BSR_COUNT(RouteServiceRebuilds);
+  record(now, EpochEventKind::kRebuildStart, build_attempt_);
+}
+
+void RouteService::complete_build(double now) {
+  build_active_ = false;
+  if (build_will_crash_) {
+    ++stats_.rebuild_crashes;
+    BSR_COUNT(RouteServiceRebuildCrashes);
+    record(now, EpochEventKind::kRebuildCrash, build_attempt_);
+    scheduler_.report(now, false);
+    if (scheduler_.next_due() == kNever) {
+      record(now, EpochEventKind::kRebuildGiveUp, build_attempt_);
+    }
+    return;
+  }
+  if (truth_version_ != build_base_truth_) {
+    // Truth moved while we were building: the result is stale at birth.
+    // Discard it (never observable) and restart — idempotent by
+    // construction, since a build only swaps in on success.
+    ++stats_.rebuilds_discarded;
+    record(now, EpochEventKind::kRebuildDiscard, build_attempt_);
+    scheduler_.report(now, false);
+    if (scheduler_.next_due() == kNever) {
+      record(now, EpochEventKind::kRebuildGiveUp, build_attempt_);
+    }
+    return;
+  }
+  build_epoch(now, build_attempt_);
+  scheduler_.report(now, true);
+}
+
+bool RouteService::draw_crash(std::uint32_t& deterministic_queue) {
+  if (deterministic_queue > 0) {
+    --deterministic_queue;
+    return true;
+  }
+  if (injection_.crash_prob > 0.0) {
+    return crash_rng_.bernoulli(injection_.crash_prob);
+  }
+  return false;
+}
+
+void RouteService::record(double now, EpochEventKind kind, std::uint64_t attempt) {
+  transitions_.push_back({now, kind, epoch_id_, truth_version_, attempt});
+  switch (kind) {
+    case EpochEventKind::kPublish:
+      BSR_EVENT(RouteServiceEpochPublish, now, epoch_id_, attempt);
+      break;
+    case EpochEventKind::kPatch:
+      BSR_EVENT(RouteServicePatch, now, epoch_id_, truth_version_);
+      break;
+    case EpochEventKind::kDegrade:
+      BSR_EVENT(RouteServiceDegrade, now, epoch_id_, truth_version_);
+      break;
+    case EpochEventKind::kRebuildStart:
+      BSR_EVENT(RouteServiceRebuildStart, now, epoch_id_, attempt);
+      break;
+    case EpochEventKind::kRebuildCrash:
+      BSR_EVENT(RouteServiceRebuildCrash, now, epoch_id_, attempt);
+      break;
+    case EpochEventKind::kRebuildDiscard:
+      BSR_EVENT(RouteServiceRebuildDiscard, now, epoch_id_, attempt);
+      break;
+    case EpochEventKind::kRebuildGiveUp:
+      BSR_EVENT(RouteServiceRebuildGiveUp, now, epoch_id_, attempt);
+      break;
+  }
+}
+
+AnswerStatus RouteService::serving_status() const noexcept {
+  if (null_epoch_) return AnswerStatus::kRefused;
+  const std::uint64_t lag = stale_events();
+  if (lag == 0) return AnswerStatus::kFresh;
+  if (lag <= config_.max_stale_events) return AnswerStatus::kStaleServed;
+  return AnswerStatus::kRefused;
+}
+
+void RouteService::eval(NodeId src, NodeId dst, RouteAnswer& answer) const {
+  const NodeId n = graph_->num_vertices();
+  BSR_DCHECK(src < n && dst < n);
+  if (src >= n || dst >= n) {
+    answer.status = AnswerStatus::kRefused;
+    answer.reachable = false;
+    return;
+  }
+  if (vertex_up_[src] == 0 || vertex_up_[dst] == 0) return;  // unreachable
+  if (src == dst) {
+    answer.reachable = true;
+    answer.dist_bound = 0;
+    answer.next_hop = src;
+    return;
+  }
+  if (comp_[src] != comp_[dst]) return;
+  answer.reachable = true;
+
+  // Landmark triangle bound: min over trees covering both endpoints. Ties
+  // break toward the lowest landmark index, so the sketch is deterministic.
+  const std::size_t num_lm = landmarks_.size();
+  std::uint32_t best = bsr::graph::kUnreachable;
+  std::size_t best_l = num_lm;
+  for (std::size_t li = 0; li < num_lm; ++li) {
+    const std::size_t row = li * n;
+    const std::uint16_t ds = lm_dist_[row + src];
+    const std::uint16_t dt = lm_dist_[row + dst];
+    if (ds == kLmUnreachable || dt == kLmUnreachable) continue;
+    const std::uint32_t bound =
+        static_cast<std::uint32_t>(ds) + static_cast<std::uint32_t>(dt);
+    if (bound < best) {
+      best = bound;
+      best_l = li;
+    }
+  }
+  if (best_l == num_lm) return;  // reachable (exact), but no sketch covers it
+  answer.dist_bound = best;
+  const std::size_t row = best_l * n;
+  if (lm_dist_[row + src] > 0) {
+    answer.next_hop = lm_parent_[row + src];
+  } else {
+    // src *is* the landmark: the next hop toward dst is the vertex on dst's
+    // parent chain adjacent to src. O(dist) on a path of a dozen hops.
+    NodeId p = dst;
+    while (lm_parent_[row + p] != src) p = lm_parent_[row + p];
+    answer.next_hop = p;
+  }
+}
+
+RouteAnswer RouteService::query(NodeId src, NodeId dst, double now) {
+  RouteAnswer answer;
+  answer.epoch = epoch_id_;
+  bool admitted = true;
+  if (config_.admit_rate > 0.0) {
+    const double burst =
+        config_.admit_burst > 0.0 ? config_.admit_burst : config_.admit_rate;
+    const double rate =
+        config_.admit_rate * (degraded() ? config_.degraded_admit_factor : 1.0);
+    if (now > bucket_at_) {
+      tokens_ = std::min(burst, tokens_ + (now - bucket_at_) * rate);
+      bucket_at_ = now;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+    } else {
+      admitted = false;
+    }
+  }
+  answer.status = admitted ? serving_status() : AnswerStatus::kShedded;
+  if (answer.status == AnswerStatus::kFresh ||
+      answer.status == AnswerStatus::kStaleServed) {
+    eval(src, dst, answer);
+  }
+  tally({&answer, 1});
+  return answer;
+}
+
+void RouteService::serve_batch(std::span<const Flow> queries, double now,
+                               std::vector<RouteAnswer>& out) {
+  out.assign(queries.size(), RouteAnswer{});
+  const AnswerStatus base = serving_status();
+
+  // Admission runs sequentially (the bucket is a running prefix sum), so the
+  // per-index verdicts — and therefore every answer — are independent of how
+  // the evaluation below is sharded.
+  if (config_.admit_rate > 0.0) {
+    const double burst =
+        config_.admit_burst > 0.0 ? config_.admit_burst : config_.admit_rate;
+    const double rate =
+        config_.admit_rate * (degraded() ? config_.degraded_admit_factor : 1.0);
+    if (now > bucket_at_) {
+      tokens_ = std::min(burst, tokens_ + (now - bucket_at_) * rate);
+      bucket_at_ = now;
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (tokens_ >= queries[i].volume) {
+        tokens_ -= queries[i].volume;
+        out[i].status = base;
+      } else {
+        out[i].status = AnswerStatus::kShedded;
+      }
+    }
+  } else {
+    for (RouteAnswer& a : out) a.status = base;
+  }
+
+  engine::for_each_shard(queries.size(),
+                         [&](std::size_t, std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             RouteAnswer& a = out[i];
+                             a.epoch = epoch_id_;
+                             if (a.status == AnswerStatus::kFresh ||
+                                 a.status == AnswerStatus::kStaleServed) {
+                               eval(queries[i].src, queries[i].dst, a);
+                             }
+                           }
+                         });
+  tally(out);
+}
+
+void RouteService::tally(std::span<const RouteAnswer> answers) {
+  std::uint64_t fresh = 0, stale = 0, shed = 0, refused = 0;
+  for (const RouteAnswer& a : answers) {
+    switch (a.status) {
+      case AnswerStatus::kFresh: ++fresh; break;
+      case AnswerStatus::kStaleServed: ++stale; break;
+      case AnswerStatus::kShedded: ++shed; break;
+      case AnswerStatus::kRefused: ++refused; break;
+    }
+    if ((a.status == AnswerStatus::kFresh ||
+         a.status == AnswerStatus::kStaleServed) &&
+        a.reachable && a.dist_bound != bsr::graph::kUnreachable) {
+      BSR_HISTO(RouteServiceDistBound, a.dist_bound);
+    }
+  }
+  stats_.queries += answers.size();
+  stats_.fresh += fresh;
+  stats_.stale_served += stale;
+  stats_.shedded += shed;
+  stats_.refused += refused;
+  if (stale > 0) {
+    stats_.max_stale_served = std::max(stats_.max_stale_served, stale_events());
+    BSR_GAUGE_MAX(RouteServiceStaleHighWater, stale_events());
+  }
+  BSR_COUNT_N(RouteServiceQueries, answers.size());
+  BSR_COUNT_N(RouteServiceFresh, fresh);
+  BSR_COUNT_N(RouteServiceStaleServed, stale);
+  BSR_COUNT_N(RouteServiceShedded, shed);
+  BSR_COUNT_N(RouteServiceRefused, refused);
+}
+
+std::vector<NodeId> RouteService::stitch_path(NodeId src, NodeId dst) const {
+  const NodeId n = graph_->num_vertices();
+  if (null_epoch_ || src >= n || dst >= n) return {};
+  if (vertex_up_[src] == 0 || vertex_up_[dst] == 0) return {};
+  if (src == dst) return {src};
+  if (comp_[src] != comp_[dst]) return {};
+
+  const std::size_t num_lm = landmarks_.size();
+  std::uint32_t best = bsr::graph::kUnreachable;
+  std::size_t best_l = num_lm;
+  for (std::size_t li = 0; li < num_lm; ++li) {
+    const std::size_t row = li * n;
+    const std::uint16_t ds = lm_dist_[row + src];
+    const std::uint16_t dt = lm_dist_[row + dst];
+    if (ds == kLmUnreachable || dt == kLmUnreachable) continue;
+    const std::uint32_t bound =
+        static_cast<std::uint32_t>(ds) + static_cast<std::uint32_t>(dt);
+    if (bound < best) {
+      best = bound;
+      best_l = li;
+    }
+  }
+  if (best_l == num_lm) return {};
+
+  const std::size_t row = best_l * n;
+  const NodeId landmark = landmarks_[best_l];
+  std::vector<NodeId> path;
+  path.push_back(src);
+  for (NodeId p = src; p != landmark;) {
+    p = lm_parent_[row + p];
+    path.push_back(p);
+  }
+  std::vector<NodeId> tail;
+  for (NodeId q = dst; q != landmark; q = lm_parent_[row + q]) {
+    tail.push_back(q);
+  }
+  path.insert(path.end(), tail.rbegin(), tail.rend());
+  return path;
+}
+
+}  // namespace bsr::sim

@@ -1,0 +1,197 @@
+// RouteService fuzz harness: random churn deltas, injected rebuild/patch
+// crashes and query batches interleaved over many seeds, asserting the two
+// load-bearing invariants from the outside:
+//   1. every kFresh answer agrees with a from-scratch reference oracle, and
+//   2. every epoch transition is journaled exactly once (one epoch_publish
+//      per published epoch id, and the journal mirrors the in-memory
+//      transition log kind for kind).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
+#include "obs/journal.hpp"
+#include "sim/route_service.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using bsr::broker::BrokerSet;
+using bsr::graph::CsrGraph;
+using bsr::graph::FaultPlane;
+using bsr::graph::NodeId;
+using bsr::sim::AnswerStatus;
+using bsr::sim::EpochEventKind;
+using bsr::sim::RebuildInjection;
+using bsr::sim::RouteAnswer;
+using bsr::sim::RouteService;
+using bsr::sim::RouteServiceConfig;
+
+bool truth_reachable(const CsrGraph& g, const BrokerSet& brokers,
+                     const FaultPlane& faults, NodeId src, NodeId dst) {
+  if (!faults.vertex_ok(src) || !faults.vertex_ok(dst)) return false;
+  if (src == dst) return true;
+  const auto usable = [&](NodeId v) {
+    return brokers.contains(v) && faults.vertex_ok(v);
+  };
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::queue<NodeId> frontier;
+  seen[src] = true;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : g.neighbors(u)) {
+      if (seen[v] || !faults.vertex_ok(v)) continue;
+      if (!usable(u) && !usable(v)) continue;
+      if (!faults.edge_ok(u, v)) continue;
+      if (v == dst) return true;
+      seen[v] = true;
+      frontier.push(v);
+    }
+  }
+  return false;
+}
+
+bsr::obs::Event journal_event_for(EpochEventKind kind) {
+  switch (kind) {
+    case EpochEventKind::kPublish: return bsr::obs::Event::kRouteServiceEpochPublish;
+    case EpochEventKind::kPatch: return bsr::obs::Event::kRouteServicePatch;
+    case EpochEventKind::kDegrade: return bsr::obs::Event::kRouteServiceDegrade;
+    case EpochEventKind::kRebuildStart:
+      return bsr::obs::Event::kRouteServiceRebuildStart;
+    case EpochEventKind::kRebuildCrash:
+      return bsr::obs::Event::kRouteServiceRebuildCrash;
+    case EpochEventKind::kRebuildDiscard:
+      return bsr::obs::Event::kRouteServiceRebuildDiscard;
+    case EpochEventKind::kRebuildGiveUp:
+      return bsr::obs::Event::kRouteServiceRebuildGiveUp;
+  }
+  return bsr::obs::Event::kRouteServiceEpochPublish;
+}
+
+TEST(RouteServiceFuzz, FreshAnswersMatchOracleAndTransitionsJournalOnce) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const CsrGraph g = bsr::test::make_connected_random(60, 0.06, 1000 + seed);
+    // Every other vertex is a broker so churn regularly cuts the overlay.
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < g.num_vertices(); v += 2) members.push_back(v);
+    const BrokerSet brokers(g.num_vertices(), members);
+    FaultPlane faults(g);
+
+    // Collect the edge list once for random link churn.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < g.num_vertices(); ++u) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (u < v) edges.emplace_back(u, v);
+      }
+    }
+
+    RouteServiceConfig config;
+    config.max_stale_events = 8;
+    config.rebuild.build_time = 1.0;
+    config.rebuild.retry_backoff = 0.25;
+    RebuildInjection injection;
+    injection.crash_prob = 0.3;  // roughly one in three builds/patches dies
+    injection.seed = seed;
+
+    bsr::obs::start_recording();
+    RouteService service(g, brokers, &faults, config, injection);
+
+    bsr::graph::Rng rng(seed * 7919);
+    double now = 0.0;
+    std::size_t fresh_checked = 0;
+    for (int step = 0; step < 400; ++step) {
+      now += 0.125 * static_cast<double>(1 + rng.uniform(8));
+      service.advance(now);
+      switch (rng.uniform(6)) {
+        case 0: {  // link churn
+          const auto& [u, v] = edges[rng.uniform(edges.size())];
+          if (faults.edge_ok(u, v)) {
+            faults.fail_edge(u, v);
+            service.on_fault(now);
+          } else {
+            faults.heal_edge(u, v);
+            service.on_heal(now);
+          }
+          break;
+        }
+        case 1: {  // vertex churn
+          const NodeId v = static_cast<NodeId>(rng.uniform(g.num_vertices()));
+          if (faults.vertex_ok(v)) {
+            faults.fail_vertex(v);
+            service.on_fault(now);
+          } else {
+            faults.heal_vertex(v);
+            service.on_heal(now);
+          }
+          break;
+        }
+        default: {  // queries
+          for (int q = 0; q < 8; ++q) {
+            const NodeId s = static_cast<NodeId>(rng.uniform(g.num_vertices()));
+            const NodeId t = static_cast<NodeId>(rng.uniform(g.num_vertices()));
+            const RouteAnswer a = service.query(s, t, now);
+            if (a.status == AnswerStatus::kFresh) {
+              ASSERT_EQ(a.reachable, truth_reachable(g, brokers, faults, s, t))
+                  << "seed " << seed << " step " << step << " pair " << s
+                  << "->" << t << " epoch " << a.epoch;
+              ++fresh_checked;
+            }
+          }
+          break;
+        }
+      }
+    }
+    bsr::obs::stop_recording();
+    EXPECT_GT(fresh_checked, 0u) << "seed " << seed;
+
+    // Staleness accounting: nothing was ever served beyond the bound.
+    EXPECT_LE(service.stats().max_stale_served, config.max_stale_events);
+
+    // Journal vs in-memory transition log: same multiset of events...
+    const bsr::obs::Journal journal = bsr::obs::snapshot_journal();
+    ASSERT_EQ(journal.dropped, 0u);
+    std::map<bsr::obs::Event, std::size_t> journaled;
+    std::map<std::uint64_t, std::size_t> publishes_per_epoch;
+    for (const auto& record : journal.events) {
+      // The fault plane journals its own graph.fault.* records; only the
+      // service's events are under test here.
+      if (bsr::obs::name(record.type).substr(0, 18) != "sim.route_service.") {
+        continue;
+      }
+      journaled[record.type] += 1;
+      if (record.type == bsr::obs::Event::kRouteServiceEpochPublish) {
+        publishes_per_epoch[record.subject] += 1;
+      }
+    }
+    std::map<bsr::obs::Event, std::size_t> expected;
+    for (const auto& transition : service.transitions()) {
+      expected[journal_event_for(transition.kind)] += 1;
+    }
+    EXPECT_EQ(journaled, expected) << "seed " << seed;
+
+    // ...and exactly one publish per epoch id 1..epoch_id, no gaps.
+    EXPECT_EQ(publishes_per_epoch.size(), service.epoch_id()) << "seed " << seed;
+    for (std::uint64_t e = 1; e <= service.epoch_id(); ++e) {
+      EXPECT_EQ(publishes_per_epoch[e], 1u) << "seed " << seed << " epoch " << e;
+    }
+    EXPECT_EQ(service.stats().epochs_published, service.epoch_id());
+
+    // The injection actually fired across the sweep's crash coin.
+    if (seed == 12) {
+      EXPECT_GT(service.stats().rebuild_crashes +
+                    service.stats().patch_crashes,
+                0u);
+    }
+  }
+}
+
+}  // namespace
