@@ -10,9 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "broker/broker_set.hpp"
 #include "broker/maxsg.hpp"
 #include "graph/engine.hpp"
+#include "route_lifecycle.hpp"
+#include "sim/demand.hpp"
 
 namespace bare {
 
@@ -24,5 +28,13 @@ void bfs(const bsr::graph::CsrGraph& g, bsr::graph::NodeId source,
 /// broker::maxsg with the telemetry compiled out.
 [[nodiscard]] bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g,
                                              std::uint32_t k);
+
+/// The full route-service lifecycle (bench/route_lifecycle.hpp) running on a
+/// sim::RouteService recompiled with the telemetry compiled out. Returns the
+/// FNV answer digest (checked against the instrumented twin) and the
+/// serve-phase wall time.
+[[nodiscard]] bsr::bench::RouteLifecycleResult route_lifecycle(
+    const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers,
+    std::span<const bsr::sim::Flow> flows, int serve_reps);
 
 }  // namespace bare

@@ -35,6 +35,7 @@
 #include "bench_common.hpp"
 #include "graph/engine.hpp"
 #include "obs/export.hpp"
+#include "obs/sketch.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
@@ -67,6 +68,7 @@ struct RunResult {
   double wall_ms = 0.0;
   std::uint64_t work_units = 0;                        // delta over the run
   bsr::obs::Snapshot counters;                         // delta over the run
+  bsr::obs::SketchSnapshot sketches{};                 // delta over the run
   std::vector<std::pair<std::string, double>> metrics; // per-run extras
 
   /// Wall milliseconds per single repetition.
@@ -89,6 +91,7 @@ class Harness {
     out.name = name;
     out.repetitions = reps;
     const bsr::obs::Snapshot before = bsr::obs::snapshot();
+    const bsr::obs::SketchSnapshot sk_before = bsr::obs::snapshot_sketches();
     Stopwatch watch;
     {
       bsr::obs::Span span(out.name.c_str());
@@ -96,6 +99,8 @@ class Harness {
     }
     out.wall_ms = watch.seconds() * 1e3;
     out.counters = bsr::obs::delta(before, bsr::obs::snapshot());
+    out.sketches =
+        bsr::obs::sketch_delta(sk_before, bsr::obs::snapshot_sketches());
     out.work_units = bsr::obs::work_units(out.counters);
     return out;
   }
@@ -165,6 +170,47 @@ class Harness {
         os << (first ? "" : ", ") << "\""
            << bsr::obs::name(static_cast<bsr::obs::Counter>(c))
            << "\": " << r.counters.counters[c];
+        first = false;
+      }
+      os << "},\n     \"histograms\": {";
+      first = true;
+      for (std::size_t h = 0; h < bsr::obs::kNumHistograms; ++h) {
+        const auto& hist = r.counters.histograms[h];
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : hist) total += c;
+        if (total == 0) continue;
+        os << (first ? "" : ", ") << "\""
+           << bsr::obs::name(static_cast<bsr::obs::Histogram>(h))
+           << "\": {\"total\": " << total << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < bsr::obs::kHistogramBuckets; ++b) {
+          if (hist[b] == 0) continue;
+          os << (first_bucket ? "" : ", ") << "[" << b << ", " << hist[b]
+             << "]";
+          first_bucket = false;
+        }
+        os << "]}";
+        first = false;
+      }
+      os << "},\n     \"sketches\": {";
+      first = true;
+      for (std::size_t s = 0; s < bsr::obs::kNumSketches; ++s) {
+        const bsr::obs::QuantileSketch& sk = r.sketches[s];
+        if (sk.count() == 0) continue;
+        os << (first ? "" : ", ") << "\""
+           << bsr::obs::name(static_cast<bsr::obs::Sketch>(s))
+           << "\": {\"count\": " << sk.count() << ", \"sum\": " << sk.sum()
+           << ", \"p50\": " << sk.p50() << ", \"p90\": " << sk.p90()
+           << ", \"p99\": " << sk.p99() << ", \"max\": " << sk.max()
+           << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < bsr::obs::QuantileSketch::kBuckets; ++b) {
+          if (sk.buckets()[b] == 0) continue;
+          os << (first_bucket ? "" : ", ") << "[" << b << ", "
+             << sk.buckets()[b] << "]";
+          first_bucket = false;
+        }
+        os << "]}";
         first = false;
       }
       os << "}}";

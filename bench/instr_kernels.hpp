@@ -1,16 +1,26 @@
-// Instrumented twin of broker::maxsg, recompiled under the bench's alignment
-// flags so perf_obs can time it against the bare twin without code-placement
-// asymmetry. See instr_kernels.cpp.
+// Instrumented twins of broker::maxsg and sim::RouteService, recompiled
+// under the bench's alignment flags so perf_obs can time them against the
+// bare twins without code-placement asymmetry. See instr_kernels.cpp.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "broker/broker_set.hpp"
 #include "broker/maxsg.hpp"
+#include "route_lifecycle.hpp"
+#include "sim/demand.hpp"
 
 namespace instr {
 
 /// broker::maxsg, token-identical, compiled in a bench TU.
 [[nodiscard]] bsr::broker::MaxSgResult maxsg(const bsr::graph::CsrGraph& g,
                                              std::uint32_t k);
+
+/// The full route-service lifecycle (bench/route_lifecycle.hpp) on a
+/// sim::RouteService twin with telemetry ON, compiled in a bench TU.
+[[nodiscard]] bsr::bench::RouteLifecycleResult route_lifecycle(
+    const bsr::graph::CsrGraph& g, const bsr::broker::BrokerSet& brokers,
+    std::span<const bsr::sim::Flow> flows, int serve_reps);
 
 }  // namespace instr

@@ -37,6 +37,8 @@
 #include "graph/sampling.hpp"
 #include "io/table.hpp"
 #include "obs/journal.hpp"
+#include "obs/sketch.hpp"
+#include "obs/slo.hpp"
 #include "sim/demand.hpp"
 #include "sim/route_service.hpp"
 
@@ -318,6 +320,30 @@ int main() {
   bsr::obs::stop_recording();
   const auto journal = bsr::obs::snapshot_journal();
 
+  // --- sketch distributions + offline SLO verdict ---------------------------
+  // Every quantile below is a bucket lower bound from the fixed-point
+  // sketches (integers, merge-order free), and the SLO monitor replays the
+  // journal's batch events — both deterministic at any BSR_THREADS, so the
+  // digest file can carry them verbatim. The spec is deliberately breaching:
+  // fresh_min=0.999 cannot survive the all-stale degraded batches of the
+  // churn ablations, pinning one breach/recover episode end to end.
+  const bsr::obs::SketchSnapshot sketches = bsr::obs::snapshot_sketches();
+  const auto slo_samples = bsr::obs::slo_samples_from_journal(journal);
+  bsr::obs::SloMonitor slo_monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.999,window=2,long_window=4"));
+  for (const bsr::obs::SloSample& s : slo_samples) slo_monitor.observe(s);
+  const bsr::obs::SloReport slo_report = slo_monitor.report();
+  for (std::size_t s = 0; s < bsr::obs::kNumSketches; ++s) {
+    if (sketches[s].empty()) continue;
+    std::cout << "sketch " << bsr::obs::name(static_cast<bsr::obs::Sketch>(s))
+              << ": n=" << sketches[s].count() << " p50=" << sketches[s].p50()
+              << " p90=" << sketches[s].p90() << " p99=" << sketches[s].p99()
+              << " max=" << sketches[s].max() << "\n";
+  }
+  std::cout << "slo (fresh_min=0.999): " << slo_report.samples << " samples, "
+            << slo_report.breaches << " breaches, " << slo_report.recovers
+            << " recovers\n\n";
+
   // --- deterministic digest (CI `cmp`s this across BSR_THREADS) ------------
   if (const char* txt_path = std::getenv("ROUTE_RESULTS_TXT")) {
     std::ofstream txt(txt_path);
@@ -331,6 +357,15 @@ int main() {
           << ablation_digests[i] << "\n";
     }
     txt << "journal_events " << journal.events.size() << "\n";
+    for (std::size_t s = 0; s < bsr::obs::kNumSketches; ++s) {
+      txt << "sketch_" << bsr::obs::name(static_cast<bsr::obs::Sketch>(s))
+          << " " << sketches[s].count() << " " << sketches[s].p50() << " "
+          << sketches[s].p90() << " " << sketches[s].p99() << " "
+          << sketches[s].max() << "\n";
+    }
+    txt << "slo_samples " << slo_report.samples << "\n"
+        << "slo_breaches " << slo_report.breaches << "\n"
+        << "slo_recovers " << slo_report.recovers << "\n";
     std::cout << "wrote " << txt_path << "\n";
   }
 
@@ -343,6 +378,8 @@ int main() {
   harness.metric("query_p99_us", p99);
   harness.metric("oracle_build_seconds", build_s);
   harness.metric("journal_events", static_cast<double>(journal.events.size()));
+  harness.metric("slo_samples", static_cast<double>(slo_report.samples));
+  harness.metric("slo_breaches", static_cast<double>(slo_report.breaches));
   harness.raw_section("ablation", ablation_json.str());
   harness.write_json_file("BENCH_route_service.json", "BENCH_ROUTE_SERVICE_JSON");
 

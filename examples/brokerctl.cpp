@@ -17,12 +17,26 @@
 //   brokerctl faults <in.topo> <algo> <k> [frac]   correlated IXP-outage sweep
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
 //   brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]
+//                   [--slo <spec>] [--slo-out <f>] [--qtrace-out <f>]
 //                                             route-serving plane: epochal
 //                                             landmark oracle over a MaxSG
 //                                             set, driven through a broker
 //                                             churn schedule with degraded-
 //                                             mode serving and budgeted
-//                                             rebuilds
+//                                             rebuilds. --slo attaches the
+//                                             burn-rate monitor to every
+//                                             round (exit 1 on breach,
+//                                             verdict JSON to --slo-out);
+//                                             --qtrace-out captures per-query
+//                                             trace rows as bsr-qtrace/1
+//                                             JSONL
+//   brokerctl slo [--spec=<spec>] [--out=<f>] <events.jsonl>
+//                                             offline SLO evaluator: replay a
+//                                             recorded journal's batch events
+//                                             through the burn-rate monitor;
+//                                             byte-identical verdict to the
+//                                             live `serve --slo` run, exit 1
+//                                             on breach
 //   brokerctl robust [--groups] <in.topo> <k> [r]   r-redundant selection vs
 //                                             plain greedy: worst-case
 //                                             surviving connectivity after any
@@ -53,11 +67,14 @@
 #include <iostream>
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
+#include "obs/qtrace.hpp"
+#include "obs/slo.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeseries.hpp"
 
@@ -107,6 +124,8 @@ int usage() {
          "  brokerctl faults <in.topo> <algo> <k> [max-failed-ixp-frac]\n"
          "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n"
          "  brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]\n"
+         "                  [--slo <spec>] [--slo-out <f>] [--qtrace-out <f>]\n"
+         "  brokerctl slo [--spec=<spec>] [--out=<f>] <events.jsonl>\n"
          "  brokerctl robust [--groups] <in.topo> <k> [r]\n"
          "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
          "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
@@ -335,6 +354,26 @@ int cmd_faults(int argc, char** argv) {
   return 0;
 }
 
+/// Human-readable verdict block shared by the live (`serve --slo`) and
+/// offline (`slo`) evaluators — same report type, same rendering.
+void print_slo_summary(const bsr::obs::SloReport& report) {
+  std::cout << "slo: " << report.samples << " samples, " << report.breaches
+            << " breach episode(s), " << report.recovers << " recovered"
+            << (report.in_breach ? ", STILL IN BREACH" : "") << "\n";
+  for (const auto& obj : report.objectives) {
+    if (!obj.enabled) continue;
+    std::cout << "  " << obj.name << ": worst burn "
+              << bsr::io::format_double(obj.worst_short_burn, 2)
+              << " (short) / "
+              << bsr::io::format_double(obj.worst_long_burn, 2) << " (long)"
+              << (obj.first_breach_time >= 0.0
+                      ? ", first breach at t=" +
+                            bsr::io::format_double(obj.first_breach_time, 2)
+                      : "")
+              << "\n";
+  }
+}
+
 // Route-serving plane: a long-lived RouteService (epochal landmark oracle)
 // over a MaxSG broker set, driven end to end through a deterministic broker
 // churn schedule — fail the top brokers one per round, heal them later —
@@ -348,17 +387,54 @@ int cmd_serve(int argc, char** argv) {
   const auto k = parse_u32("k", argv[3]);
   std::uint32_t queries = 100'000;
   std::uint32_t churn_events = 8;
+  std::string slo_spec, slo_out, qtrace_out;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--queries" && i + 1 < argc) {
       queries = parse_u32("queries", argv[++i]);
     } else if (arg == "--churn" && i + 1 < argc) {
       churn_events = parse_u32("churn", argv[++i]);
+    } else if (arg == "--slo" && i + 1 < argc) {
+      slo_spec = argv[++i];
+    } else if (arg == "--slo-out" && i + 1 < argc) {
+      slo_out = argv[++i];
+    } else if (arg == "--qtrace-out" && i + 1 < argc) {
+      qtrace_out = argv[++i];
     } else {
       std::cerr << "serve: unknown option '" << arg << "'\n";
       return usage();
     }
   }
+  if (!slo_out.empty() && slo_spec.empty()) {
+    std::cerr << "serve: --slo-out needs --slo <spec>\n";
+    return usage();
+  }
+  // Every output opens before the (potentially long) run so an unwritable
+  // path fails fast — the same contract as `brokerctl record`.
+  std::ofstream slo_file, qtrace_file;
+  const auto open_out = [](std::ofstream& f, const std::string& path) {
+    if (path.empty()) return true;
+    f.open(path, std::ios::trunc);
+    if (!f) {
+      std::cerr << "serve: cannot open " << path << '\n';
+      return false;
+    }
+    return true;
+  };
+  if (!open_out(slo_file, slo_out) || !open_out(qtrace_file, qtrace_out)) {
+    return 1;
+  }
+  // The monitor itself is plain arithmetic and works in any build; the
+  // per-query tracer only records from instrumented serve paths.
+  if (!qtrace_out.empty() && !BSR_STATS_ENABLED) {
+    std::cerr << "serve: built with BSR_STATS=OFF — the query trace will be "
+                 "empty\n";
+  }
+  std::optional<bsr::obs::SloMonitor> monitor;
+  if (!slo_spec.empty()) {
+    monitor.emplace(bsr::obs::parse_slo_spec(slo_spec));
+  }
+  if (!qtrace_out.empty()) bsr::obs::start_query_trace();
 
   const BrokerSet brokers = run_algorithm(topo, "maxsg", k, env.seed);
   bsr::graph::FaultPlane faults(topo.graph);
@@ -389,6 +465,26 @@ int cmd_serve(int argc, char** argv) {
 
   std::vector<RouteAnswer> answers;
   std::vector<RouteAnswer> all;
+  // Live SLO input: each round's answer-tag tallies are the delta of the
+  // service's cumulative stats, and the costs come from the last-batch
+  // sketch summary — the exact values the journal's batch events carry, so
+  // the offline `brokerctl slo` replay reaches the same verdict.
+  bsr::sim::RouteServiceStats prev{};
+  const auto observe_round = [&](double when) {
+    if (!monitor.has_value()) return;
+    const auto& s = service.stats();
+    bsr::obs::SloSample sample;
+    sample.time = when;
+    sample.fresh = s.fresh - prev.fresh;
+    sample.stale_served = s.stale_served - prev.stale_served;
+    sample.shedded = s.shedded - prev.shedded;
+    sample.refused = s.refused - prev.refused;
+    sample.staleness = service.stale_events();
+    sample.p99_ticks = s.last_batch_p99_ticks;
+    sample.max_ticks = s.last_batch_max_ticks;
+    prev = s;
+    monitor->observe(sample);
+  };
   double now = 0.0;
   for (std::uint32_t round = 0; round < rounds; ++round) {
     now = static_cast<double>(round);
@@ -405,10 +501,12 @@ int cmd_serve(int argc, char** argv) {
     }
     service.serve_batch(flows, now, answers);
     all.insert(all.end(), answers.begin(), answers.end());
+    observe_round(now);
   }
   service.advance(now + 64.0);  // let the last rebuild land
   service.serve_batch(flows, now + 64.0, answers);
   all.insert(all.end(), answers.begin(), answers.end());
+  observe_round(now + 64.0);
 
   const auto& stats = service.stats();
   std::cout << "served " << stats.queries << " routes over " << (rounds + 1)
@@ -432,7 +530,41 @@ int cmd_serve(int argc, char** argv) {
       .cell(service.degraded() ? "yes" : "no");
   table.row().cell("answer digest").cell(bsr::sim::answer_digest(all));
   table.print(std::cout);
-  return 0;
+
+  int rc = 0;
+  if (!qtrace_out.empty()) {
+    bsr::obs::stop_query_trace();
+    const bsr::obs::QtraceSnapshot qtrace = bsr::obs::snapshot_query_trace();
+    bsr::obs::write_qtrace_jsonl(qtrace_file, qtrace);
+    qtrace_file.flush();
+    if (!qtrace_file) {
+      std::cerr << "serve: failed writing " << qtrace_out << '\n';
+      rc = 1;
+    } else {
+      std::cerr << "serve: wrote " << qtrace.rows.size() << " trace rows ("
+                << qtrace.dropped << " dropped) to " << qtrace_out << '\n';
+    }
+  }
+  if (monitor.has_value()) {
+    const bsr::obs::SloReport& report = monitor->report();
+    print_slo_summary(report);
+    if (!slo_out.empty()) {
+      bsr::obs::write_slo_json(slo_file, report);
+      slo_file.flush();
+      if (!slo_file) {
+        std::cerr << "serve: failed writing " << slo_out << '\n';
+        rc = 1;
+      } else {
+        std::cerr << "serve: wrote " << slo_out << '\n';
+      }
+    }
+    if (!report.ok()) {
+      std::cerr << "serve: SLO BREACHED (" << report.breaches
+                << " episode(s))\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 // Health-plane simulation: broker outages and link flaps detected through
@@ -665,7 +797,8 @@ bool known_subcommand(const std::string& cmd) {
   return cmd == "gen" || cmd == "import-caida" || cmd == "select" ||
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
          cmd == "faults" || cmd == "health" || cmd == "serve" ||
-         cmd == "robust" || cmd == "record" || cmd == "report" || cmd == "topo";
+         cmd == "robust" || cmd == "record" || cmd == "report" ||
+         cmd == "slo" || cmd == "topo";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -1036,6 +1169,113 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+// Offline SLO evaluator: reconstruct the monitor's input from a recorded
+// bsr-events/1 journal and replay it through the same SloMonitor the live
+// `serve --slo` runs. The journal's batch events carry the exact per-round
+// tallies and costs the live monitor saw, so both verdicts agree byte for
+// byte on the same run.
+int cmd_slo(int argc, char** argv) {
+  std::string path, out_path;
+  // Defaults cover the route-serving plane's standing promises; override
+  // any of them with --spec.
+  std::string spec_text =
+      "fresh_min=0.99,refusal_max=0.05,stale_max=64,window=5,long_window=30";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--spec=", 0) == 0) {
+      spec_text = arg.substr(std::strlen("--spec="));
+      continue;
+    }
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+      if (out_path.empty()) {
+        std::cerr << "brokerctl slo: --out needs a file path\n";
+        return usage();
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl slo: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    if (!path.empty()) return usage();
+    path = arg;
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "brokerctl slo: cannot open " << path << '\n';
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.find("\"schema\": \"bsr-events/1\"") == std::string::npos) {
+    throw std::runtime_error("'" + path +
+                             "' is not a bsr-events/1 journal (bad header)");
+  }
+
+  std::map<std::string, bsr::obs::Event, std::less<>> event_types;
+  for (std::size_t e = 0; e < bsr::obs::kNumEvents; ++e) {
+    const auto type = static_cast<bsr::obs::Event>(e);
+    event_types.emplace(std::string(bsr::obs::name(type)), type);
+  }
+  bsr::obs::Journal journal;
+  std::uint64_t bad_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalLine parsed;
+    if (!parse_journal_line(line, parsed)) {
+      ++bad_lines;
+      continue;
+    }
+    const auto it = event_types.find(parsed.type);
+    if (it == event_types.end()) continue;  // foreign event family
+    bsr::obs::EventRecord record;
+    record.time = parsed.t;
+    record.type = it->second;
+    record.subject = parsed.subject;
+    record.correlation = parsed.corr;
+    record.seq = journal.recorded++;
+    journal.events.push_back(record);
+  }
+  if (bad_lines > 0) {
+    std::cerr << "brokerctl slo: skipped " << bad_lines
+              << " unparseable line(s)\n";
+  }
+
+  const auto samples = bsr::obs::slo_samples_from_journal(journal);
+  if (samples.empty()) {
+    std::cerr << "brokerctl slo: no sim.route_service.batch events in " << path
+              << " — nothing to evaluate\n";
+    return 1;
+  }
+  bsr::obs::SloMonitor monitor(bsr::obs::parse_slo_spec(spec_text));
+  for (const bsr::obs::SloSample& s : samples) monitor.observe(s);
+  const bsr::obs::SloReport& report = monitor.report();
+  print_slo_summary(report);
+  int rc = report.ok() ? 0 : 1;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "brokerctl slo: cannot open " << out_path << '\n';
+      return 1;
+    }
+    bsr::obs::write_slo_json(out, report);
+    out.flush();
+    if (!out) {
+      std::cerr << "brokerctl slo: failed writing " << out_path << '\n';
+      return 1;
+    }
+    std::cerr << "slo: wrote " << out_path << '\n';
+  }
+  if (rc != 0) {
+    std::cerr << "brokerctl slo: SLO BREACHED (" << report.breaches
+              << " episode(s))\n";
+  }
+  return rc;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
@@ -1050,6 +1290,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "robust") return cmd_robust(argc, argv);
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "slo") return cmd_slo(argc, argv);
   if (cmd == "topo") return cmd_topo(argc, argv);
   std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
   return usage();

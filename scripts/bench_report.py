@@ -91,6 +91,30 @@ def format_rss(rss_bytes):
     return f"{rss_bytes / (1024.0 * 1024.0):,.1f}"
 
 
+def headline_quantiles(run, path):
+    """p50/p90/p99 cells from the run's largest quantile sketch (the one that
+    saw the most observations — the headline distribution). Runs without
+    sketches (older artifacts, non-serving benches) render as em-dashes."""
+    raw = run.get("sketches", {})
+    if not isinstance(raw, dict) or not raw:
+        return ("—", "—", "—")
+    best = None
+    best_count = -1
+    for name, sketch in raw.items():
+        if not isinstance(sketch, dict):
+            continue
+        count = as_number(sketch.get("count"), path, f"sketch {name} count")
+        if count is not None and count > best_count:
+            best, best_count = sketch, count
+    if best is None:
+        return ("—", "—", "—")
+    cells = []
+    for q in ("p50", "p90", "p99"):
+        value = as_number(best.get(q), path, f"sketch {q}")
+        cells.append(f"{value:,}" if value is not None else "—")
+    return tuple(cells)
+
+
 def render(suites):
     lines = ["# Bench trend report", ""]
     lines.append("| suite | scale | seed | threads | stats | runs | "
@@ -123,8 +147,8 @@ def render(suites):
                 lines.append(f"Suite metrics: {shown}")
                 lines.append("")
         lines.append("| run | reps | wall ms | ms/rep | work units | "
-                     "top counters |")
-        lines.append("|---|---:|---:|---:|---:|---|")
+                     "p50 | p90 | p99 | top counters |")
+        lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---|")
         for r in runs_of(s):
             reps = as_number(r.get("repetitions", 1), path, "repetitions") or 1
             wall = as_number(r.get("wall_ms", 0.0), path, "wall_ms")
@@ -132,15 +156,18 @@ def render(suites):
             wall_cell = f"{wall:.3f}" if wall is not None else "—"
             per_rep = f"{wall / reps:.3f}" if wall is not None else "—"
             work_cell = f"{work:,}" if work is not None else "—"
+            p50, p90, p99 = headline_quantiles(r, path)
             lines.append(
                 f"| {r.get('name', '?')} | {reps} | {wall_cell} "
-                f"| {per_rep} | {work_cell} "
+                f"| {per_rep} | {work_cell} | {p50} | {p90} | {p99} "
                 f"| {headline_counters(r, path)} |")
     lines.append("")
-    lines.append("Work-unit columns are deterministic (seed + scale only); "
-                 "wall-ms and peak-RSS columns carry hardware noise. A "
-                 "work-unit change without a matching code change is drift — "
-                 "see scripts/check_obs_drift.py.")
+    lines.append("Work-unit and p50/p90/p99 columns are deterministic "
+                 "(seed + scale only; quantiles come from the run's largest "
+                 "sketch, in virtual ticks); wall-ms and peak-RSS columns "
+                 "carry hardware noise. A deterministic change without a "
+                 "matching code change is drift — see "
+                 "scripts/check_obs_drift.py.")
     lines.append("")
     return "\n".join(lines)
 

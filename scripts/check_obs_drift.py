@@ -9,6 +9,17 @@ any drift beyond the baseline's tolerance means the algorithms started doing
 different work (or counting it differently) without the baseline being
 updated deliberately.
 
+Baseline entries come in two shapes:
+
+  * scalar — a plain counter total, compared within tolerance_pct;
+  * object — a histogram or quantile-sketch distribution ({"buckets":
+    [[index, count], ...]} plus scalar fields like "total" or "count"/"sum").
+    Scalar fields compare within tolerance; the bucket *index set* must match
+    exactly (an appearing or vanishing bucket means the distribution's shape
+    changed, not just its magnitude) and per-bucket counts compare within
+    tolerance. The name is looked up in the run's "histograms" then
+    "sketches" maps.
+
 A baseline key that has *disappeared* from the snapshot (a renamed or removed
 counter, or a renamed run) is a hard failure, not a skip: silently checking
 fewer counters than the baseline names would let the tripwire rot into a
@@ -20,6 +31,56 @@ Exit codes: 0 within tolerance, 1 drift/missing-key detected, 2 bad input.
 
 import json
 import sys
+
+
+def scalar_drift(expected, actual):
+    """Relative drift of a scalar, treating a zero expectation as exact."""
+    if expected:
+        return abs(actual - expected) / expected
+    return float(actual != expected)
+
+
+def check_distribution(run_name, name, expected, actual, tolerance, failures):
+    """Compare one dict-valued baseline entry; returns values checked."""
+    checked = 0
+    for field, want in expected.items():
+        if field == "buckets":
+            continue
+        got = actual.get(field)
+        if got is None:
+            failures.append(f"{run_name}: {name} lost its '{field}' field")
+            continue
+        checked += 1
+        drift = scalar_drift(want, got)
+        marker = "ok" if drift <= tolerance else "DRIFT"
+        print(f"  {marker:5s} {run_name}/{name}.{field}: "
+              f"expected {want}, got {got} ({drift * 100:+.2f}%)")
+        if drift > tolerance:
+            failures.append(f"{run_name}: {name}.{field} drifted "
+                            f"{drift * 100:.2f}% (expected {want}, got {got})")
+    if "buckets" not in expected:
+        return checked
+    want_buckets = {int(b): c for b, c in expected["buckets"]}
+    got_buckets = {int(b): c for b, c in actual.get("buckets", [])}
+    added = sorted(set(got_buckets) - set(want_buckets))
+    removed = sorted(set(want_buckets) - set(got_buckets))
+    if added or removed:
+        failures.append(
+            f"{run_name}: {name} bucket set changed — the distribution moved "
+            f"octaves, not just counts (new buckets: {added or 'none'}, "
+            f"vanished buckets: {removed or 'none'})")
+        print(f"  DRIFT {run_name}/{name}.buckets: index set mismatch")
+        return checked + 1
+    worst = 0.0
+    for b, want in want_buckets.items():
+        worst = max(worst, scalar_drift(want, got_buckets[b]))
+    marker = "ok" if worst <= tolerance else "DRIFT"
+    print(f"  {marker:5s} {run_name}/{name}.buckets: {len(want_buckets)} "
+          f"buckets, worst count drift {worst * 100:+.2f}%")
+    if worst > tolerance:
+        failures.append(f"{run_name}: {name} bucket counts drifted up to "
+                        f"{worst * 100:.2f}%")
+    return checked + 1
 
 
 def main() -> int:
@@ -66,6 +127,20 @@ def main() -> int:
             continue
         actual_counters = run.get("counters", {})
         for counter, expected in expected_counters.items():
+            if isinstance(expected, dict):
+                actual = run.get("histograms", {}).get(counter)
+                if actual is None:
+                    actual = run.get("sketches", {}).get(counter)
+                if actual is None:
+                    failures.append(
+                        f"{run_name}: distribution '{counter}' missing from "
+                        f"the snapshot's histograms/sketches — renamed or "
+                        f"removed? A baseline key that no longer exists must "
+                        f"be updated deliberately, not skipped")
+                    continue
+                checked += check_distribution(run_name, counter, expected,
+                                              actual, tolerance, failures)
+                continue
             actual = actual_counters.get(counter)
             if actual is None:
                 failures.append(
@@ -74,8 +149,7 @@ def main() -> int:
                     f"longer exists must be updated deliberately, not skipped")
                 continue
             checked += 1
-            drift = abs(actual - expected) / expected if expected else float(
-                actual != expected)
+            drift = scalar_drift(expected, actual)
             marker = "ok" if drift <= tolerance else "DRIFT"
             print(f"  {marker:5s} {run_name}/{counter}: "
                   f"expected {expected}, got {actual} ({drift * 100:+.2f}%)")

@@ -158,6 +158,93 @@ void write_series_csv(std::ostream& os, std::span<const SeriesRow> rows) {
   }
 }
 
+namespace {
+
+/// Answer-tag names indexed by sim::AnswerStatus value. The obs layer sits
+/// below sim, so the convention is re-stated here (and pinned by a test)
+/// rather than included.
+constexpr std::array<std::string_view, 4> kAnswerTagNames = {
+    "fresh", "stale_served", "shedded", "refused"};
+
+std::string_view answer_tag(std::uint8_t status) {
+  return status < kAnswerTagNames.size() ? kAnswerTagNames[status] : "unknown";
+}
+
+}  // namespace
+
+void write_qtrace_jsonl(std::ostream& os, const QtraceSnapshot& snap) {
+  os << "{\"schema\": \"" << kQtraceSchema
+     << "\", \"rows\": " << snap.rows.size()
+     << ", \"dropped\": " << snap.dropped << "}\n";
+  for (const QueryTraceRow& row : snap.rows) {
+    os << "{\"id\": " << row.trace_id << ", \"t\": ";
+    put_double(os, row.time);
+    os << ", \"epoch\": " << row.epoch << ", \"corr\": " << row.correlation
+       << ", \"src\": " << row.src << ", \"dst\": " << row.dst
+       << ", \"tag\": \"" << answer_tag(row.status)
+       << "\", \"reachable\": " << (row.reachable ? "true" : "false")
+       << ", \"dist\": " << row.dist_bound << ", \"stale\": "
+       << row.stale_behind << ", \"ticks\": {\"admit\": " << row.admit_ticks
+       << ", \"lookup\": " << row.lookup_ticks
+       << ", \"stitch\": " << row.stitch_ticks << "}}\n";
+  }
+}
+
+void write_qtrace_chrome_trace(std::ostream& os, const QtraceSnapshot& snap) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const QueryTraceRow& row : snap.rows) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const std::uint64_t total_ticks = std::uint64_t{row.admit_ticks} +
+                                      row.lookup_ticks + row.stitch_ticks;
+    os << "  {\"name\": \"" << answer_tag(row.status)
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << row.epoch
+       << ", \"ts\": " << trace_ts(row.time)
+       << ", \"dur\": " << total_ticks << ", \"args\": {\"id\": "
+       << row.trace_id << ", \"corr\": " << row.correlation
+       << ", \"src\": " << row.src << ", \"dst\": " << row.dst
+       << ", \"dist\": " << row.dist_bound << ", \"stale\": "
+       << row.stale_behind << ", \"admit_ticks\": " << row.admit_ticks
+       << ", \"lookup_ticks\": " << row.lookup_ticks
+       << ", \"stitch_ticks\": " << row.stitch_ticks << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void write_slo_json(std::ostream& os, const SloReport& report) {
+  os << "{\n  \"slo_schema\": \"" << kSloSchema << "\",\n  \"ok\": "
+     << (report.ok() ? "true" : "false")
+     << ",\n  \"in_breach\": " << (report.in_breach ? "true" : "false")
+     << ",\n  \"samples\": " << report.samples
+     << ",\n  \"breaches\": " << report.breaches
+     << ",\n  \"recovers\": " << report.recovers << ",\n  \"spec\": {";
+  os << "\"window\": ";
+  put_double(os, report.spec.window);
+  os << ", \"long_window\": ";
+  put_double(os, report.spec.long_window);
+  os << ", \"burn_threshold\": ";
+  put_double(os, report.spec.burn_threshold);
+  os << "},\n  \"objectives\": [";
+  bool first = true;
+  for (const SloObjectiveReport& obj : report.objectives) {
+    if (!obj.enabled) continue;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << obj.name << "\", \"target\": ";
+    put_double(os, obj.target);
+    os << ", \"worst_short_burn\": ";
+    put_double(os, obj.worst_short_burn);
+    os << ", \"worst_long_burn\": ";
+    put_double(os, obj.worst_long_burn);
+    os << ", \"breach_samples\": " << obj.breach_samples
+       << ", \"first_breach_t\": ";
+    put_double(os, obj.first_breach_time);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 void write_journal_chrome_trace(std::ostream& os, const Journal& journal,
                                 std::span<const SeriesRow> rows) {
   os << "{\"traceEvents\": [";

@@ -33,6 +33,8 @@
 #include <span>
 
 #include "obs/journal.hpp"
+#include "obs/qtrace.hpp"
+#include "obs/slo.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -65,5 +67,26 @@ void write_series_csv(std::ostream& os, std::span<const SeriesRow> rows);
 /// in the series becomes a counter ("C") track with one sample per round.
 void write_journal_chrome_trace(std::ostream& os, const Journal& journal,
                                 std::span<const SeriesRow> rows);
+
+/// Query traces as `bsr-qtrace/1` JSON Lines: header object first
+/// ({"schema": "bsr-qtrace/1", "rows": N, "dropped": D}), then one object
+/// per row in trace-id order with the answer tag rendered by name
+/// ("fresh" / "stale_served" / "shedded" / "refused"; tag index =
+/// sim::AnswerStatus value) and the per-stage tick costs nested under
+/// "ticks". Byte-identical at any BSR_THREADS for a fixed seed.
+void write_qtrace_jsonl(std::ostream& os, const QtraceSnapshot& snap);
+
+/// Query traces as Chrome trace_event JSON: one complete ("X") event per
+/// row, named by answer tag, placed on the serving epoch's track
+/// (tid = epoch) with dur = total ticks, so Perfetto shows each oracle
+/// epoch's serving behavior as its own lane keyed by the failure-episode
+/// correlation id in "args".
+void write_qtrace_chrome_trace(std::ostream& os, const QtraceSnapshot& snap);
+
+/// Machine-readable SLO verdict under the `bsr-slo/1` schema: the spec,
+/// sample/breach/recover totals, the boolean verdict `ok`, and one object
+/// per objective (target, worst short/long burn, breach sample count, first
+/// breach time; -1 = never). Doubles print via std::to_chars — byte-stable.
+void write_slo_json(std::ostream& os, const SloReport& report);
 
 }  // namespace bsr::obs

@@ -63,8 +63,16 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
 // lifecycle events (rebuild_start/crash/discard/give_up and the
 // epoch_publish that ends a successful attempt) carry the rebuild-attempt
 // id as correlation so one attempt chain links end to end, while
-// degrade/patch carry the truth version that triggered them; everything
-// else 0.
+// degrade/patch carry the truth version that triggered them;
+// sim.route_service.batch packs the answer-tag tallies of one serve_batch
+// call — subject = (fresh << 32) | stale_served, correlation =
+// (shedded << 32) | refused — and sim.route_service.batch_cost packs its
+// deterministic tick costs — subject = (p99_ticks << 32) | max_ticks,
+// correlation = stale events behind the truth at batch time (the SLO
+// monitor's staleness signal); slo.monitor.breach / slo.monitor.recover
+// carry the bitmask of breached objectives (bit i = objective i in
+// slo.hpp's declaration order) as subject and the worst burn rate in
+// percent (rounded) as correlation; everything else 0.
 
 #define BSR_OBS_EVENT_TABLE(X)                            \
   X(ChurnDeparture, "sim.churn.departure")                \
@@ -97,7 +105,11 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
   X(RouteServiceRebuildCrash, "sim.route_service.rebuild_crash") \
   X(RouteServiceRebuildDiscard, "sim.route_service.rebuild_discard") \
   X(RouteServiceRebuildGiveUp, "sim.route_service.rebuild_give_up") \
-  X(RouteServiceEpochPublish, "sim.route_service.epoch_publish")
+  X(RouteServiceEpochPublish, "sim.route_service.epoch_publish") \
+  X(RouteServiceBatch, "sim.route_service.batch")         \
+  X(RouteServiceBatchCost, "sim.route_service.batch_cost") \
+  X(SloBreach, "slo.monitor.breach")                      \
+  X(SloRecover, "slo.monitor.recover")
 
 enum class Event : std::uint16_t {
 #define BSR_OBS_X(id, name) k##id,

@@ -1,0 +1,287 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace bsr::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumSloObjectives> kObjectiveNames = {
+    "fresh_fraction", "refusal_rate", "p99_ticks", "staleness"};
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("slo spec: " + what);
+}
+
+void validate_spec(const SloSpec& spec) {
+  if (!(spec.window > 0.0)) bad_spec("window must be > 0");
+  if (!(spec.long_window >= spec.window)) {
+    bad_spec("long_window must be >= window");
+  }
+  if (!(spec.burn_threshold > 0.0)) bad_spec("burn must be > 0");
+  // Range checks keep every burn rate finite: a fresh_min of 1 (or a zero
+  // bound) would divide by a zero error budget.
+  if (spec.fresh_min >= 0.0 &&
+      !(spec.fresh_min > 0.0 && spec.fresh_min < 1.0)) {
+    bad_spec("fresh_min must be in (0, 1)");
+  }
+  if (spec.refusal_max >= 0.0 &&
+      !(spec.refusal_max > 0.0 && spec.refusal_max <= 1.0)) {
+    bad_spec("refusal_max must be in (0, 1]");
+  }
+  if (spec.p99_ticks_max >= 0.0 && !(spec.p99_ticks_max >= 1.0)) {
+    bad_spec("p99_max must be >= 1");
+  }
+  if (spec.stale_max >= 0.0 && !(spec.stale_max >= 1.0)) {
+    bad_spec("stale_max must be >= 1");
+  }
+  if (spec.fresh_min < 0.0 && spec.refusal_max < 0.0 &&
+      spec.p99_ticks_max < 0.0 && spec.stale_max < 0.0) {
+    bad_spec("no objective enabled (set at least one of fresh_min, "
+             "refusal_max, p99_max, stale_max)");
+  }
+}
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double parse_number(std::string_view key, std::string_view text) {
+  const std::string_view value = trimmed(text);
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec("malformed number for '" + std::string(key) + "': '" +
+             std::string(value) + "'");
+  }
+  return out;
+}
+
+/// Windowed aggregates over [now - w, now] (closed on the right: the sample
+/// at `now` always counts).
+struct WindowStats {
+  std::uint64_t fresh = 0, stale_served = 0, shedded = 0, refused = 0;
+  std::uint64_t worst_staleness = 0, worst_p99 = 0;
+};
+
+WindowStats accumulate(const std::vector<SloSample>& samples, double now,
+                       double window) {
+  WindowStats out;
+  for (const SloSample& s : samples) {
+    if (s.time < now - window) continue;
+    out.fresh += s.fresh;
+    out.stale_served += s.stale_served;
+    out.shedded += s.shedded;
+    out.refused += s.refused;
+    out.worst_staleness = std::max(out.worst_staleness, s.staleness);
+    out.worst_p99 = std::max(out.worst_p99, s.p99_ticks);
+  }
+  return out;
+}
+
+/// Burn rate of one objective over one window's aggregates; 0 when the
+/// objective is disabled or the window holds no admitted answers.
+double burn_rate(SloObjective objective, const SloSpec& spec,
+                 const WindowStats& w) {
+  switch (objective) {
+    case SloObjective::kFreshFraction: {
+      if (spec.fresh_min < 0.0) return 0.0;
+      // Shedded answers were never admitted: they spend no freshness budget.
+      const double denom =
+          static_cast<double>(w.fresh + w.stale_served + w.refused);
+      if (denom == 0.0) return 0.0;
+      const double bad = denom - static_cast<double>(w.fresh);
+      return (bad / denom) / (1.0 - spec.fresh_min);
+    }
+    case SloObjective::kRefusalRate: {
+      if (spec.refusal_max < 0.0) return 0.0;
+      const double all = static_cast<double>(w.fresh + w.stale_served +
+                                             w.shedded + w.refused);
+      if (all == 0.0) return 0.0;
+      return (static_cast<double>(w.refused) / all) / spec.refusal_max;
+    }
+    case SloObjective::kP99Ticks:
+      if (spec.p99_ticks_max < 0.0) return 0.0;
+      return static_cast<double>(w.worst_p99) / spec.p99_ticks_max;
+    case SloObjective::kStaleness:
+      if (spec.stale_max < 0.0) return 0.0;
+      return static_cast<double>(w.worst_staleness) / spec.stale_max;
+    case SloObjective::kCount:
+      break;
+  }
+  return 0.0;
+}
+
+double objective_target(SloObjective objective, const SloSpec& spec) {
+  switch (objective) {
+    case SloObjective::kFreshFraction:
+      return spec.fresh_min;
+    case SloObjective::kRefusalRate:
+      return spec.refusal_max;
+    case SloObjective::kP99Ticks:
+      return spec.p99_ticks_max;
+    case SloObjective::kStaleness:
+      return spec.stale_max;
+    case SloObjective::kCount:
+      break;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+std::string_view name(SloObjective o) noexcept {
+  return kObjectiveNames[static_cast<std::size_t>(o)];
+}
+
+SloSpec parse_slo_spec(std::string_view text) {
+  SloSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find_first_of(",;", pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view token = trimmed(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec("expected key=value, got '" + std::string(token) + "'");
+    }
+    const std::string_view key = trimmed(token.substr(0, eq));
+    const double value = parse_number(key, token.substr(eq + 1));
+    if (key == "fresh_min") {
+      spec.fresh_min = value;
+    } else if (key == "refusal_max") {
+      spec.refusal_max = value;
+    } else if (key == "p99_max") {
+      spec.p99_ticks_max = value;
+    } else if (key == "stale_max") {
+      spec.stale_max = value;
+    } else if (key == "window") {
+      spec.window = value;
+    } else if (key == "long_window") {
+      spec.long_window = value;
+    } else if (key == "burn") {
+      spec.burn_threshold = value;
+    } else {
+      bad_spec("unknown key '" + std::string(key) + "'");
+    }
+  }
+  validate_spec(spec);
+  return spec;
+}
+
+SloMonitor::SloMonitor(const SloSpec& spec) : spec_(spec) {
+  validate_spec(spec_);
+  report_.spec = spec_;
+  for (std::size_t i = 0; i < kNumSloObjectives; ++i) {
+    const SloObjective o = static_cast<SloObjective>(i);
+    report_.objectives[i].name = name(o);
+    report_.objectives[i].target = objective_target(o, spec_);
+    report_.objectives[i].enabled = report_.objectives[i].target >= 0.0;
+  }
+}
+
+void SloMonitor::observe(const SloSample& sample) {
+  if (saw_sample_ && sample.time < last_time_) {
+    throw std::invalid_argument(
+        "SloMonitor::observe: samples must arrive in time order");
+  }
+  saw_sample_ = true;
+  last_time_ = sample.time;
+  window_.push_back(sample);
+  // Prune to the trailing long window (closed on the right edge).
+  std::size_t keep_from = 0;
+  while (keep_from < window_.size() &&
+         window_[keep_from].time < sample.time - spec_.long_window) {
+    ++keep_from;
+  }
+  if (keep_from > 0) {
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  }
+
+  const WindowStats short_w = accumulate(window_, sample.time, spec_.window);
+  const WindowStats long_w =
+      accumulate(window_, sample.time, spec_.long_window);
+
+  std::uint64_t breach_mask = 0;
+  double worst_burn = 0.0;
+  for (std::size_t i = 0; i < kNumSloObjectives; ++i) {
+    SloObjectiveReport& obj = report_.objectives[i];
+    if (!obj.enabled) continue;
+    const SloObjective o = static_cast<SloObjective>(i);
+    const double short_burn = burn_rate(o, spec_, short_w);
+    const double long_burn = burn_rate(o, spec_, long_w);
+    obj.worst_short_burn = std::max(obj.worst_short_burn, short_burn);
+    obj.worst_long_burn = std::max(obj.worst_long_burn, long_burn);
+    worst_burn = std::max(worst_burn, std::min(short_burn, long_burn));
+    // Multi-window gate: breach only when the short window shows the
+    // current pain AND the long window shows it is sustained.
+    if (short_burn >= spec_.burn_threshold &&
+        long_burn >= spec_.burn_threshold) {
+      breach_mask |= std::uint64_t{1} << i;
+      ++obj.breach_samples;
+      if (obj.first_breach_time < 0.0) obj.first_breach_time = sample.time;
+    }
+  }
+
+  ++report_.samples;
+  BSR_COUNT(SloEvaluations);
+  BSR_GAUGE_MAX(SloWorstBurnPct,
+                static_cast<std::uint64_t>(std::llround(worst_burn * 100.0)));
+  const std::uint64_t burn_pct =
+      static_cast<std::uint64_t>(std::llround(worst_burn * 100.0));
+  if (breach_mask != 0 && !report_.in_breach) {
+    report_.in_breach = true;
+    ++report_.breaches;
+    BSR_COUNT(SloBreaches);
+    BSR_EVENT(SloBreach, sample.time, breach_mask, burn_pct);
+  } else if (breach_mask == 0 && report_.in_breach) {
+    report_.in_breach = false;
+    ++report_.recovers;
+    BSR_COUNT(SloRecovers);
+    BSR_EVENT(SloRecover, sample.time, breach_mask, burn_pct);
+  }
+}
+
+std::vector<SloSample> slo_samples_from_journal(const Journal& journal) {
+  std::vector<SloSample> out;
+  for (const EventRecord& rec : journal.events) {
+    if (rec.type != Event::kRouteServiceBatch &&
+        rec.type != Event::kRouteServiceBatchCost) {
+      continue;
+    }
+    // journal.events is sorted by time first, so one pass groups samples.
+    if (out.empty() || out.back().time != rec.time) {
+      out.push_back(SloSample{});
+      out.back().time = rec.time;
+    }
+    SloSample& s = out.back();
+    constexpr std::uint64_t kLow32 = 0xffffffffu;
+    if (rec.type == Event::kRouteServiceBatch) {
+      s.fresh += rec.subject >> 32;
+      s.stale_served += rec.subject & kLow32;
+      s.shedded += rec.correlation >> 32;
+      s.refused += rec.correlation & kLow32;
+    } else {
+      s.p99_ticks = std::max(s.p99_ticks, rec.subject >> 32);
+      s.max_ticks = std::max(s.max_ticks, rec.subject & kLow32);
+      s.staleness = std::max(s.staleness, rec.correlation);
+    }
+  }
+  return out;
+}
+
+}  // namespace bsr::obs

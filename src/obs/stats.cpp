@@ -81,6 +81,7 @@ struct TlsSlot {
   }
 
   ~TlsSlot() {
+    detail::t_block = nullptr;  // stop handing out a block being retired
     Registry& reg = registry();
     const std::lock_guard<std::mutex> lock(reg.mutex);
     merge_block(reg.retired, block);
@@ -111,8 +112,13 @@ bool is_work_unit(Counter c) noexcept {
   return kCounterMeta[static_cast<std::size_t>(c)].work;
 }
 
-ThreadBlock& tls_block() noexcept {
+namespace detail {
+thread_local ThreadBlock* t_block = nullptr;
+}  // namespace detail
+
+ThreadBlock& tls_block_slow() noexcept {
   thread_local TlsSlot slot;
+  detail::t_block = &slot.block;
   return slot.block;
 }
 
@@ -136,6 +142,14 @@ void reset() {
   const std::lock_guard<std::mutex> lock(reg.mutex);
   reg.retired = ThreadBlock{};
   for (ThreadBlock* block : reg.live) *block = ThreadBlock{};
+}
+
+void gauge_clear(Gauge g) {
+  const std::size_t slot = static_cast<std::size_t>(g);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired.gauges[slot] = 0;
+  for (ThreadBlock* block : reg.live) block->gauges[slot] = 0;
 }
 
 Snapshot delta(const Snapshot& before, const Snapshot& after) {

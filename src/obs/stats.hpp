@@ -108,13 +108,17 @@ inline constexpr int kSchemaVersion = 1;
   X(RouteServiceRebuilds, "sim.route_service.rebuilds", false)     \
   X(RouteServiceRebuildCrashes, "sim.route_service.rebuild_crashes", false) \
   X(RouteServicePatches, "sim.route_service.patches", false)       \
-  X(RouteServiceEpochsPublished, "sim.route_service.epochs_published", false)
+  X(RouteServiceEpochsPublished, "sim.route_service.epochs_published", false) \
+  X(SloEvaluations, "slo.monitor.evaluations", false)              \
+  X(SloBreaches, "slo.monitor.breaches", false)                    \
+  X(SloRecovers, "slo.monitor.recovers", false)
 
 #define BSR_OBS_GAUGE_TABLE(X)                                     \
   X(EngineWorkspaceHighWater, "engine.workspace.high_water")       \
   X(UfLogHighWater, "graph.uf.log_high_water")                     \
   X(RouterStateHighWater, "sim.router.state_high_water")           \
-  X(RouteServiceStaleHighWater, "sim.route_service.stale_high_water")
+  X(RouteServiceStaleHighWater, "sim.route_service.stale_high_water") \
+  X(SloWorstBurnPct, "slo.monitor.worst_burn_pct")
 
 #define BSR_OBS_HISTOGRAM_TABLE(X)                                 \
   X(UfFindDepth, "graph.uf.find_depth")                            \
@@ -178,9 +182,26 @@ struct ThreadBlock {
       histograms{};
 };
 
+namespace detail {
+/// Cached pointer to this thread's registered block: null before first use
+/// and after thread-exit flush. Implementation detail of tls_block() — the
+/// cache lets the macros reach their slot with one TLS load and a
+/// predictable branch instead of an out-of-line call per site, which is
+/// what keeps per-item sites (UF finds, per-answer sketches) at a few
+/// inline adds.
+extern thread_local ThreadBlock* t_block;
+}  // namespace detail
+
+/// Registers this thread's block with the global registry and fills the
+/// detail::t_block cache. Out-of-line cold path of tls_block().
+[[nodiscard]] ThreadBlock& tls_block_slow() noexcept;
+
 /// This thread's accumulator block; registered with the global registry on
 /// first use and flushed into the retired pool when the thread exits.
-[[nodiscard]] ThreadBlock& tls_block() noexcept;
+[[nodiscard]] inline ThreadBlock& tls_block() noexcept {
+  ThreadBlock* block = detail::t_block;
+  return block != nullptr ? *block : tls_block_slow();
+}
 
 inline void count(Counter c, std::uint64_t n = 1) noexcept {
   tls_block().counters[static_cast<std::size_t>(c)] += n;
@@ -235,6 +256,13 @@ struct Snapshot {
 /// contract as snapshot().
 void reset();
 
+/// Zeroes one gauge's slot in every block (live and retired), leaving every
+/// other metric untouched. A high-water gauge whose subject has a natural
+/// epoch (e.g. the serving oracle's staleness) calls this at epoch rollover
+/// so the merged value describes the *current* epoch, not the lifetime
+/// worst. Same quiescence contract as snapshot().
+void gauge_clear(Gauge g);
+
 /// Counter/histogram difference `after - before`; gauges take the `after`
 /// value (a high-water mark has no meaningful delta).
 [[nodiscard]] Snapshot delta(const Snapshot& before, const Snapshot& after);
@@ -257,6 +285,8 @@ void reset();
 #define BSR_GAUGE_MAX(id, v)                      \
   ::bsr::obs::gauge_max(::bsr::obs::Gauge::k##id, \
                         static_cast<std::uint64_t>(v))
+#define BSR_GAUGE_CLEAR(id) \
+  ::bsr::obs::gauge_clear(::bsr::obs::Gauge::k##id)
 #define BSR_HISTO(id, v)                            \
   ::bsr::obs::observe(::bsr::obs::Histogram::k##id, \
                       static_cast<std::uint64_t>(v))
@@ -272,6 +302,9 @@ void reset();
   } while (false)
 #define BSR_GAUGE_MAX(id, v) \
   do {                       \
+  } while (false)
+#define BSR_GAUGE_CLEAR(id) \
+  do {                      \
   } while (false)
 #define BSR_HISTO(id, v) \
   do {                   \

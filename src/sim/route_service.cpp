@@ -6,6 +6,8 @@
 
 #include "graph/engine.hpp"
 #include "obs/journal.hpp"
+#include "obs/qtrace.hpp"
+#include "obs/sketch.hpp"
 #include "obs/stats.hpp"
 
 namespace bsr::sim {
@@ -220,6 +222,11 @@ void RouteService::build_epoch(double now, std::uint64_t attempt) {
   ++epoch_id_;
   epoch_truth_version_ = truth_version_;
   ++stats_.epochs_published;
+  // The staleness high-water gauge describes the *current* epoch: a freshly
+  // published oracle has served nothing stale yet, so the gauge resets here.
+  // (stats_.max_stale_served stays a lifetime high-water; try_patch keeps
+  // the same epoch and so keeps the gauge.)
+  BSR_GAUGE_CLEAR(RouteServiceStaleHighWater);
   BSR_COUNT(RouteServiceEpochsPublished);
   record(now, EpochEventKind::kPublish, attempt);
 }
@@ -434,13 +441,21 @@ void RouteService::eval(NodeId src, NodeId dst, RouteAnswer& answer) const {
     answer.reachable = false;
     return;
   }
+  // Virtual tick model: each exit charges the flat-array loads the lookup
+  // performed (liveness pair = 1, component pair = +1, landmark scan = +1
+  // per row) and the stitch charges its parent-chain steps. Pure integer
+  // arithmetic on values both the instrumented and the force-off builds
+  // compute identically, so the twin comparison is unaffected.
+  answer.lookup_ticks = 1;
   if (vertex_up_[src] == 0 || vertex_up_[dst] == 0) return;  // unreachable
   if (src == dst) {
     answer.reachable = true;
     answer.dist_bound = 0;
     answer.next_hop = src;
+    answer.stitch_ticks = 1;
     return;
   }
+  answer.lookup_ticks = 2;
   if (comp_[src] != comp_[dst]) return;
   answer.reachable = true;
 
@@ -461,19 +476,57 @@ void RouteService::eval(NodeId src, NodeId dst, RouteAnswer& answer) const {
       best_l = li;
     }
   }
+  answer.lookup_ticks = static_cast<std::uint16_t>(
+      std::min<std::size_t>(2 + num_lm, 0xffff));
   if (best_l == num_lm) return;  // reachable (exact), but no sketch covers it
   answer.dist_bound = best;
   const std::size_t row = best_l * n;
   if (lm_dist_[row + src] > 0) {
     answer.next_hop = lm_parent_[row + src];
+    answer.stitch_ticks = 1;
   } else {
     // src *is* the landmark: the next hop toward dst is the vertex on dst's
     // parent chain adjacent to src. O(dist) on a path of a dozen hops.
+    std::uint16_t steps = 0;
     NodeId p = dst;
-    while (lm_parent_[row + p] != src) p = lm_parent_[row + p];
+    while (lm_parent_[row + p] != src) {
+      p = lm_parent_[row + p];
+      ++steps;
+    }
     answer.next_hop = p;
+    answer.stitch_ticks = static_cast<std::uint16_t>(steps + 1);
   }
 }
+
+#if BSR_STATS_ENABLED
+namespace {
+
+/// One qtrace row from a served answer. The failure-episode correlation is
+/// the truth version the epoch lagged behind (0 when served fresh), linking
+/// the row to the degrade/rebuild journal chain of the same divergence.
+bsr::obs::QueryTraceRow make_trace_row(std::uint64_t id, double now, NodeId src,
+                                       NodeId dst, const RouteAnswer& a,
+                                       std::uint64_t truth_version,
+                                       std::uint64_t stale_behind) {
+  bsr::obs::QueryTraceRow row;
+  row.trace_id = id;
+  row.time = now;
+  row.epoch = a.epoch;
+  row.correlation = stale_behind == 0 ? 0 : truth_version;
+  row.src = static_cast<std::uint32_t>(src);
+  row.dst = static_cast<std::uint32_t>(dst);
+  row.dist_bound = a.dist_bound;
+  row.stale_behind = stale_behind;
+  row.admit_ticks = 1;
+  row.lookup_ticks = a.lookup_ticks;
+  row.stitch_ticks = a.stitch_ticks;
+  row.status = static_cast<std::uint8_t>(a.status);
+  row.reachable = a.reachable ? 1 : 0;
+  return row;
+}
+
+}  // namespace
+#endif
 
 RouteAnswer RouteService::query(NodeId src, NodeId dst, double now) {
   RouteAnswer answer;
@@ -499,7 +552,14 @@ RouteAnswer RouteService::query(NodeId src, NodeId dst, double now) {
       answer.status == AnswerStatus::kStaleServed) {
     eval(src, dst, answer);
   }
-  tally({&answer, 1});
+#if BSR_STATS_ENABLED
+  if (bsr::obs::query_trace_enabled()) {
+    bsr::obs::qtrace_record(
+        0, make_trace_row(bsr::obs::qtrace_begin_batch(1), now, src, dst,
+                          answer, truth_version_, stale_events()));
+  }
+#endif
+  tally({&answer, 1}, now);
   return answer;
 }
 
@@ -532,8 +592,18 @@ void RouteService::serve_batch(std::span<const Flow> queries, double now,
     for (RouteAnswer& a : out) a.status = base;
   }
 
+#if BSR_STATS_ENABLED
+  // Trace ids are reserved on the control thread (program order); each shard
+  // writes only its own ring, in increasing query-index order — the two
+  // properties the snapshot's thread-count invariance rests on (qtrace.hpp).
+  const bool tracing = bsr::obs::query_trace_enabled();
+  const std::uint64_t trace_base =
+      tracing ? bsr::obs::qtrace_begin_batch(queries.size()) : 0;
+  const std::uint64_t stale_behind = stale_events();
+#endif
   engine::for_each_shard(queries.size(),
-                         [&](std::size_t, std::size_t begin, std::size_t end) {
+                         [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                           static_cast<void>(shard);
                            for (std::size_t i = begin; i < end; ++i) {
                              RouteAnswer& a = out[i];
                              a.epoch = epoch_id_;
@@ -541,12 +611,23 @@ void RouteService::serve_batch(std::span<const Flow> queries, double now,
                                  a.status == AnswerStatus::kStaleServed) {
                                eval(queries[i].src, queries[i].dst, a);
                              }
+#if BSR_STATS_ENABLED
+                             if (tracing) {
+                               bsr::obs::qtrace_record(
+                                   shard,
+                                   make_trace_row(trace_base + i, now,
+                                                  queries[i].src, queries[i].dst,
+                                                  a, truth_version_,
+                                                  stale_behind));
+                             }
+#endif
                            }
                          });
-  tally(out);
+  tally(out, now);
 }
 
-void RouteService::tally(std::span<const RouteAnswer> answers) {
+void RouteService::tally(std::span<const RouteAnswer> answers, double now) {
+  static_cast<void>(now);
   std::uint64_t fresh = 0, stale = 0, shed = 0, refused = 0;
   for (const RouteAnswer& a : answers) {
     switch (a.status) {
@@ -555,12 +636,55 @@ void RouteService::tally(std::span<const RouteAnswer> answers) {
       case AnswerStatus::kShedded: ++shed; break;
       case AnswerStatus::kRefused: ++refused; break;
     }
-    if ((a.status == AnswerStatus::kFresh ||
-         a.status == AnswerStatus::kStaleServed) &&
-        a.reachable && a.dist_bound != bsr::graph::kUnreachable) {
-      BSR_HISTO(RouteServiceDistBound, a.dist_bound);
+  }
+#if BSR_STATS_ENABLED
+  // Distribution plane: per-answer-tag tick and distance sketches, the
+  // distance histogram, a batch-local sketch for the batch's own p99/max,
+  // and the packed journal events the SLO monitor replays offline
+  // (subject/correlation layout in journal.hpp). tally runs on the control
+  // thread after the worker shards join (journal.hpp rule 3), so the global
+  // sketch registry needs no locks, and both sketch_observe and the counter
+  // TLS fast path are inline — the per-answer cost is a few integer adds.
+  bsr::obs::QuantileSketch batch_ticks;
+  for (const RouteAnswer& a : answers) {
+    const std::uint64_t ticks =
+        std::uint64_t{1} + a.lookup_ticks + a.stitch_ticks;
+    batch_ticks.observe(ticks);
+    const bool bounded =
+        a.reachable && a.dist_bound != bsr::graph::kUnreachable;
+    switch (a.status) {
+      case AnswerStatus::kFresh:
+        BSR_SKETCH(RouteTicksFresh, ticks);
+        if (bounded) {
+          BSR_SKETCH(RouteDistFresh, a.dist_bound);
+          BSR_HISTO(RouteServiceDistBound, a.dist_bound);
+        }
+        break;
+      case AnswerStatus::kStaleServed:
+        BSR_SKETCH(RouteTicksStale, ticks);
+        if (bounded) {
+          BSR_SKETCH(RouteDistStale, a.dist_bound);
+          BSR_HISTO(RouteServiceDistBound, a.dist_bound);
+        }
+        break;
+      case AnswerStatus::kShedded:
+        BSR_SKETCH(RouteTicksShedded, ticks);
+        break;
+      case AnswerStatus::kRefused:
+        BSR_SKETCH(RouteTicksRefused, ticks);
+        break;
     }
   }
+  if (!answers.empty()) {
+    stats_.last_batch_p99_ticks = batch_ticks.p99();
+    stats_.last_batch_max_ticks = batch_ticks.max();
+    BSR_EVENT(RouteServiceBatch, now, (fresh << 32) | stale,
+              (shed << 32) | refused);
+    BSR_EVENT(RouteServiceBatchCost, now,
+              (stats_.last_batch_p99_ticks << 32) | stats_.last_batch_max_ticks,
+              stale_events());
+  }
+#endif
   stats_.queries += answers.size();
   stats_.fresh += fresh;
   stats_.stale_served += stale;

@@ -90,6 +90,15 @@ struct RouteAnswer {
   /// Epoch that served the answer (0 = no epoch built yet; the constructor
   /// always publishes epoch 1, so served answers carry ids >= 1).
   std::uint64_t epoch = 0;
+  /// Deterministic virtual cost of the oracle lookup / path stitch stages:
+  /// functions of the epoch contents and the query alone (component-label
+  /// loads, landmark rows scanned, parent-chain steps), never of wall time,
+  /// so they are bit-identical across hosts and thread counts. Computed
+  /// unconditionally (answer layout never depends on the stats gate); the
+  /// per-query tracer and latency sketches consume them. Zero for queries
+  /// that were shedded or refused before evaluation.
+  std::uint16_t lookup_ticks = 0;
+  std::uint16_t stitch_ticks = 0;
 };
 
 /// FNV-1a digest over the answer stream — the integer the CI `serve` job
@@ -195,8 +204,15 @@ struct RouteServiceStats {
   std::uint64_t patches = 0;
   std::uint64_t patch_crashes = 0;
   std::uint64_t epochs_published = 0;
-  /// Highest staleness (truth events behind) any stale answer was served at.
+  /// Highest staleness (truth events behind) any stale answer was served at
+  /// over the service lifetime (the obs gauge, by contrast, resets at each
+  /// epoch publish and describes the current epoch only).
   std::uint64_t max_stale_served = 0;
+  /// Tick-cost summary of the most recent non-empty batch (admit + lookup +
+  /// stitch per query; p99/max as QuantileSketch bucket lower bounds). Only
+  /// maintained when BSR_STATS is compiled in; zero otherwise.
+  std::uint64_t last_batch_p99_ticks = 0;
+  std::uint64_t last_batch_max_ticks = 0;
 };
 
 /// Epoch-lifecycle transition, for invariant checking (the in-memory twin of
@@ -333,7 +349,7 @@ class RouteService {
   void eval(bsr::graph::NodeId src, bsr::graph::NodeId dst,
             RouteAnswer& answer) const;
   [[nodiscard]] AnswerStatus serving_status() const noexcept;
-  void tally(std::span<const RouteAnswer> answers);
+  void tally(std::span<const RouteAnswer> answers, double now);
 
   const bsr::graph::CsrGraph* graph_;
   const bsr::broker::BrokerSet* brokers_;

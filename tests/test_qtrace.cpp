@@ -1,0 +1,226 @@
+// Query tracer: bounded per-shard rings (eviction drops the lowest trace
+// ids), deterministic multi-shard merge, lifecycle edge cases, the exported
+// JSONL shape, and thread-count invariance of the rows RouteService emits.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/engine.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/qtrace.hpp"
+#include "sim/route_service.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using bsr::obs::QtraceOptions;
+using bsr::obs::QtraceSnapshot;
+using bsr::obs::QueryTraceRow;
+
+QueryTraceRow row_with_id(std::uint64_t id) {
+  QueryTraceRow row;
+  row.trace_id = id;
+  row.src = static_cast<std::uint32_t>(id * 3);
+  row.dst = static_cast<std::uint32_t>(id * 3 + 1);
+  return row;
+}
+
+TEST(Qtrace, StartRejectsZeroCapacity) {
+  QtraceOptions options;
+  options.capacity = 0;
+  EXPECT_THROW(bsr::obs::start_query_trace(options),
+               std::invalid_argument);
+  EXPECT_FALSE(bsr::obs::query_trace_enabled());
+}
+
+TEST(Qtrace, RecordIsANoOpWhileDisabled) {
+  bsr::obs::stop_query_trace();
+  bsr::obs::qtrace_record(0, row_with_id(42));
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 0u);
+  EXPECT_TRUE(snap.rows.empty());
+}
+
+TEST(Qtrace, RingKeepsTheNewestCapacityRows) {
+  QtraceOptions options;
+  options.capacity = 8;
+  bsr::obs::start_query_trace(options);
+  const std::uint64_t base = bsr::obs::qtrace_begin_batch(20);
+  EXPECT_EQ(base, 0u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    bsr::obs::qtrace_record(0, row_with_id(base + i));
+  }
+  bsr::obs::stop_query_trace();
+
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 20u);
+  EXPECT_EQ(snap.dropped, 12u);
+  ASSERT_EQ(snap.rows.size(), 8u);
+  for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+    EXPECT_EQ(snap.rows[i].trace_id, 12u + i);  // ids 12..19, ascending
+  }
+}
+
+TEST(Qtrace, SnapshotMergesShardsByTraceId) {
+  QtraceOptions options;
+  options.capacity = 16;
+  bsr::obs::start_query_trace(options);
+  const std::uint64_t base = bsr::obs::qtrace_begin_batch(12);
+  // Interleave ids across three shards the way a strided worker split would.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    bsr::obs::qtrace_record(i % 3, row_with_id(base + i));
+  }
+  bsr::obs::stop_query_trace();
+
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 12u);
+  EXPECT_EQ(snap.dropped, 0u);
+  ASSERT_EQ(snap.rows.size(), 12u);
+  for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+    EXPECT_EQ(snap.rows[i].trace_id, i);
+    EXPECT_EQ(snap.rows[i].src, i * 3);  // payload travelled with the id
+  }
+}
+
+TEST(Qtrace, MergedStreamTrimsToTheGlobalNewestRows) {
+  // Per-shard rings retain capacity rows each; the merged snapshot must trim
+  // the union back down to the newest `capacity` ids overall.
+  QtraceOptions options;
+  options.capacity = 4;
+  bsr::obs::start_query_trace(options);
+  const std::uint64_t base = bsr::obs::qtrace_begin_batch(10);
+  // Shard 0 gets ids 0..6, shard 1 gets ids 7..9: shard 0 evicts down to
+  // {3,4,5,6}, shard 1 keeps {7,8,9}; union has 7 rows but only the newest
+  // 4 survive the merge.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    bsr::obs::qtrace_record(i < 7 ? 0 : 1, row_with_id(base + i));
+  }
+  bsr::obs::stop_query_trace();
+
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 10u);
+  EXPECT_EQ(snap.dropped, 6u);
+  ASSERT_EQ(snap.rows.size(), 4u);
+  for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+    EXPECT_EQ(snap.rows[i].trace_id, 6u + i);  // ids 6..9
+  }
+}
+
+TEST(Qtrace, RestartResetsRingsAndIdAllocator) {
+  bsr::obs::start_query_trace();
+  (void)bsr::obs::qtrace_begin_batch(5);
+  bsr::obs::qtrace_record(0, row_with_id(0));
+  bsr::obs::start_query_trace();  // restart: previous rows gone, ids rewind
+  EXPECT_EQ(bsr::obs::qtrace_begin_batch(3), 0u);
+  bsr::obs::qtrace_record(0, row_with_id(2));
+  bsr::obs::stop_query_trace();
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 1u);
+  ASSERT_EQ(snap.rows.size(), 1u);
+  EXPECT_EQ(snap.rows[0].trace_id, 2u);
+}
+
+// --- export golden -----------------------------------------------------------
+
+TEST(QtraceExport, JsonlMatchesTheSchemaByteForByte) {
+  QtraceSnapshot snap;
+  snap.recorded = 3;
+  snap.dropped = 1;
+  QueryTraceRow row;
+  row.trace_id = 7;
+  row.time = 1.5;
+  row.epoch = 2;
+  row.correlation = 3;
+  row.src = 11;
+  row.dst = 13;
+  row.dist_bound = 4;
+  row.stale_behind = 1;
+  row.admit_ticks = 1;
+  row.lookup_ticks = 9;
+  row.stitch_ticks = 5;
+  row.status = 1;  // stale_served
+  row.reachable = 1;
+  snap.rows.push_back(row);
+  row.trace_id = 8;
+  row.status = 3;  // refused
+  row.reachable = 0;
+  snap.rows.push_back(row);
+
+  std::ostringstream os;
+  bsr::obs::write_qtrace_jsonl(os, snap);
+  EXPECT_EQ(
+      os.str(),
+      "{\"schema\": \"bsr-qtrace/1\", \"rows\": 2, \"dropped\": 1}\n"
+      "{\"id\": 7, \"t\": 1.5, \"epoch\": 2, \"corr\": 3, \"src\": 11, "
+      "\"dst\": 13, \"tag\": \"stale_served\", \"reachable\": true, "
+      "\"dist\": 4, \"stale\": 1, \"ticks\": {\"admit\": 1, \"lookup\": 9, "
+      "\"stitch\": 5}}\n"
+      "{\"id\": 8, \"t\": 1.5, \"epoch\": 2, \"corr\": 3, \"src\": 11, "
+      "\"dst\": 13, \"tag\": \"refused\", \"reachable\": false, "
+      "\"dist\": 4, \"stale\": 1, \"ticks\": {\"admit\": 1, \"lookup\": 9, "
+      "\"stitch\": 5}}\n");
+}
+
+// --- thread-count invariance -------------------------------------------------
+
+// The exported qtrace stream must be byte-identical at any BSR_THREADS: ids
+// come from program order and the merge sorts per-shard rings back into one
+// deterministic sequence. This is the property the CI serve job `cmp`s.
+TEST(QtraceThreads, RouteServiceTraceIsThreadCountInvariant) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+  const bsr::graph::CsrGraph g = bsr::test::make_connected_random(300, 0.02, 17);
+  std::vector<bsr::graph::NodeId> members;
+  for (bsr::graph::NodeId v = 0; v < 30; ++v) members.push_back(v * 9);
+  const bsr::broker::BrokerSet brokers(g.num_vertices(), members);
+
+  bsr::sim::DemandConfig demand;
+  demand.num_flows = 400;
+  bsr::graph::Rng rng(3);
+  const auto flows = bsr::sim::generate_flows(g, demand, rng);
+
+  const auto run_traced = [&]() -> std::string {
+    QtraceOptions options;
+    options.capacity = 512;  // smaller than total rows: eviction is exercised
+    bsr::obs::start_query_trace(options);
+    bsr::graph::FaultPlane faults(g);
+    bsr::sim::RouteService service(g, brokers, &faults);
+    std::vector<bsr::sim::RouteAnswer> answers;
+    service.serve_batch(flows, 0.0, answers);
+    faults.fail_vertex(members[0]);
+    service.on_fault(1.0);
+    service.serve_batch(flows, 1.5, answers);  // stale epoch, correlation set
+    while (service.next_event_time() <= 1e9) {
+      service.advance(service.next_event_time());
+    }
+    service.serve_batch(flows, 50.0, answers);
+    bsr::obs::stop_query_trace();
+    std::ostringstream os;
+    bsr::obs::write_qtrace_jsonl(os, bsr::obs::snapshot_query_trace());
+    return os.str();
+  };
+
+  bsr::graph::engine::set_num_threads(1);
+  const std::string t1 = run_traced();
+  bsr::graph::engine::set_num_threads(4);
+  const std::string t4 = run_traced();
+  bsr::graph::engine::set_num_threads(7);
+  const std::string t7 = run_traced();
+  bsr::graph::engine::set_num_threads(0);
+
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t7);
+  // The run actually recorded more rows than the ring holds.
+  const QtraceSnapshot snap = bsr::obs::snapshot_query_trace();
+  EXPECT_EQ(snap.recorded, 3u * 400u);
+  EXPECT_GT(snap.dropped, 0u);
+  EXPECT_EQ(snap.rows.size(), 512u);
+}
+
+}  // namespace

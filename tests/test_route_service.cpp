@@ -13,6 +13,7 @@
 #include "broker/broker_set.hpp"
 #include "graph/engine.hpp"
 #include "graph/fault_plane.hpp"
+#include "obs/stats.hpp"
 #include "sim/demand.hpp"
 #include "sim/route_service.hpp"
 #include "sim/router.hpp"
@@ -265,6 +266,35 @@ TEST(RouteServiceLifecycle, FaultDegradesThenRebuildRestoresFreshness) {
   EXPECT_FALSE(fresh.reachable);  // 3-4 was the only dominated cut edge
   EXPECT_EQ(service.stats().rebuilds_started, 1u);
   EXPECT_EQ(service.stats().max_stale_served, 1u);
+}
+
+// Regression: the staleness high-water gauge tracks the *current* degraded
+// episode. Activating a rebuilt epoch must clear it, or a long-healed run
+// reports the worst staleness it ever saw as if it were still live.
+TEST(RouteServiceLifecycle, EpochActivationResetsStaleHighWaterGauge) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+  bsr::obs::reset();
+  const CsrGraph g = make_path(8);
+  const BrokerSet brokers(8, std::vector<NodeId>{2, 3, 4, 5});
+  FaultPlane faults(g);
+  RouteService service(g, brokers, &faults);
+
+  faults.fail_edge(3, 4);
+  service.on_fault(1.0);
+  faults.fail_edge(4, 5);
+  service.on_fault(1.1);
+  (void)service.query(1, 6, 1.5);  // stale-served at 2 events behind
+  EXPECT_EQ(bsr::obs::snapshot().gauge(
+                bsr::obs::Gauge::kRouteServiceStaleHighWater),
+            2u);
+
+  drain(service);  // rebuild lands, new epoch activates
+  EXPECT_FALSE(service.degraded());
+  EXPECT_EQ(bsr::obs::snapshot().gauge(
+                bsr::obs::Gauge::kRouteServiceStaleHighWater),
+            0u);
+  // Cross-check against the cumulative stat, which must NOT reset.
+  EXPECT_EQ(service.stats().max_stale_served, 2u);
 }
 
 TEST(RouteServiceLifecycle, HealOnlyDeltaIsPatchedWithoutRebuild) {

@@ -162,9 +162,14 @@ TEST(RouteServiceFuzz, FreshAnswersMatchOracleAndTransitionsJournalOnce) {
     std::map<bsr::obs::Event, std::size_t> journaled;
     std::map<std::uint64_t, std::size_t> publishes_per_epoch;
     for (const auto& record : journal.events) {
-      // The fault plane journals its own graph.fault.* records; only the
-      // service's events are under test here.
+      // The fault plane journals its own graph.fault.* records, and every
+      // serve round appends batch/batch-cost telemetry; only the service's
+      // lifecycle transitions are under test here.
       if (bsr::obs::name(record.type).substr(0, 18) != "sim.route_service.") {
+        continue;
+      }
+      if (record.type == bsr::obs::Event::kRouteServiceBatch ||
+          record.type == bsr::obs::Event::kRouteServiceBatchCost) {
         continue;
       }
       journaled[record.type] += 1;

@@ -1,0 +1,267 @@
+// QuantileSketch: fixed-point bucket map round-trips, merge algebra
+// (commutative + associative, bit-exact), quantile error bounds against
+// exact order statistics, the registry plumbing, and thread-count
+// invariance of the sketches the route-serving plane records.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker_set.hpp"
+#include "graph/engine.hpp"
+#include "graph/fault_plane.hpp"
+#include "graph/rng.hpp"
+#include "obs/sketch.hpp"
+#include "sim/route_service.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using bsr::obs::QuantileSketch;
+using bsr::obs::Sketch;
+using bsr::obs::SketchSnapshot;
+
+// --- bucket map --------------------------------------------------------------
+
+TEST(SketchBuckets, LowerBoundRoundTripsEveryBucket) {
+  for (std::size_t idx = 0; idx < QuantileSketch::kBuckets; ++idx) {
+    const std::uint64_t lower = QuantileSketch::bucket_lower(idx);
+    EXPECT_EQ(QuantileSketch::bucket_of(lower), idx) << "bucket " << idx;
+  }
+}
+
+TEST(SketchBuckets, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 2 * QuantileSketch::kSubBuckets; ++v) {
+    EXPECT_EQ(QuantileSketch::bucket_lower(QuantileSketch::bucket_of(v)), v);
+  }
+}
+
+TEST(SketchBuckets, EveryValueLandsWithinRelativeErrorOfItsLowerBound) {
+  bsr::graph::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over the full uint64 range: pick a bit width, then bits.
+    const unsigned width = 1 + static_cast<unsigned>(rng.uniform(64));
+    std::uint64_t v = rng();
+    if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+    const std::uint64_t lower =
+        QuantileSketch::bucket_lower(QuantileSketch::bucket_of(v));
+    ASSERT_LE(lower, v);
+    const std::uint64_t slack =
+        std::max<std::uint64_t>(1, lower >> QuantileSketch::kSubBits);
+    ASSERT_LT(v - lower, slack) << "v=" << v << " lower=" << lower;
+  }
+}
+
+TEST(SketchBuckets, BucketOfIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 1 << 16; ++v) {
+    const std::size_t b = QuantileSketch::bucket_of(v);
+    ASSERT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(QuantileSketch::bucket_of(~std::uint64_t{0}),
+            QuantileSketch::kBuckets);
+}
+
+TEST(SketchBuckets, TopOctaveStaysInBounds) {
+  // Regression: bit_width-64 values map into the last kSubBuckets indices;
+  // an earlier kBuckets undercounted the octaves and observe() wrote past
+  // the array for v >= 2^63.
+  QuantileSketch s;
+  s.observe(~std::uint64_t{0});
+  s.observe(std::uint64_t{1} << 63);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.max(), QuantileSketch::bucket_lower(
+                         QuantileSketch::bucket_of(~std::uint64_t{0})));
+  EXPECT_EQ(s.min(), std::uint64_t{1} << 63);
+}
+
+// --- merge algebra -----------------------------------------------------------
+
+QuantileSketch sketch_of(const std::vector<std::uint64_t>& values) {
+  QuantileSketch s;
+  for (const std::uint64_t v : values) s.observe(v);
+  return s;
+}
+
+TEST(SketchMerge, CommutativeBitExact) {
+  const QuantileSketch a = sketch_of({1, 5, 900, 1 << 20});
+  const QuantileSketch b = sketch_of({0, 0, 31, 77, 1u << 30});
+  QuantileSketch ab = a;
+  ab.merge(b);
+  QuantileSketch ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.count(), a.count() + b.count());
+  EXPECT_EQ(ab.sum(), a.sum() + b.sum());
+}
+
+TEST(SketchMerge, AssociativeBitExact) {
+  const QuantileSketch a = sketch_of({3, 1000, 12345});
+  const QuantileSketch b = sketch_of({64, 65, 66});
+  const QuantileSketch c = sketch_of({1, std::uint64_t{1} << 40});
+  QuantileSketch left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  QuantileSketch bc = b;  // a + (b + c)
+  bc.merge(c);
+  QuantileSketch right = a;
+  right.merge(bc);
+  EXPECT_TRUE(left == right);
+}
+
+TEST(SketchMerge, MergeEqualsObservingEachValue) {
+  bsr::graph::Rng rng(11);
+  std::vector<std::uint64_t> values(500);
+  for (auto& v : values) v = rng.uniform(1 << 20);
+  QuantileSketch whole = sketch_of(values);
+  QuantileSketch parts;
+  for (std::size_t begin = 0; begin < values.size(); begin += 97) {
+    const std::size_t end = std::min(values.size(), begin + 97);
+    parts.merge(sketch_of({values.begin() + static_cast<std::ptrdiff_t>(begin),
+                           values.begin() + static_cast<std::ptrdiff_t>(end)}));
+  }
+  EXPECT_TRUE(whole == parts);
+}
+
+TEST(SketchDelta, SubtractsAnEarlierState) {
+  QuantileSketch s = sketch_of({10, 20, 30});
+  const QuantileSketch before = s;
+  s.observe(4096);
+  s.observe(17);
+  const QuantileSketch d = s.delta_since(before);
+  EXPECT_TRUE(d == sketch_of({4096, 17}));
+}
+
+// --- quantiles ---------------------------------------------------------------
+
+TEST(SketchQuantile, EmptySketchReturnsZeroEverywhere) {
+  const QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+}
+
+TEST(SketchQuantile, WithinGuaranteedRelativeErrorOfExact) {
+  bsr::graph::Rng rng(23);
+  std::vector<std::uint64_t> values(4000);
+  for (auto& v : values) {
+    // Mixed regimes: exact small values and log-bucketed large ones.
+    v = (rng() % 2 == 0) ? rng.uniform(64)
+                              : rng.uniform(std::uint64_t{1} << 34);
+  }
+  QuantileSketch s = sketch_of(values);
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    // rank = ceil(q * n), at least 1 — the same order statistic quantile()
+    // targets.
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size()));
+    if (static_cast<double>(rank) < q * static_cast<double>(sorted.size())) {
+      ++rank;
+    }
+    rank = std::max<std::size_t>(rank, 1);
+    const std::uint64_t exact = sorted[rank - 1];
+    const std::uint64_t est = s.quantile(q);
+    EXPECT_LE(est, exact) << "q=" << q;
+    const std::uint64_t slack =
+        std::max<std::uint64_t>(1, est >> QuantileSketch::kSubBits);
+    EXPECT_LT(exact - est, slack) << "q=" << q << " exact=" << exact;
+  }
+  EXPECT_EQ(s.min(), QuantileSketch::bucket_lower(
+                         QuantileSketch::bucket_of(sorted.front())));
+  EXPECT_EQ(s.max(), QuantileSketch::bucket_lower(
+                         QuantileSketch::bucket_of(sorted.back())));
+}
+
+TEST(SketchQuantile, ClampsOutOfRangeQ) {
+  const QuantileSketch s = sketch_of({5, 6, 7});
+  EXPECT_EQ(s.quantile(-0.5), s.quantile(0.0));
+  EXPECT_EQ(s.quantile(2.0), s.quantile(1.0));
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(SketchRegistry, ObserveSnapshotResetRoundTrip) {
+  bsr::obs::reset_sketches();
+  bsr::obs::sketch_observe(Sketch::kRouteTicksFresh, 12);
+  bsr::obs::sketch_observe(Sketch::kRouteTicksFresh, 20);
+  bsr::obs::sketch_observe(Sketch::kRouteDistStale, 3);
+  const SketchSnapshot snap = bsr::obs::snapshot_sketches();
+  EXPECT_EQ(snap[static_cast<std::size_t>(Sketch::kRouteTicksFresh)].count(), 2u);
+  EXPECT_EQ(snap[static_cast<std::size_t>(Sketch::kRouteTicksFresh)].sum(), 32u);
+  EXPECT_EQ(snap[static_cast<std::size_t>(Sketch::kRouteDistStale)].count(), 1u);
+  EXPECT_EQ(snap[static_cast<std::size_t>(Sketch::kRouteTicksStale)].count(), 0u);
+
+  const SketchSnapshot before = snap;
+  bsr::obs::sketch_observe(Sketch::kRouteTicksFresh, 100);
+  const SketchSnapshot delta =
+      bsr::obs::sketch_delta(before, bsr::obs::snapshot_sketches());
+  EXPECT_EQ(delta[static_cast<std::size_t>(Sketch::kRouteTicksFresh)].count(), 1u);
+  EXPECT_EQ(delta[static_cast<std::size_t>(Sketch::kRouteDistStale)].count(), 0u);
+
+  bsr::obs::reset_sketches();
+  for (std::size_t s = 0; s < bsr::obs::kNumSketches; ++s) {
+    EXPECT_TRUE(bsr::obs::sketch(static_cast<Sketch>(s)).empty());
+  }
+}
+
+TEST(SketchRegistry, NamesFollowTheTableConvention) {
+  EXPECT_EQ(bsr::obs::name(Sketch::kRouteTicksFresh),
+            "sim.route_service.ticks.fresh");
+  EXPECT_EQ(bsr::obs::name(Sketch::kRouteDistStale),
+            "sim.route_service.dist.stale_served");
+}
+
+// --- thread-count invariance -------------------------------------------------
+
+// The registry state recorded by a full serve lifecycle must be bit-identical
+// at any BSR_THREADS: tally runs on the control thread over answers whose
+// content is already thread-invariant.
+TEST(SketchThreads, RouteServiceSketchesAreThreadCountInvariant) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+  const bsr::graph::CsrGraph g = bsr::test::make_connected_random(400, 0.02, 99);
+  std::vector<bsr::graph::NodeId> members;
+  for (bsr::graph::NodeId v = 0; v < 40; ++v) members.push_back(v * 7);
+  const bsr::broker::BrokerSet brokers(g.num_vertices(), members);
+
+  bsr::sim::DemandConfig demand;
+  demand.num_flows = 600;
+  bsr::graph::Rng rng(5);
+  const auto flows = bsr::sim::generate_flows(g, demand, rng);
+
+  const auto run_lifecycle = [&]() -> SketchSnapshot {
+    bsr::obs::reset_sketches();
+    bsr::graph::FaultPlane faults(g);
+    bsr::sim::RouteService service(g, brokers, &faults);
+    std::vector<bsr::sim::RouteAnswer> answers;
+    service.serve_batch(flows, 0.0, answers);
+    faults.fail_vertex(members[0]);
+    service.on_fault(1.0);
+    service.serve_batch(flows, 1.5, answers);  // stale-served
+    while (service.next_event_time() <= 1e9) {
+      service.advance(service.next_event_time());
+    }
+    service.serve_batch(flows, 50.0, answers);
+    return bsr::obs::snapshot_sketches();
+  };
+
+  bsr::graph::engine::set_num_threads(1);
+  const SketchSnapshot t1 = run_lifecycle();
+  bsr::graph::engine::set_num_threads(4);
+  const SketchSnapshot t4 = run_lifecycle();
+  bsr::graph::engine::set_num_threads(7);
+  const SketchSnapshot t7 = run_lifecycle();
+  bsr::graph::engine::set_num_threads(0);
+
+  EXPECT_TRUE(t1 == t4);
+  EXPECT_TRUE(t1 == t7);
+  // The lifecycle actually recorded: fresh and stale tick sketches non-empty.
+  EXPECT_GT(t1[static_cast<std::size_t>(Sketch::kRouteTicksFresh)].count(), 0u);
+  EXPECT_GT(t1[static_cast<std::size_t>(Sketch::kRouteTicksStale)].count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// SloMonitor: spec parsing and its guards, multi-window burn-rate gating,
+// breach/recover episode accounting, journal replay equivalence, and the
+// machine-readable verdict JSON.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/slo.hpp"
+
+namespace {
+
+using bsr::obs::Event;
+using bsr::obs::EventRecord;
+using bsr::obs::Journal;
+using bsr::obs::SloMonitor;
+using bsr::obs::SloObjective;
+using bsr::obs::SloReport;
+using bsr::obs::SloSample;
+using bsr::obs::SloSpec;
+
+SloSample sample(double t, std::uint64_t fresh, std::uint64_t stale,
+                 std::uint64_t refused = 0, std::uint64_t staleness = 0,
+                 std::uint64_t p99 = 10, std::uint64_t max = 12) {
+  SloSample s;
+  s.time = t;
+  s.fresh = fresh;
+  s.stale_served = stale;
+  s.refused = refused;
+  s.staleness = staleness;
+  s.p99_ticks = p99;
+  s.max_ticks = max;
+  return s;
+}
+
+// --- spec parsing ------------------------------------------------------------
+
+TEST(SloSpecParse, ParsesEveryKey) {
+  const SloSpec spec = bsr::obs::parse_slo_spec(
+      "fresh_min=0.99, refusal_max=0.05; p99_max=200, stale_max=64, "
+      "window=2, long_window=8, burn=1.5");
+  EXPECT_DOUBLE_EQ(spec.fresh_min, 0.99);
+  EXPECT_DOUBLE_EQ(spec.refusal_max, 0.05);
+  EXPECT_DOUBLE_EQ(spec.p99_ticks_max, 200.0);
+  EXPECT_DOUBLE_EQ(spec.stale_max, 64.0);
+  EXPECT_DOUBLE_EQ(spec.window, 2.0);
+  EXPECT_DOUBLE_EQ(spec.long_window, 8.0);
+  EXPECT_DOUBLE_EQ(spec.burn_threshold, 1.5);
+}
+
+TEST(SloSpecParse, RejectsMalformedInput) {
+  const auto parse = [](std::string_view text) {
+    (void)bsr::obs::parse_slo_spec(text);
+  };
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("window=5"), std::invalid_argument)
+      << "no objective enabled";
+  EXPECT_THROW(parse("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(parse("fresh_min=abc"), std::invalid_argument);
+  EXPECT_THROW(parse("fresh_min=1.5"), std::invalid_argument)
+      << "fraction targets live in (0, 1)";
+  EXPECT_THROW(parse("fresh_min"), std::invalid_argument) << "missing '='";
+  EXPECT_THROW(parse("fresh_min=0.9,window=10,long_window=2"),
+               std::invalid_argument)
+      << "long window shorter than short window";
+}
+
+TEST(SloSpecParse, MonitorRejectsInvalidSpecToo) {
+  SloSpec spec;  // all objectives disabled
+  EXPECT_THROW(SloMonitor{spec}, std::invalid_argument);
+}
+
+// --- burn-rate gating --------------------------------------------------------
+
+TEST(SloMonitorGating, SingleBadRoundDoesNotPage) {
+  // Short window reacts, long window filters: one partially-stale round
+  // among healthy ones burns the 1-unit window but not the 10-unit one.
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.9,window=1,long_window=10"));
+  for (int t = 0; t < 8; ++t) {
+    monitor.observe(t == 5 ? sample(5.0, 75, 25)
+                           : sample(static_cast<double>(t), 100, 0));
+  }
+  const SloReport& report = monitor.report();
+  EXPECT_EQ(report.breaches, 0u);
+  EXPECT_TRUE(report.ok());
+  const auto& fresh_obj = report.objectives[static_cast<std::size_t>(
+      SloObjective::kFreshFraction)];
+  EXPECT_TRUE(fresh_obj.enabled);
+  EXPECT_GE(fresh_obj.worst_short_burn, 1.0) << "short window did burn";
+  EXPECT_LT(fresh_obj.worst_long_burn, 1.0) << "long window filtered it";
+}
+
+TEST(SloMonitorGating, SustainedDegradationPagesThenRecovers) {
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.9,window=1,long_window=4"));
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) monitor.observe(sample(t++, 100, 0));
+  EXPECT_FALSE(monitor.in_breach());
+  for (int i = 0; i < 6; ++i) monitor.observe(sample(t++, 0, 100));
+  EXPECT_TRUE(monitor.in_breach());
+  for (int i = 0; i < 8; ++i) monitor.observe(sample(t++, 100, 0));
+  EXPECT_FALSE(monitor.in_breach());
+
+  const SloReport& report = monitor.report();
+  EXPECT_EQ(report.breaches, 1u) << "one episode, not one count per sample";
+  EXPECT_EQ(report.recovers, 1u);
+  EXPECT_FALSE(report.ok());
+  const auto& fresh_obj = report.objectives[static_cast<std::size_t>(
+      SloObjective::kFreshFraction)];
+  EXPECT_GT(fresh_obj.breach_samples, 0u);
+  EXPECT_GE(fresh_obj.first_breach_time, 6.0);
+}
+
+TEST(SloMonitorGating, BoundObjectivesUseWindowedWorstCase) {
+  // stale_max: burn = worst staleness in window / bound.
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("stale_max=8,window=2,long_window=4"));
+  monitor.observe(sample(0.0, 10, 0, 0, /*staleness=*/4));
+  EXPECT_FALSE(monitor.in_breach());
+  monitor.observe(sample(1.0, 10, 0, 0, /*staleness=*/16));
+  monitor.observe(sample(2.0, 10, 0, 0, /*staleness=*/16));
+  monitor.observe(sample(3.0, 10, 0, 0, /*staleness=*/16));
+  monitor.observe(sample(4.0, 10, 0, 0, /*staleness=*/16));
+  EXPECT_TRUE(monitor.in_breach()) << "16 > bound 8 across both windows";
+}
+
+TEST(SloMonitorGating, SheddedAnswersSpendNoFreshBudget) {
+  // All answers shedded: no admitted answers, so the fresh objective has
+  // nothing to burn.
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.9,window=1,long_window=2"));
+  SloSample s = sample(0.0, 0, 0);
+  s.shedded = 500;
+  monitor.observe(s);
+  EXPECT_FALSE(monitor.in_breach());
+  EXPECT_EQ(monitor.report().breaches, 0u);
+}
+
+TEST(SloMonitorGating, RefusalObjective) {
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("refusal_max=0.1,window=1,long_window=2"));
+  monitor.observe(sample(0.0, 50, 0, /*refused=*/50));
+  monitor.observe(sample(1.0, 50, 0, /*refused=*/50));
+  monitor.observe(sample(2.0, 50, 0, /*refused=*/50));
+  EXPECT_TRUE(monitor.in_breach());
+}
+
+TEST(SloMonitorGating, RejectsTimeTravel) {
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.9,window=1,long_window=2"));
+  monitor.observe(sample(5.0, 10, 0));
+  EXPECT_THROW(monitor.observe(sample(4.0, 10, 0)), std::invalid_argument);
+}
+
+// --- journal replay ----------------------------------------------------------
+
+/// Packs one round the way RouteService::tally journals it.
+void push_round(Journal& journal, double t, std::uint64_t fresh,
+                std::uint64_t stale, std::uint64_t shed, std::uint64_t refused,
+                std::uint64_t p99, std::uint64_t max, std::uint64_t staleness) {
+  EventRecord batch;
+  batch.time = t;
+  batch.type = Event::kRouteServiceBatch;
+  batch.subject = (fresh << 32) | stale;
+  batch.correlation = (shed << 32) | refused;
+  batch.seq = journal.recorded++;
+  journal.events.push_back(batch);
+  EventRecord cost;
+  cost.time = t;
+  cost.type = Event::kRouteServiceBatchCost;
+  cost.subject = (p99 << 32) | max;
+  cost.correlation = staleness;
+  cost.seq = journal.recorded++;
+  journal.events.push_back(cost);
+}
+
+TEST(SloJournalReplay, SamplesRoundTripThePackedEvents) {
+  Journal journal;
+  push_round(journal, 0.5, 90, 10, 3, 2, 21, 40, 7);
+  push_round(journal, 1.5, 80, 20, 0, 0, 19, 22, 9);
+  const auto samples = bsr::obs::slo_samples_from_journal(journal);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].time, 0.5);
+  EXPECT_EQ(samples[0].fresh, 90u);
+  EXPECT_EQ(samples[0].stale_served, 10u);
+  EXPECT_EQ(samples[0].shedded, 3u);
+  EXPECT_EQ(samples[0].refused, 2u);
+  EXPECT_EQ(samples[0].p99_ticks, 21u);
+  EXPECT_EQ(samples[0].max_ticks, 40u);
+  EXPECT_EQ(samples[0].staleness, 7u);
+  EXPECT_EQ(samples[1].fresh, 80u);
+}
+
+TEST(SloJournalReplay, SameTimestampRoundsMergeIntoOneSample) {
+  // Two single-query batches at the same instant must evaluate like one
+  // batch of two — however the queries were batched, same verdict.
+  Journal journal;
+  push_round(journal, 2.0, 1, 0, 0, 0, 5, 5, 0);
+  push_round(journal, 2.0, 0, 1, 0, 0, 9, 9, 3);
+  const auto samples = bsr::obs::slo_samples_from_journal(journal);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].fresh, 1u);
+  EXPECT_EQ(samples[0].stale_served, 1u);
+  EXPECT_EQ(samples[0].p99_ticks, 9u) << "costs take the max";
+  EXPECT_EQ(samples[0].staleness, 3u);
+}
+
+TEST(SloJournalReplay, ReplayMatchesLiveObservation) {
+  Journal journal;
+  push_round(journal, 0.0, 100, 0, 0, 0, 10, 11, 0);
+  push_round(journal, 1.0, 0, 100, 0, 0, 12, 14, 5);
+  push_round(journal, 2.0, 0, 100, 0, 0, 12, 14, 6);
+  push_round(journal, 3.0, 100, 0, 0, 0, 10, 11, 0);
+
+  const char* spec = "fresh_min=0.99,window=1,long_window=2";
+  SloMonitor live{bsr::obs::parse_slo_spec(spec)};
+  for (const auto& s : bsr::obs::slo_samples_from_journal(journal)) {
+    live.observe(s);
+  }
+  SloMonitor replay{bsr::obs::parse_slo_spec(spec)};
+  for (const auto& s : bsr::obs::slo_samples_from_journal(journal)) {
+    replay.observe(s);
+  }
+  std::ostringstream a, b;
+  bsr::obs::write_slo_json(a, live.report());
+  bsr::obs::write_slo_json(b, replay.report());
+  EXPECT_EQ(a.str(), b.str()) << "verdicts must agree byte for byte";
+  EXPECT_EQ(live.report().breaches, 1u);
+}
+
+// --- verdict JSON ------------------------------------------------------------
+
+TEST(SloVerdictJson, GoldenShape) {
+  SloMonitor monitor(
+      bsr::obs::parse_slo_spec("fresh_min=0.5,window=1,long_window=2"));
+  monitor.observe(sample(0.0, 100, 0));
+  std::ostringstream os;
+  bsr::obs::write_slo_json(os, monitor.report());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"slo_schema\": \"bsr-slo/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fresh_fraction\""), std::string::npos);
+  EXPECT_EQ(json.find("refusal"), std::string::npos)
+      << "disabled objectives stay out of the verdict";
+}
+
+}  // namespace
