@@ -40,7 +40,9 @@
 #include "graph/sampling.hpp"
 #include "harness.hpp"
 #include "io/table.hpp"
+#include "obs/episode.hpp"
 #include "obs/export.hpp"
+#include "obs/qtrace.hpp"
 #include "sim/demand.hpp"
 #include "sim/route_service.hpp"
 
@@ -373,6 +375,39 @@ int main() {
     sink += report.breaches + report.recovers + report.samples;
   });
   bsr::bench::Harness::metric(slo_run, "flows",
+                              static_cast<double>(ctx.env.scaled(20'000, 2'000)));
+
+  // --- episode reconstruction (counters + phase sketches) --------------------
+  // Pins the obs.episode.* counter family and the episode-phase sketch
+  // slots: record the same fault lifecycle with the query tracer on, then
+  // stitch the journal + qtrace snapshot into the episode report — one
+  // closed serve episode with its degraded answers attributed.
+  auto& episode_run = harness.run("episode.instrumented", [&] {
+    bsr::obs::start_recording();
+    bsr::obs::start_query_trace();
+    bsr::graph::FaultPlane ep_faults(g);
+    bsr::sim::RouteService service(g, inst_result.brokers, &ep_faults);
+    std::vector<bsr::sim::RouteAnswer> answers;
+    service.serve_batch(flows, 0.0, answers);
+    ep_faults.fail_vertex(inst_result.brokers.members()[0]);
+    service.on_fault(1.0);
+    service.serve_batch(flows, 1.5, answers);
+    while (service.next_event_time() <= 1e9) {
+      service.advance(service.next_event_time());
+    }
+    service.serve_batch(flows, 20.0, answers);
+    const bsr::obs::Journal journal = bsr::obs::snapshot_journal();
+    bsr::obs::stop_recording();
+    bsr::obs::stop_query_trace();
+    const bsr::obs::QtraceSnapshot qtrace = bsr::obs::snapshot_query_trace();
+    const bsr::obs::EpisodeReport report =
+        bsr::obs::episodes_from_journal(journal, &qtrace);
+    sink += report.episodes.size() + report.malformed + report.unattributed;
+    for (const bsr::obs::Episode& ep : report.episodes) {
+      sink += ep.stale_served + ep.attempts;
+    }
+  });
+  bsr::bench::Harness::metric(episode_run, "flows",
                               static_cast<double>(ctx.env.scaled(20'000, 2'000)));
 
   if (sink == 0xdeadbeef) std::cerr << "";  // keep `sink` observable

@@ -36,6 +36,7 @@
 #include "graph/rng.hpp"
 #include "graph/sampling.hpp"
 #include "io/table.hpp"
+#include "obs/episode.hpp"
 #include "obs/journal.hpp"
 #include "obs/sketch.hpp"
 #include "obs/slo.hpp"
@@ -320,6 +321,54 @@ int main() {
   bsr::obs::stop_recording();
   const auto journal = bsr::obs::snapshot_journal();
 
+  // --- causal episode reconstruction ----------------------------------------
+  // The ablation journal above interleaves three schedules that each restart
+  // simulated time, so episode stitching gets its own recording pass: one
+  // service through a fail burst (with one injected rebuild crash), heals,
+  // and quiescence. Reconstruction feeds the obs.episode.* phase sketches,
+  // which the snapshot below then carries into the digest.
+  bsr::obs::start_recording();
+  {
+    FaultPlane ep_faults(g);
+    RouteServiceConfig ep_config;
+    ep_config.max_stale_events = 16;
+    ep_config.rebuild.build_time = 2.0;
+    RebuildInjection ep_injection;
+    ep_injection.crash_next_rebuilds = 1;
+    RouteService ep_service(g, brokers, &ep_faults, ep_config, ep_injection);
+    for (int i = 0; i < 4; ++i) {
+      const double now = 1.0 + 0.5 * i;
+      ep_service.advance(now);
+      ep_faults.fail_vertex(hubs[i]);
+      ep_service.on_fault(now);
+    }
+    ep_service.advance(20.0);
+    for (int i = 0; i < 4; ++i) {
+      const double now = 20.0 + 0.5 * i;
+      ep_service.advance(now);
+      ep_faults.heal_vertex(hubs[i]);
+      ep_service.on_heal(now);
+    }
+    ep_service.advance(60.0);
+  }
+  bsr::obs::stop_recording();
+  const auto episode_journal = bsr::obs::snapshot_journal();
+  bsr::obs::EpisodeReport episode_report;
+  harness.run("episodes.reconstruct", [&] {
+    episode_report = bsr::obs::episodes_from_journal(episode_journal);
+  });
+  std::uint64_t episodes_closed = 0;
+  double episodes_exposure = 0.0;
+  for (const bsr::obs::Episode& ep : episode_report.episodes) {
+    episodes_closed += ep.closed ? 1 : 0;
+    episodes_exposure += ep.span();
+  }
+  std::cout << "episodes: " << episode_report.episodes.size()
+            << " reconstructed (" << episodes_closed << " closed), "
+            << bsr::io::format_double(episodes_exposure, 2)
+            << " time-units of exposure, " << episode_report.malformed
+            << " malformed\n";
+
   // --- sketch distributions + offline SLO verdict ---------------------------
   // Every quantile below is a bucket lower bound from the fixed-point
   // sketches (integers, merge-order free), and the SLO monitor replays the
@@ -365,7 +414,12 @@ int main() {
     }
     txt << "slo_samples " << slo_report.samples << "\n"
         << "slo_breaches " << slo_report.breaches << "\n"
-        << "slo_recovers " << slo_report.recovers << "\n";
+        << "slo_recovers " << slo_report.recovers << "\n"
+        << "episodes " << episode_report.episodes.size() << "\n"
+        << "episodes_closed " << episodes_closed << "\n"
+        << "episodes_exposure_ms "
+        << static_cast<std::uint64_t>(episodes_exposure * 1e3 + 0.5) << "\n"
+        << "episodes_malformed " << episode_report.malformed << "\n";
     std::cout << "wrote " << txt_path << "\n";
   }
 
@@ -380,6 +434,10 @@ int main() {
   harness.metric("journal_events", static_cast<double>(journal.events.size()));
   harness.metric("slo_samples", static_cast<double>(slo_report.samples));
   harness.metric("slo_breaches", static_cast<double>(slo_report.breaches));
+  harness.metric("episodes", static_cast<double>(episode_report.episodes.size()));
+  harness.metric("episodes_closed", static_cast<double>(episodes_closed));
+  harness.metric("episodes_malformed",
+                 static_cast<double>(episode_report.malformed));
   harness.raw_section("ablation", ablation_json.str());
   harness.write_json_file("BENCH_route_service.json", "BENCH_ROUTE_SERVICE_JSON");
 

@@ -18,6 +18,7 @@
 //   brokerctl health <in.topo> <algo> <k> [probe-interval]   health-plane sim
 //   brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]
 //                   [--slo <spec>] [--slo-out <f>] [--qtrace-out <f>]
+//                   [--episodes-out <f>]
 //                                             route-serving plane: epochal
 //                                             landmark oracle over a MaxSG
 //                                             set, driven through a broker
@@ -29,7 +30,9 @@
 //                                             verdict JSON to --slo-out);
 //                                             --qtrace-out captures per-query
 //                                             trace rows as bsr-qtrace/1
-//                                             JSONL
+//                                             JSONL; --episodes-out emits the
+//                                             live episode report (requires
+//                                             `brokerctl record`)
 //   brokerctl slo [--spec=<spec>] [--out=<f>] <events.jsonl>
 //                                             offline SLO evaluator: replay a
 //                                             recorded journal's batch events
@@ -37,6 +40,19 @@
 //                                             byte-identical verdict to the
 //                                             live `serve --slo` run, exit 1
 //                                             on breach
+//   brokerctl episodes [--qtrace=<f>] [--out=<f>] [--trace-out=<f>]
+//                      [--top=<n>] <events.jsonl>
+//                                             causal episode reconstruction:
+//                                             stitch a recorded journal into
+//                                             per-fault lifecycle episodes
+//                                             with critical-path phase
+//                                             decomposition (bsr-episodes/1
+//                                             JSONL to --out, Perfetto flow
+//                                             trace to --trace-out);
+//                                             byte-identical to the live
+//                                             `serve --episodes-out` report,
+//                                             exit 1 on malformed lifecycles
+//                                             in a drop-free journal
 //   brokerctl robust [--groups] <in.topo> <k> [r]   r-redundant selection vs
 //                                             plain greedy: worst-case
 //                                             surviving connectivity after any
@@ -62,6 +78,7 @@
 // unwritable output path), 2 usage error (unknown subcommand, missing
 // operands).
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -125,7 +142,10 @@ int usage() {
          "  brokerctl health <in.topo> <algo> <k> [probe-interval]\n"
          "  brokerctl serve <in.topo> <k> [--queries <n>] [--churn <events>]\n"
          "                  [--slo <spec>] [--slo-out <f>] [--qtrace-out <f>]\n"
+         "                  [--episodes-out <f>]\n"
          "  brokerctl slo [--spec=<spec>] [--out=<f>] <events.jsonl>\n"
+         "  brokerctl episodes [--qtrace=<f>] [--out=<f>] [--trace-out=<f>]\n"
+         "                     [--top=<n>] <events.jsonl>\n"
          "  brokerctl robust [--groups] <in.topo> <k> [r]\n"
          "  brokerctl record [--events-out=<f>] [--series-out=<f>]\n"
          "                   [--trace-out=<f>] [--interval=<dt>] <subcommand> "
@@ -387,7 +407,7 @@ int cmd_serve(int argc, char** argv) {
   const auto k = parse_u32("k", argv[3]);
   std::uint32_t queries = 100'000;
   std::uint32_t churn_events = 8;
-  std::string slo_spec, slo_out, qtrace_out;
+  std::string slo_spec, slo_out, qtrace_out, episodes_out;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--queries" && i + 1 < argc) {
@@ -400,6 +420,8 @@ int cmd_serve(int argc, char** argv) {
       slo_out = argv[++i];
     } else if (arg == "--qtrace-out" && i + 1 < argc) {
       qtrace_out = argv[++i];
+    } else if (arg == "--episodes-out" && i + 1 < argc) {
+      episodes_out = argv[++i];
     } else {
       std::cerr << "serve: unknown option '" << arg << "'\n";
       return usage();
@@ -411,7 +433,7 @@ int cmd_serve(int argc, char** argv) {
   }
   // Every output opens before the (potentially long) run so an unwritable
   // path fails fast — the same contract as `brokerctl record`.
-  std::ofstream slo_file, qtrace_file;
+  std::ofstream slo_file, qtrace_file, episodes_file;
   const auto open_out = [](std::ofstream& f, const std::string& path) {
     if (path.empty()) return true;
     f.open(path, std::ios::trunc);
@@ -421,20 +443,28 @@ int cmd_serve(int argc, char** argv) {
     }
     return true;
   };
-  if (!open_out(slo_file, slo_out) || !open_out(qtrace_file, qtrace_out)) {
+  if (!open_out(slo_file, slo_out) || !open_out(qtrace_file, qtrace_out) ||
+      !open_out(episodes_file, episodes_out)) {
     return 1;
   }
   // The monitor itself is plain arithmetic and works in any build; the
   // per-query tracer only records from instrumented serve paths.
-  if (!qtrace_out.empty() && !BSR_STATS_ENABLED) {
+  const bool want_qtrace = !qtrace_out.empty() || !episodes_out.empty();
+  if (want_qtrace && !BSR_STATS_ENABLED) {
     std::cerr << "serve: built with BSR_STATS=OFF — the query trace will be "
                  "empty\n";
+  }
+  // Live episode reconstruction reads the flight recorder; without the
+  // `record` wrapper the journal holds nothing and the report is empty.
+  if (!episodes_out.empty() && !bsr::obs::recording_enabled()) {
+    std::cerr << "serve: --episodes-out without `brokerctl record` — the "
+                 "journal is empty, so the episode report will be too\n";
   }
   std::optional<bsr::obs::SloMonitor> monitor;
   if (!slo_spec.empty()) {
     monitor.emplace(bsr::obs::parse_slo_spec(slo_spec));
   }
-  if (!qtrace_out.empty()) bsr::obs::start_query_trace();
+  if (want_qtrace) bsr::obs::start_query_trace();
 
   const BrokerSet brokers = run_algorithm(topo, "maxsg", k, env.seed);
   bsr::graph::FaultPlane faults(topo.graph);
@@ -532,9 +562,12 @@ int cmd_serve(int argc, char** argv) {
   table.print(std::cout);
 
   int rc = 0;
-  if (!qtrace_out.empty()) {
+  bsr::obs::QtraceSnapshot qtrace;
+  if (want_qtrace) {
     bsr::obs::stop_query_trace();
-    const bsr::obs::QtraceSnapshot qtrace = bsr::obs::snapshot_query_trace();
+    qtrace = bsr::obs::snapshot_query_trace();
+  }
+  if (!qtrace_out.empty()) {
     bsr::obs::write_qtrace_jsonl(qtrace_file, qtrace);
     qtrace_file.flush();
     if (!qtrace_file) {
@@ -543,6 +576,22 @@ int cmd_serve(int argc, char** argv) {
     } else {
       std::cerr << "serve: wrote " << qtrace.rows.size() << " trace rows ("
                 << qtrace.dropped << " dropped) to " << qtrace_out << '\n';
+    }
+  }
+  if (!episodes_out.empty()) {
+    // Same reconstruction the offline `brokerctl episodes` replay runs over
+    // the exported journal + qtrace files — byte-identical by construction.
+    const bsr::obs::Journal journal = bsr::obs::snapshot_journal();
+    const bsr::obs::EpisodeReport episodes =
+        bsr::obs::episodes_from_journal(journal, &qtrace);
+    bsr::obs::write_episodes_jsonl(episodes_file, episodes);
+    episodes_file.flush();
+    if (!episodes_file) {
+      std::cerr << "serve: failed writing " << episodes_out << '\n';
+      rc = 1;
+    } else {
+      std::cerr << "serve: wrote " << episodes.episodes.size()
+                << " episode(s) to " << episodes_out << '\n';
     }
   }
   if (monitor.has_value()) {
@@ -798,7 +847,7 @@ bool known_subcommand(const std::string& cmd) {
          cmd == "eval" || cmd == "export-dot" || cmd == "stats" ||
          cmd == "faults" || cmd == "health" || cmd == "serve" ||
          cmd == "robust" || cmd == "record" || cmd == "report" ||
-         cmd == "slo" || cmd == "topo";
+         cmd == "slo" || cmd == "episodes" || cmd == "topo";
 }
 
 /// Runs fn() with the telemetry plane zeroed at entry; on the way out dumps
@@ -1052,6 +1101,18 @@ int cmd_report(int argc, char** argv) {
     throw std::runtime_error("'" + path +
                              "' is not a bsr-events/1 journal (bad header)");
   }
+  // The exporter's header carries the ring's overwrite count; surface it so
+  // a reader knows the earliest correlation chains may be cut short.
+  std::uint64_t ring_dropped = 0;
+  {
+    std::string dropped_text;
+    if (parse_journal_field(line, "dropped", dropped_text)) {
+      try {
+        ring_dropped = std::stoull(dropped_text);
+      } catch (const std::exception&) {
+      }
+    }
+  }
 
   std::map<std::string, std::uint64_t> counts;
   // Misrouting exposure: a departed broker is "exposed" until the detector
@@ -1106,6 +1167,10 @@ int cmd_report(int argc, char** argv) {
     exposure.push_back({since, horizon});
   }
 
+  if (ring_dropped > 0) {
+    std::cout << "ring dropped " << ring_dropped
+              << " record(s) before export — oldest chains truncated\n";
+  }
   bsr::io::Table counts_table({"event", "count"});
   for (const auto& [type, count] : counts) {
     counts_table.row().cell(type).cell(count);
@@ -1276,6 +1341,240 @@ int cmd_slo(int argc, char** argv) {
   return rc;
 }
 
+// Offline episode analyzer: rebuild the journal (and optionally the qtrace
+// rows) from recorded JSONL files and run the same reconstruction the live
+// `serve --episodes-out` path runs, so both reports agree byte for byte for
+// the same run. Prints the worst episodes by exposure with their phase
+// decomposition; exit 1 when a drop-free journal contains malformed
+// lifecycles (a producer contract violation), 0 otherwise — truncation by
+// the ring is flagged, not fatal.
+int cmd_episodes(int argc, char** argv) {
+  std::string path, qtrace_path, out_path, trace_path;
+  std::uint32_t top = 10;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--qtrace=", 0) == 0) {
+      qtrace_path = arg.substr(std::strlen("--qtrace="));
+      continue;
+    }
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+      continue;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-out="));
+      continue;
+    }
+    if (arg.rfind("--top=", 0) == 0) {
+      top = parse_u32("top", arg.substr(std::strlen("--top=")));
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "brokerctl episodes: unknown option '" << arg << "'\n";
+      return usage();
+    }
+    if (!path.empty()) return usage();
+    path = arg;
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "brokerctl episodes: cannot open " << path << '\n';
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.find("\"schema\": \"bsr-events/1\"") == std::string::npos) {
+    throw std::runtime_error("'" + path +
+                             "' is not a bsr-events/1 journal (bad header)");
+  }
+  const auto header_u64 = [](const std::string& header, const char* key) {
+    std::string text;
+    if (!parse_journal_field(header, key, text)) return std::uint64_t{0};
+    try {
+      return static_cast<std::uint64_t>(std::stoull(text));
+    } catch (const std::exception&) {
+      return std::uint64_t{0};
+    }
+  };
+
+  std::map<std::string, bsr::obs::Event, std::less<>> event_types;
+  for (std::size_t e = 0; e < bsr::obs::kNumEvents; ++e) {
+    const auto type = static_cast<bsr::obs::Event>(e);
+    event_types.emplace(std::string(bsr::obs::name(type)), type);
+  }
+  bsr::obs::Journal journal;
+  journal.dropped = header_u64(line, "dropped");
+  std::uint64_t bad_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalLine parsed;
+    if (!parse_journal_line(line, parsed)) {
+      ++bad_lines;
+      continue;
+    }
+    const auto it = event_types.find(parsed.type);
+    if (it == event_types.end()) continue;  // foreign event family
+    bsr::obs::EventRecord record;
+    record.time = parsed.t;
+    record.type = it->second;
+    record.subject = parsed.subject;
+    record.correlation = parsed.corr;
+    record.seq = journal.recorded++;
+    journal.events.push_back(record);
+  }
+  journal.recorded += journal.dropped;
+  if (bad_lines > 0) {
+    std::cerr << "brokerctl episodes: skipped " << bad_lines
+              << " unparseable line(s)\n";
+  }
+
+  // Optional qtrace replay for degraded-answer attribution. Only the fields
+  // the reconstructor reads (time, correlation, tag) need to survive the
+  // round trip; the rest ride along for completeness.
+  bsr::obs::QtraceSnapshot qtrace;
+  bool have_qtrace = false;
+  if (!qtrace_path.empty()) {
+    std::ifstream qin(qtrace_path);
+    if (!qin) {
+      std::cerr << "brokerctl episodes: cannot open " << qtrace_path << '\n';
+      return 1;
+    }
+    if (!std::getline(qin, line) ||
+        line.find("\"schema\": \"bsr-qtrace/1\"") == std::string::npos) {
+      throw std::runtime_error("'" + qtrace_path +
+                               "' is not a bsr-qtrace/1 file (bad header)");
+    }
+    qtrace.dropped = header_u64(line, "dropped");
+    // Answer-tag names indexed by sim::AnswerStatus value, mirroring
+    // write_qtrace_jsonl's rendering.
+    const std::array<std::string, 4> tags = {"fresh", "stale_served",
+                                             "shedded", "refused"};
+    std::uint64_t bad_rows = 0;
+    while (std::getline(qin, line)) {
+      if (line.empty()) continue;
+      std::string id, t, corr, tag, stale;
+      if (!parse_journal_field(line, "id", id) ||
+          !parse_journal_field(line, "t", t) ||
+          !parse_journal_field(line, "corr", corr) ||
+          !parse_journal_field(line, "tag", tag) ||
+          !parse_journal_field(line, "stale", stale)) {
+        ++bad_rows;
+        continue;
+      }
+      bsr::obs::QueryTraceRow row;
+      try {
+        row.trace_id = std::stoull(id);
+        row.time = std::stod(t);
+        row.correlation = std::stoull(corr);
+        row.stale_behind = std::stoull(stale);
+      } catch (const std::exception&) {
+        ++bad_rows;
+        continue;
+      }
+      const auto tag_it = std::find(tags.begin(), tags.end(), tag);
+      if (tag_it == tags.end()) {
+        ++bad_rows;
+        continue;
+      }
+      row.status = static_cast<std::uint8_t>(tag_it - tags.begin());
+      qtrace.rows.push_back(row);
+    }
+    qtrace.recorded = qtrace.rows.size() + qtrace.dropped;
+    if (bad_rows > 0) {
+      std::cerr << "brokerctl episodes: skipped " << bad_rows
+                << " unparseable qtrace row(s)\n";
+    }
+    have_qtrace = true;
+  }
+
+  const bsr::obs::EpisodeReport report =
+      bsr::obs::episodes_from_journal(journal, have_qtrace ? &qtrace : nullptr);
+
+  std::uint64_t closed = 0, truncated = 0;
+  for (const bsr::obs::Episode& ep : report.episodes) {
+    closed += ep.closed ? 1 : 0;
+    truncated += ep.truncated ? 1 : 0;
+  }
+  std::cout << "episodes: " << report.episodes.size() << " reconstructed ("
+            << closed << " closed, " << truncated << " truncated), "
+            << report.malformed << " malformed lifecycle(s)\n";
+  if (report.truncated()) {
+    std::cerr << "brokerctl episodes: ring dropped " << report.journal_dropped
+              << " journal record(s) / " << report.qtrace_dropped
+              << " qtrace row(s) — truncated episodes carry partial phase "
+                 "sums\n";
+  }
+
+  if (!report.episodes.empty()) {
+    // Worst episodes by exposure; ties broken by the report's deterministic
+    // (open_time, kind, id) order.
+    std::vector<const bsr::obs::Episode*> worst;
+    worst.reserve(report.episodes.size());
+    for (const bsr::obs::Episode& ep : report.episodes) worst.push_back(&ep);
+    std::stable_sort(worst.begin(), worst.end(),
+                     [](const bsr::obs::Episode* a, const bsr::obs::Episode* b) {
+                       return a->span() > b->span();
+                     });
+    if (worst.size() > top) worst.resize(top);
+    bsr::io::Table table({"kind", "id", "subject", "exposure", "detect",
+                          "react", "queue", "exec", "drain", "attempts",
+                          "degraded", "flags"});
+    for (const bsr::obs::Episode* ep : worst) {
+      std::string flags;
+      if (!ep->closed) flags += "open ";
+      if (ep->truncated) flags += "truncated ";
+      if (ep->gave_up) flags += "gave-up ";
+      if (!flags.empty()) flags.pop_back();
+      auto row = table.row();
+      row.cell(std::string(bsr::obs::to_string(ep->kind)))
+          .cell(ep->id)
+          .cell(ep->subject)
+          .cell(ep->span(), 3);
+      for (std::size_t p = 0; p < bsr::obs::kNumEpisodePhases; ++p) {
+        row.cell(ep->phases[p], 3);
+      }
+      row.cell(std::uint64_t{ep->attempts})
+          .cell(ep->stale_served + ep->shedded + ep->refused)
+          .cell(flags.empty() ? "-" : flags);
+    }
+    table.print(std::cout);
+  }
+
+  int rc = 0;
+  if (report.malformed > 0 && report.journal_dropped == 0) {
+    std::cerr << "brokerctl episodes: " << report.malformed
+              << " malformed lifecycle(s) in a drop-free journal — producer "
+                 "contract violated\n";
+    rc = 1;
+  }
+  const auto write_out = [&](const std::string& out, auto writer) {
+    if (out.empty()) return;
+    std::ofstream os(out, std::ios::trunc);
+    if (!os) {
+      std::cerr << "brokerctl episodes: cannot open " << out << '\n';
+      rc = 1;
+      return;
+    }
+    writer(os);
+    os.flush();
+    if (!os) {
+      std::cerr << "brokerctl episodes: failed writing " << out << '\n';
+      rc = 1;
+      return;
+    }
+    std::cerr << "episodes: wrote " << out << '\n';
+  };
+  write_out(out_path, [&](std::ostream& os) {
+    bsr::obs::write_episodes_jsonl(os, report);
+  });
+  write_out(trace_path, [&](std::ostream& os) {
+    bsr::obs::write_episode_chrome_trace(os, report);
+  });
+  return rc;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
@@ -1291,6 +1590,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
   if (cmd == "slo") return cmd_slo(argc, argv);
+  if (cmd == "episodes") return cmd_episodes(argc, argv);
   if (cmd == "topo") return cmd_topo(argc, argv);
   std::cerr << "brokerctl: unknown subcommand '" << cmd << "'\n";
   return usage();

@@ -115,6 +115,37 @@ def headline_quantiles(run, path):
     return tuple(cells)
 
 
+EPISODE_PHASES = ("detect", "react", "queue", "exec", "drain")
+
+
+def episode_phase_line(suite, path):
+    """One-line critical-path decomposition for suites whose runs fed the
+    obs.episode.* phase sketches (see src/obs/episode.hpp); None when no run
+    carries all five phase slots."""
+    for r in runs_of(suite):
+        sketches = r.get("sketches", {})
+        if not isinstance(sketches, dict):
+            continue
+        cells = []
+        episodes = None
+        for phase in EPISODE_PHASES:
+            sketch = sketches.get(f"obs.episode.{phase}_ms")
+            if not isinstance(sketch, dict):
+                break
+            p50 = as_number(sketch.get("p50"), path, f"episode {phase} p50")
+            count = as_number(sketch.get("count"), path,
+                              f"episode {phase} count")
+            cells.append(f"{phase} {p50:,}" if p50 is not None
+                         else f"{phase} —")
+            if episodes is None and count is not None:
+                episodes = int(count)
+        else:
+            return (f"Episode critical path (p50 ms/phase over "
+                    f"{episodes if episodes is not None else 0} closed "
+                    f"episode(s)): " + ", ".join(cells))
+    return None
+
+
 def render(suites):
     lines = ["# Bench trend report", ""]
     lines.append("| suite | scale | seed | threads | stats | runs | "
@@ -146,6 +177,10 @@ def render(suites):
             if shown:
                 lines.append(f"Suite metrics: {shown}")
                 lines.append("")
+        episode_line = episode_phase_line(s, path)
+        if episode_line is not None:
+            lines.append(episode_line)
+            lines.append("")
         lines.append("| run | reps | wall ms | ms/rep | work units | "
                      "p50 | p90 | p99 | top counters |")
         lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---|")

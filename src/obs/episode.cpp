@@ -1,0 +1,524 @@
+#include "obs/episode.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/sketch.hpp"
+
+namespace bsr::obs {
+
+std::string_view to_string(EpisodeKind kind) noexcept {
+  return kind == EpisodeKind::kHealth ? "health" : "serve";
+}
+
+std::string_view to_string(EpisodePhase phase) noexcept {
+  switch (phase) {
+    case EpisodePhase::kDetect: return "detect";
+    case EpisodePhase::kReact: return "react";
+    case EpisodePhase::kQueue: return "queue";
+    case EpisodePhase::kExec: return "exec";
+    case EpisodePhase::kDrain: return "drain";
+    case EpisodePhase::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t idx(EpisodePhase phase) noexcept {
+  return static_cast<std::size_t>(phase);
+}
+
+/// One in-flight episode state machine: the episode being built plus the
+/// label-switching cursor (current phase, start of its open interval).
+struct Chain {
+  Episode ep;
+  EpisodePhase current = EpisodePhase::kReact;
+  double phase_start = 0.0;
+};
+
+/// Closes the interval [phase_start, t] under the current label and switches
+/// to `next`. Zero-length intervals accumulate nothing and emit no slice;
+/// adjacent same-label slices merge.
+void advance_phase(Chain& chain, double t, EpisodePhase next) {
+  if (t > chain.phase_start) {
+    chain.ep.phases[idx(chain.current)] += t - chain.phase_start;
+    if (!chain.ep.slices.empty() &&
+        chain.ep.slices.back().phase == chain.current &&
+        chain.ep.slices.back().end == chain.phase_start) {
+      chain.ep.slices.back().end = t;
+    } else {
+      chain.ep.slices.push_back({chain.current, chain.phase_start, t});
+    }
+  }
+  chain.phase_start = t;
+  chain.current = next;
+}
+
+Chain open_chain(EpisodeKind kind, std::uint64_t id, std::uint64_t subject,
+                 double open_time, double t, EpisodePhase first,
+                 bool truncated) {
+  Chain chain;
+  chain.ep.kind = kind;
+  chain.ep.id = id;
+  chain.ep.subject = subject;
+  chain.ep.open_time = open_time;
+  chain.ep.truncated = truncated;
+  chain.current = EpisodePhase::kDetect;
+  chain.phase_start = open_time;
+  advance_phase(chain, t, first);
+  return chain;
+}
+
+/// Accumulates the trailing interval, stamps the close, and folds the
+/// floating-point residual between span() and the phase sum into the
+/// largest phase so phase_total() == span() holds bit-exactly.
+void close_chain(Chain& chain, double t, bool closed) {
+  advance_phase(chain, t, chain.current);
+  chain.ep.close_time = t;
+  chain.ep.closed = closed;
+  // Fold the floating-point residual of the partition into the largest
+  // phase until the re-summed total lands exactly on span(). One pass
+  // nearly always suffices; the bounded loop covers the rare case where
+  // adding the correction perturbs the summation order by an ulp.
+  std::size_t largest = 0;
+  for (std::size_t p = 1; p < kNumEpisodePhases; ++p) {
+    if (chain.ep.phases[p] > chain.ep.phases[largest]) largest = p;
+  }
+  for (int pass = 0; pass < 8; ++pass) {
+    const double residual = chain.ep.span() - chain.ep.phase_total();
+    if (residual == 0.0) break;
+    chain.ep.phases[largest] += residual;
+  }
+}
+
+/// The serve-plane completion events. The journal export key orders records
+/// at equal time by event slot, which puts a degrade or rebuild start ahead
+/// of the completion that causally preceded it within the same simulated
+/// instant (RouteService::advance runs completions before external handlers
+/// and before new starts). The reconstructor therefore processes each
+/// equal-time group in two passes: completions first, everything else in
+/// export order after.
+bool is_serve_completion(Event e) noexcept {
+  switch (e) {
+    case Event::kRouteServiceRebuildCrash:
+    case Event::kRouteServiceRebuildDiscard:
+    case Event::kRouteServiceRebuildGiveUp:
+    case Event::kRouteServiceEpochPublish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fault_signal(Event e) noexcept {
+  switch (e) {
+    case Event::kChurnDeparture:
+    case Event::kChurnReturn:
+    case Event::kChurnLinkOutage:
+    case Event::kChurnLinkHeal:
+    case Event::kChurnRepair:
+    case Event::kFaultGroupFail:
+    case Event::kFaultGroupHeal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Reconstructor {
+  Reconstructor(bool truncated, EpisodeReport& r)
+      : maybe_truncated(truncated), report(r) {}
+
+  const bool maybe_truncated;
+  EpisodeReport& report;
+  std::vector<Chain> done;
+
+  // Health plane: one chain per HealthMonitor episode correlation id.
+  std::unordered_map<std::uint64_t, Chain> health_open;
+  std::unordered_set<std::uint64_t> health_closed;
+  // Per-broker causal anchors for the detect phase: the earliest unresolved
+  // churn departure and the start of the current consecutive-miss streak.
+  std::unordered_map<std::uint64_t, double> churn_fault;
+  std::unordered_map<std::uint64_t, double> pending_miss;
+
+  // Serve plane: at most one open degradation (single-vantage oracle) plus
+  // the rebuild-attempt id ledger (1 = started, 2 = terminated).
+  bool serve_active = false;
+  Chain serve;
+  std::unordered_map<std::uint64_t, std::uint8_t> attempt_state;
+  bool has_pending_fault = false;
+  double pending_fault = 0.0;
+
+  void finish(Chain&& chain) {
+    if (chain.ep.kind == EpisodeKind::kHealth) {
+      health_closed.insert(chain.ep.id);
+    }
+    done.push_back(std::move(chain));
+  }
+
+  /// A mid-chain event whose opener is missing: with a lossy ring the opener
+  /// was evicted (synthesize a flagged, truncated chain); with a drop-free
+  /// journal the producer broke the lifecycle contract.
+  void orphan_health(const EventRecord& ev, EpisodePhase first) {
+    if (!maybe_truncated) {
+      ++report.malformed;
+      return;
+    }
+    health_open.emplace(ev.correlation,
+                        open_chain(EpisodeKind::kHealth, ev.correlation,
+                                   ev.subject, ev.time, ev.time, first, true));
+  }
+
+  void orphan_serve(const EventRecord& ev, EpisodePhase first) {
+    if (!maybe_truncated) {
+      ++report.malformed;
+      return;
+    }
+    serve = open_chain(EpisodeKind::kServe, ev.correlation, ev.subject,
+                       ev.time, ev.time, first, true);
+    serve_active = true;
+  }
+
+  /// Zero-span flagged record for a terminal event whose whole chain was
+  /// evicted.
+  void orphan_terminal(EpisodeKind kind, const EventRecord& ev) {
+    if (!maybe_truncated) {
+      ++report.malformed;
+      return;
+    }
+    Chain chain = open_chain(kind, ev.correlation, ev.subject, ev.time,
+                             ev.time, EpisodePhase::kReact, true);
+    close_chain(chain, ev.time, true);
+    finish(std::move(chain));
+  }
+
+  // --- attempt-id ledger -----------------------------------------------------
+
+  void attempt_start(std::uint64_t a) {
+    if (a == 0 || !attempt_state.emplace(a, std::uint8_t{1}).second) {
+      ++report.malformed;  // attempt ids are allocated from 1, never reused
+    }
+  }
+
+  void attempt_terminate(std::uint64_t a) {
+    const auto it = attempt_state.find(a);
+    if (it == attempt_state.end()) {
+      if (maybe_truncated) {
+        attempt_state.emplace(a, std::uint8_t{2});
+      } else {
+        ++report.malformed;  // terminal for an attempt that never started
+      }
+      return;
+    }
+    if (it->second != 1) {
+      ++report.malformed;  // two terminals for one attempt
+      return;
+    }
+    it->second = 2;
+  }
+
+  // --- per-event handlers ----------------------------------------------------
+
+  void on_health_suspect(const EventRecord& ev) {
+    const std::uint64_t c = ev.correlation;
+    if (c == 0 || health_open.count(c) != 0 || health_closed.count(c) != 0) {
+      ++report.malformed;  // zero or reused episode id
+      return;
+    }
+    // Causal anchor for detect: the churn departure if stitchable, else the
+    // start of the probe-miss streak, else the suspect itself.
+    double open_time = ev.time;
+    if (const auto fault = churn_fault.find(ev.subject);
+        fault != churn_fault.end()) {
+      open_time = std::min(open_time, fault->second);
+      churn_fault.erase(fault);
+    } else if (const auto miss = pending_miss.find(ev.subject);
+               miss != pending_miss.end()) {
+      open_time = std::min(open_time, miss->second);
+    }
+    pending_miss.erase(ev.subject);
+    health_open.emplace(c, open_chain(EpisodeKind::kHealth, c, ev.subject,
+                                      open_time, ev.time,
+                                      EpisodePhase::kReact, false));
+  }
+
+  void on_health_transition(const EventRecord& ev, EpisodePhase next) {
+    if (const auto it = health_open.find(ev.correlation);
+        it != health_open.end()) {
+      advance_phase(it->second, ev.time, next);
+      return;
+    }
+    if (health_closed.count(ev.correlation) != 0) {
+      ++report.malformed;  // event after the terminal: episode id reused
+      return;
+    }
+    orphan_health(ev, next);
+  }
+
+  void on_health_recover(const EventRecord& ev) {
+    const auto it = health_open.find(ev.correlation);
+    if (it == health_open.end()) {
+      if (health_closed.count(ev.correlation) != 0) {
+        ++report.malformed;
+      } else {
+        orphan_terminal(EpisodeKind::kHealth, ev);
+      }
+      return;
+    }
+    Chain chain = std::move(it->second);
+    health_open.erase(it);
+    close_chain(chain, ev.time, true);
+    finish(std::move(chain));
+  }
+
+  void on_health_probe(const EventRecord& ev, bool miss) {
+    if (ev.correlation == 0) {
+      // Pre-suspect probes: track the consecutive-miss streak per broker as
+      // the fallback detect anchor.
+      if (miss) {
+        pending_miss.try_emplace(ev.subject, ev.time);
+      } else {
+        pending_miss.erase(ev.subject);
+      }
+      return;
+    }
+    if (health_open.count(ev.correlation) != 0) return;  // in-episode probe
+    if (health_closed.count(ev.correlation) != 0) {
+      ++report.malformed;  // probe stamped with a terminated episode's id
+      return;
+    }
+    orphan_health(ev, EpisodePhase::kReact);
+  }
+
+  void on_repair_attempt(const EventRecord& ev) {
+    if (ev.correlation == 0) return;
+    if (const auto it = health_open.find(ev.correlation);
+        it != health_open.end()) {
+      ++it->second.ep.attempts;
+      if (ev.subject == 0) ++it->second.ep.failures;  // recruited nobody
+      return;
+    }
+    // The repair plane lags the health plane by design: an attempt armed by
+    // an episode that has since recovered is benign, not malformed.
+    if (health_closed.count(ev.correlation) != 0) return;
+    orphan_health(ev, EpisodePhase::kQueue);
+  }
+
+  void on_serve_degrade(const EventRecord& ev) {
+    if (serve_active) {
+      ++report.malformed;  // degrades never nest (only fired when fresh)
+      return;
+    }
+    double open_time = ev.time;
+    if (has_pending_fault) {
+      open_time = std::min(open_time, pending_fault);
+      has_pending_fault = false;
+    }
+    serve = open_chain(EpisodeKind::kServe, ev.correlation, ev.subject,
+                       open_time, ev.time, EpisodePhase::kReact, false);
+    serve_active = true;
+  }
+
+  void on_serve_patch(const EventRecord& ev) {
+    if (serve_active) ++report.malformed;  // patches only run while fresh
+    has_pending_fault = false;             // the perturbation was absorbed
+    (void)ev;
+  }
+
+  void on_rebuild_start(const EventRecord& ev) {
+    attempt_start(ev.correlation);
+    if (serve_active) {
+      advance_phase(serve, ev.time, EpisodePhase::kExec);
+      ++serve.ep.attempts;
+      return;
+    }
+    orphan_serve(ev, EpisodePhase::kExec);
+    if (serve_active) ++serve.ep.attempts;
+  }
+
+  void on_rebuild_failed(const EventRecord& ev) {
+    attempt_terminate(ev.correlation);
+    if (serve_active) {
+      advance_phase(serve, ev.time, EpisodePhase::kQueue);
+      ++serve.ep.failures;
+      return;
+    }
+    orphan_serve(ev, EpisodePhase::kQueue);
+    if (serve_active) ++serve.ep.failures;
+  }
+
+  void on_rebuild_give_up(const EventRecord& ev) {
+    // corr 0: the scheduler refused to even begin (budget exhausted before
+    // the first start); corr != 0: the terminal retry's attempt id.
+    if (ev.correlation != 0 && attempt_state.count(ev.correlation) == 0 &&
+        !maybe_truncated) {
+      ++report.malformed;
+    }
+    if (serve_active) {
+      advance_phase(serve, ev.time, EpisodePhase::kQueue);
+      serve.ep.gave_up = true;
+      return;
+    }
+    orphan_serve(ev, EpisodePhase::kQueue);
+    if (serve_active) serve.ep.gave_up = true;
+  }
+
+  void on_epoch_publish(const EventRecord& ev) {
+    if (ev.correlation != 0) attempt_terminate(ev.correlation);
+    if (serve_active) {
+      close_chain(serve, ev.time, true);
+      finish(std::move(serve));
+      serve = Chain{};
+      serve_active = false;
+      return;
+    }
+    // The initial oracle build publishes with attempt 0 and no preceding
+    // degrade — a fresh epoch turning over, not an episode.
+    if (ev.correlation != 0) orphan_terminal(EpisodeKind::kServe, ev);
+  }
+
+  void handle(const EventRecord& ev) {
+    switch (ev.type) {
+      case Event::kHealthSuspect: on_health_suspect(ev); break;
+      case Event::kHealthQuarantine:
+        on_health_transition(ev, EpisodePhase::kQueue);
+        break;
+      case Event::kHealthProbation:
+        on_health_transition(ev, EpisodePhase::kDrain);
+        break;
+      case Event::kHealthRecover: on_health_recover(ev); break;
+      case Event::kHealthProbeOk: on_health_probe(ev, false); break;
+      case Event::kHealthProbeMiss: on_health_probe(ev, true); break;
+      case Event::kRepairAttempt: on_repair_attempt(ev); break;
+      case Event::kRouteServiceDegrade: on_serve_degrade(ev); break;
+      case Event::kRouteServicePatch: on_serve_patch(ev); break;
+      case Event::kRouteServiceRebuildStart: on_rebuild_start(ev); break;
+      case Event::kRouteServiceRebuildCrash:
+      case Event::kRouteServiceRebuildDiscard:
+        on_rebuild_failed(ev);
+        break;
+      case Event::kRouteServiceRebuildGiveUp: on_rebuild_give_up(ev); break;
+      case Event::kRouteServiceEpochPublish: on_epoch_publish(ev); break;
+      default:
+        if (is_fault_signal(ev.type)) {
+          if (ev.type == Event::kChurnDeparture) {
+            churn_fault.try_emplace(ev.subject, ev.time);
+          } else if (ev.type == Event::kChurnReturn) {
+            churn_fault.erase(ev.subject);
+          }
+          if (!serve_active && !has_pending_fault) {
+            pending_fault = ev.time;
+            has_pending_fault = true;
+          }
+        }
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+EpisodeReport episodes_from_journal(const Journal& journal,
+                                    const QtraceSnapshot* qtrace) {
+  EpisodeReport report;
+  report.journal_dropped = journal.dropped;
+  if (qtrace != nullptr) report.qtrace_dropped = qtrace->dropped;
+
+  Reconstructor rec{journal.dropped > 0, report};
+
+  // The snapshot is in export order (ascending time), so equal-time groups
+  // are contiguous; within a group, serve-plane completions run first (see
+  // is_serve_completion).
+  const std::vector<EventRecord>& events = journal.events;
+  for (std::size_t i = 0; i < events.size();) {
+    std::size_t j = i;
+    while (j < events.size() && events[j].time == events[i].time) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      if (is_serve_completion(events[k].type)) rec.handle(events[k]);
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      if (!is_serve_completion(events[k].type)) rec.handle(events[k]);
+    }
+    i = j;
+  }
+
+  // Chains the journal ended on: close at the observation horizon, flagged
+  // not-closed; the trailing interval stays under the active label.
+  const double horizon = events.empty() ? 0.0 : events.back().time;
+  for (auto& [id, chain] : rec.health_open) {
+    close_chain(chain, std::max(horizon, chain.phase_start), false);
+    rec.done.push_back(std::move(chain));
+  }
+  rec.health_open.clear();
+  if (rec.serve_active) {
+    close_chain(rec.serve, std::max(horizon, rec.serve.phase_start), false);
+    rec.done.push_back(std::move(rec.serve));
+    rec.serve_active = false;
+  }
+
+  report.episodes.reserve(rec.done.size());
+  for (Chain& chain : rec.done) report.episodes.push_back(std::move(chain.ep));
+  std::sort(report.episodes.begin(), report.episodes.end(),
+            [](const Episode& a, const Episode& b) {
+              if (a.open_time != b.open_time) return a.open_time < b.open_time;
+              if (a.kind != b.kind) {
+                return static_cast<unsigned>(a.kind) <
+                       static_cast<unsigned>(b.kind);
+              }
+              return a.id < b.id;
+            });
+
+  // Degraded-answer attribution: a non-fresh row joins the serve episode
+  // whose window holds its time, provided its correlation (the truth
+  // version the epoch lagged behind) is at or past the episode's opening
+  // truth version. Truncated episodes carry a surrogate id, so the
+  // correlation check is waived for them.
+  std::uint64_t attributed = 0;
+  if (qtrace != nullptr) {
+    std::vector<Episode*> serve_eps;
+    for (Episode& ep : report.episodes) {
+      if (ep.kind == EpisodeKind::kServe) serve_eps.push_back(&ep);
+    }
+    for (const QueryTraceRow& row : qtrace->rows) {
+      if (row.status == 0 || row.correlation == 0) continue;
+      Episode* hit = nullptr;
+      for (Episode* ep : serve_eps) {
+        if (row.time < ep->open_time || row.time > ep->close_time) continue;
+        if (!ep->truncated && row.correlation < ep->id) continue;
+        hit = ep;
+        break;
+      }
+      if (hit == nullptr) {
+        ++report.unattributed;
+        continue;
+      }
+      ++attributed;
+      switch (row.status) {
+        case 1: ++hit->stale_served; break;
+        case 2: ++hit->shedded; break;
+        default: ++hit->refused; break;
+      }
+    }
+  }
+
+  for (const Episode& ep : report.episodes) {
+    BSR_COUNT(EpisodeReconstructed);
+    if (ep.closed) BSR_COUNT(EpisodeClosed);
+    if (ep.truncated) BSR_COUNT(EpisodeTruncated);
+    if (ep.closed && !ep.truncated) {
+      BSR_SKETCH(EpisodeDetectMs, ep.phases[idx(EpisodePhase::kDetect)] * 1e3);
+      BSR_SKETCH(EpisodeReactMs, ep.phases[idx(EpisodePhase::kReact)] * 1e3);
+      BSR_SKETCH(EpisodeQueueMs, ep.phases[idx(EpisodePhase::kQueue)] * 1e3);
+      BSR_SKETCH(EpisodeExecMs, ep.phases[idx(EpisodePhase::kExec)] * 1e3);
+      BSR_SKETCH(EpisodeDrainMs, ep.phases[idx(EpisodePhase::kDrain)] * 1e3);
+    }
+  }
+  BSR_COUNT_N(EpisodeMalformed, report.malformed);
+  BSR_COUNT_N(EpisodeDegradedAnswers, attributed);
+
+  return report;
+}
+
+}  // namespace bsr::obs

@@ -245,6 +245,105 @@ void write_slo_json(std::ostream& os, const SloReport& report) {
   os << "\n  ]\n}\n";
 }
 
+void write_episodes_jsonl(std::ostream& os, const EpisodeReport& report) {
+  os << "{\"schema\": \"" << kEpisodeSchema
+     << "\", \"episodes\": " << report.episodes.size()
+     << ", \"journal_dropped\": " << report.journal_dropped
+     << ", \"qtrace_dropped\": " << report.qtrace_dropped
+     << ", \"malformed\": " << report.malformed
+     << ", \"unattributed\": " << report.unattributed << "}\n";
+  for (const Episode& ep : report.episodes) {
+    os << "{\"kind\": \"" << to_string(ep.kind) << "\", \"id\": " << ep.id
+       << ", \"subject\": " << ep.subject << ", \"open\": ";
+    put_double(os, ep.open_time);
+    os << ", \"close\": ";
+    put_double(os, ep.close_time);
+    os << ", \"closed\": " << (ep.closed ? "true" : "false")
+       << ", \"truncated\": " << (ep.truncated ? "true" : "false")
+       << ", \"exposure\": ";
+    put_double(os, ep.span());
+    os << ", \"phases\": {";
+    for (std::size_t p = 0; p < kNumEpisodePhases; ++p) {
+      os << (p == 0 ? "" : ", ") << "\""
+         << to_string(static_cast<EpisodePhase>(p)) << "\": ";
+      put_double(os, ep.phases[p]);
+    }
+    os << "}, \"attempts\": " << ep.attempts
+       << ", \"failures\": " << ep.failures
+       << ", \"gave_up\": " << (ep.gave_up ? "true" : "false")
+       << ", \"stale_served\": " << ep.stale_served
+       << ", \"shedded\": " << ep.shedded << ", \"refused\": " << ep.refused
+       << "}\n";
+  }
+}
+
+void write_episode_chrome_trace(std::ostream& os, const EpisodeReport& report) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  sep();
+  os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+        "\"args\": {\"name\": \"health plane\"}}";
+  sep();
+  os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 2, "
+        "\"args\": {\"name\": \"serve plane\"}}";
+  for (const Episode& ep : report.episodes) {
+    const int tid = ep.kind == EpisodeKind::kHealth ? 1 : 2;
+    // The enclosing episode slice, then its exact phase partition nested
+    // inside (same track, contained timestamps).
+    sep();
+    os << "  {\"name\": \"episode " << to_string(ep.kind) << "#" << ep.id
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+       << ", \"ts\": " << trace_ts(ep.open_time)
+       << ", \"dur\": " << trace_ts(ep.close_time) - trace_ts(ep.open_time)
+       << ", \"args\": {\"subject\": " << ep.subject
+       << ", \"closed\": " << (ep.closed ? "true" : "false")
+       << ", \"truncated\": " << (ep.truncated ? "true" : "false")
+       << ", \"attempts\": " << ep.attempts
+       << ", \"failures\": " << ep.failures
+       << ", \"stale_served\": " << ep.stale_served
+       << ", \"shedded\": " << ep.shedded << ", \"refused\": " << ep.refused
+       << "}}";
+    for (const PhaseSlice& slice : ep.slices) {
+      sep();
+      os << "  {\"name\": \"" << to_string(slice.phase)
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << trace_ts(slice.begin)
+         << ", \"dur\": " << trace_ts(slice.end) - trace_ts(slice.begin)
+         << ", \"args\": {\"kind\": \"" << to_string(ep.kind)
+         << "\", \"id\": " << ep.id << "}}";
+    }
+  }
+  // Flow arrows from the health-plane episode that was live when a serve
+  // episode opened to that serve episode — the cross-plane causal link.
+  std::uint64_t flow_id = 0;
+  for (const Episode& serve : report.episodes) {
+    if (serve.kind != EpisodeKind::kServe) continue;
+    for (const Episode& health : report.episodes) {
+      if (health.kind != EpisodeKind::kHealth) continue;
+      if (serve.open_time < health.open_time ||
+          serve.open_time > health.close_time) {
+        continue;
+      }
+      ++flow_id;
+      sep();
+      os << "  {\"name\": \"episode\", \"cat\": \"episode\", \"ph\": \"s\", "
+            "\"id\": "
+         << flow_id << ", \"pid\": 1, \"tid\": 1, \"ts\": "
+         << trace_ts(serve.open_time) << "}";
+      sep();
+      os << "  {\"name\": \"episode\", \"cat\": \"episode\", \"ph\": \"f\", "
+            "\"bp\": \"e\", \"id\": "
+         << flow_id << ", \"pid\": 1, \"tid\": 2, \"ts\": "
+         << trace_ts(serve.open_time) << "}";
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
 void write_journal_chrome_trace(std::ostream& os, const Journal& journal,
                                 std::span<const SeriesRow> rows) {
   os << "{\"traceEvents\": [";

@@ -32,6 +32,7 @@
 #include <iosfwd>
 #include <span>
 
+#include "obs/episode.hpp"
 #include "obs/journal.hpp"
 #include "obs/qtrace.hpp"
 #include "obs/slo.hpp"
@@ -82,6 +83,23 @@ void write_qtrace_jsonl(std::ostream& os, const QtraceSnapshot& snap);
 /// epoch's serving behavior as its own lane keyed by the failure-episode
 /// correlation id in "args".
 void write_qtrace_chrome_trace(std::ostream& os, const QtraceSnapshot& snap);
+
+/// Reconstructed episodes as `bsr-episodes/1` JSON Lines: header object
+/// first ({"schema", "episodes", "journal_dropped", "qtrace_dropped",
+/// "malformed", "unattributed"}), then one object per episode in report
+/// order with the exact phase decomposition nested under "phases". Doubles
+/// print via std::to_chars shortest round-trip — byte-identical for a fixed
+/// journal at any BSR_THREADS, and identical between live emission and
+/// offline replay of the same events file.
+void write_episodes_jsonl(std::ostream& os, const EpisodeReport& report);
+
+/// Reconstructed episodes as Chrome trace_event JSON: the health plane and
+/// serve plane get one track each (thread_name metadata), every episode is
+/// an enclosing complete ("X") slice with its phase partition nested inside,
+/// and flow events ("s"/"f") draw an arrow from the health episode that was
+/// live when each serve episode opened — the cross-plane causal link
+/// Perfetto renders across tracks.
+void write_episode_chrome_trace(std::ostream& os, const EpisodeReport& report);
 
 /// Machine-readable SLO verdict under the `bsr-slo/1` schema: the spec,
 /// sample/breach/recover totals, the boolean verdict `ok`, and one object

@@ -73,6 +73,14 @@ inline constexpr std::string_view kEventSchema = "bsr-events/1";
 // carry the bitmask of breached objectives (bit i = objective i in
 // slo.hpp's declaration order) as subject and the worst burn rate in
 // percent (rounded) as correlation; everything else 0.
+//
+// These correlation chains are load-bearing: the episode reconstructor
+// (episode.hpp) stitches sim.health.* / sim.repair.* records into health
+// episodes by failure-episode id and degrade -> rebuild-attempt ->
+// epoch_publish records into serve episodes, and expects every id to form a
+// well-formed lifecycle — opened once, monotone timestamps, exactly one
+// terminal (recover / publish / give-up) — which the producers enforce with
+// BSR_DCHECKs and the route-service fuzz pins.
 
 #define BSR_OBS_EVENT_TABLE(X)                            \
   X(ChurnDeparture, "sim.churn.departure")                \

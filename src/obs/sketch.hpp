@@ -131,7 +131,9 @@ class QuantileSketch {
 // --- fixed-slot sketch registry ---------------------------------------------
 // X(EnumId, "layer.component.metric") — same convention as the counter
 // tables. Per-answer-tag tick costs and distance bounds of the
-// route-serving plane; append one X(...) line to add a slot.
+// route-serving plane, plus the episode reconstructor's critical-path
+// phase durations in milli-time-units (episode.hpp); append one X(...)
+// line to add a slot.
 
 #define BSR_OBS_SKETCH_TABLE(X)                                    \
   X(RouteTicksFresh, "sim.route_service.ticks.fresh")              \
@@ -139,7 +141,12 @@ class QuantileSketch {
   X(RouteTicksShedded, "sim.route_service.ticks.shedded")          \
   X(RouteTicksRefused, "sim.route_service.ticks.refused")          \
   X(RouteDistFresh, "sim.route_service.dist.fresh")                \
-  X(RouteDistStale, "sim.route_service.dist.stale_served")
+  X(RouteDistStale, "sim.route_service.dist.stale_served")         \
+  X(EpisodeDetectMs, "obs.episode.detect_ms")                      \
+  X(EpisodeReactMs, "obs.episode.react_ms")                        \
+  X(EpisodeQueueMs, "obs.episode.queue_ms")                        \
+  X(EpisodeExecMs, "obs.episode.exec_ms")                          \
+  X(EpisodeDrainMs, "obs.episode.drain_ms")
 
 enum class Sketch : std::uint16_t {
 #define BSR_OBS_X(id, name) k##id,

@@ -111,7 +111,12 @@ inline constexpr int kSchemaVersion = 1;
   X(RouteServiceEpochsPublished, "sim.route_service.epochs_published", false) \
   X(SloEvaluations, "slo.monitor.evaluations", false)              \
   X(SloBreaches, "slo.monitor.breaches", false)                    \
-  X(SloRecovers, "slo.monitor.recovers", false)
+  X(SloRecovers, "slo.monitor.recovers", false)                    \
+  X(EpisodeReconstructed, "obs.episode.reconstructed", false)      \
+  X(EpisodeClosed, "obs.episode.closed", false)                    \
+  X(EpisodeTruncated, "obs.episode.truncated", false)              \
+  X(EpisodeMalformed, "obs.episode.malformed", false)              \
+  X(EpisodeDegradedAnswers, "obs.episode.degraded_answers", false)
 
 #define BSR_OBS_GAUGE_TABLE(X)                                     \
   X(EngineWorkspaceHighWater, "engine.workspace.high_water")       \

@@ -182,7 +182,13 @@ void HealthMonitor::transition(double now, std::size_t index, HealthState to) {
   BSR_COUNT(HealthTransitions);
   // Leaving kHealthy opens a new failure episode; the id rides every later
   // transition (and repair event) of the same suspicion chain as `corr`.
-  if (cell.state == HealthState::kHealthy) cell.episode = next_episode_++;
+  // Recovery clears it below, so an id is never reused across overlapping
+  // failures of the same broker and healthy-cell probes carry corr 0.
+  if (cell.state == HealthState::kHealthy) {
+    BSR_DCHECK(cell.episode == 0);
+    cell.episode = next_episode_++;
+  }
+  BSR_DCHECK(cell.episode != 0);
   transitions_.push_back({now, members_[index], cell.state, to, cell.episode});
   switch (to) {
     case HealthState::kSuspect:
@@ -199,6 +205,10 @@ void HealthMonitor::transition(double now, std::size_t index, HealthState to) {
       break;
   }
   cell.state = to;
+  // kHealthy is the episode's terminal: the journal has just recorded
+  // HealthRecover, so the id retires here and the next failure allocates a
+  // fresh one.
+  if (to == HealthState::kHealthy) cell.episode = 0;
   dirty_ = true;
 }
 

@@ -194,7 +194,9 @@ class HealthMonitor {
     std::uint32_t successes = 0;  // consecutive probation successes
     std::uint32_t backoff_level = 0;
     double next_reprobe = 0.0;    // valid only in kQuarantined
-    std::uint64_t episode = 0;    // current failure episode (0 = none yet)
+    std::uint64_t episode = 0;    // open failure episode (0 = healthy, none
+                                  // open; cleared again on recovery so ids
+                                  // are never reused across failures)
   };
 
   void probe_round(double now);

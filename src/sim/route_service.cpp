@@ -399,6 +399,11 @@ bool RouteService::draw_crash(std::uint32_t& deterministic_queue) {
 }
 
 void RouteService::record(double now, EpochEventKind kind, std::uint64_t attempt) {
+  // Episode-lifecycle hygiene (episode.hpp stitches on these): a degrade is
+  // recorded exactly when freshness is lost (so degrades never nest), and a
+  // publish only ever lands truth-current (so it closes the open episode).
+  BSR_DCHECK(kind != EpochEventKind::kDegrade || stale_events() > 0);
+  BSR_DCHECK(kind != EpochEventKind::kPublish || stale_events() == 0);
   transitions_.push_back({now, kind, epoch_id_, truth_version_, attempt});
   switch (kind) {
     case EpochEventKind::kPublish:

@@ -1,0 +1,448 @@
+// Tests for the causal episode reconstructor: phase arithmetic on synthetic
+// journals, detect-anchor stitching, truncation-vs-malformation discipline,
+// qtrace attribution, JSONL golden bytes, and an end-to-end run against the
+// real HealthMonitor producer (including the no-id-reuse overlap regression).
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broker/broker_set.hpp"
+#include "graph/fault_plane.hpp"
+#include "obs/episode.hpp"
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/qtrace.hpp"
+#include "sim/health.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using bsr::obs::Episode;
+using bsr::obs::EpisodeKind;
+using bsr::obs::EpisodePhase;
+using bsr::obs::EpisodeReport;
+using bsr::obs::episodes_from_journal;
+using bsr::obs::Event;
+using bsr::obs::EventRecord;
+using bsr::obs::Journal;
+using bsr::obs::QueryTraceRow;
+using bsr::obs::QtraceSnapshot;
+
+constexpr std::size_t kDetect = static_cast<std::size_t>(EpisodePhase::kDetect);
+constexpr std::size_t kReact = static_cast<std::size_t>(EpisodePhase::kReact);
+constexpr std::size_t kQueue = static_cast<std::size_t>(EpisodePhase::kQueue);
+constexpr std::size_t kExec = static_cast<std::size_t>(EpisodePhase::kExec);
+constexpr std::size_t kDrain = static_cast<std::size_t>(EpisodePhase::kDrain);
+
+EventRecord ev(Event type, double t, std::uint64_t subject,
+               std::uint64_t corr) {
+  EventRecord record;
+  record.time = t;
+  record.type = type;
+  record.subject = subject;
+  record.correlation = corr;
+  return record;
+}
+
+/// Builds a snapshot the way the exporter would order it: ascending
+/// (time, event slot, subject), insertion order as the final tie-break.
+Journal make_journal(std::vector<EventRecord> events,
+                     std::uint64_t dropped = 0) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.type != b.type) return a.type < b.type;
+                     return a.subject < b.subject;
+                   });
+  Journal journal;
+  journal.events = std::move(events);
+  for (std::size_t i = 0; i < journal.events.size(); ++i) {
+    journal.events[i].seq = i;
+  }
+  journal.dropped = dropped;
+  journal.recorded = journal.events.size() + dropped;
+  return journal;
+}
+
+QueryTraceRow qrow(double t, std::uint64_t corr, std::uint8_t status) {
+  QueryTraceRow row;
+  row.time = t;
+  row.correlation = corr;
+  row.status = status;
+  row.stale_behind = corr == 0 ? 0 : 1;
+  return row;
+}
+
+TEST(EpisodeTest, ServeLifecycleWithRetriesDecomposesPhases) {
+  const Journal journal = make_journal({
+      ev(Event::kChurnDeparture, 1.0, 5, 0),
+      ev(Event::kRouteServiceDegrade, 2.0, 3, 7),
+      ev(Event::kRouteServiceRebuildStart, 2.5, 3, 1),
+      ev(Event::kRouteServiceRebuildCrash, 3.5, 3, 1),
+      ev(Event::kRouteServiceRebuildStart, 4.0, 3, 2),
+      ev(Event::kRouteServiceRebuildDiscard, 5.0, 3, 2),
+      ev(Event::kRouteServiceRebuildStart, 5.5, 3, 3),
+      ev(Event::kRouteServiceEpochPublish, 6.5, 4, 3),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& e = report.episodes[0];
+  EXPECT_EQ(e.kind, EpisodeKind::kServe);
+  EXPECT_EQ(e.id, 7u);       // the opening degrade's truth version
+  EXPECT_EQ(e.subject, 3u);  // serving epoch at open
+  EXPECT_EQ(e.open_time, 1.0);  // anchored to the churn departure
+  EXPECT_EQ(e.close_time, 6.5);
+  EXPECT_TRUE(e.closed);
+  EXPECT_FALSE(e.truncated);
+  EXPECT_EQ(e.phases[kDetect], 1.0);  // fault -> degrade
+  EXPECT_EQ(e.phases[kReact], 0.5);   // degrade -> first start
+  EXPECT_EQ(e.phases[kQueue], 1.0);   // two 0.5 backoff waits
+  EXPECT_EQ(e.phases[kExec], 3.0);    // three 1.0 builds
+  EXPECT_EQ(e.phases[kDrain], 0.0);
+  EXPECT_EQ(e.phase_total(), e.span());
+  EXPECT_EQ(e.attempts, 3u);
+  EXPECT_EQ(e.failures, 2u);
+  EXPECT_FALSE(e.gave_up);
+  // Label-switching slices partition [open, close]: detect, react, then
+  // alternating exec/queue ending on the publishing build.
+  ASSERT_EQ(e.slices.size(), 7u);
+  EXPECT_EQ(e.slices.front().begin, e.open_time);
+  EXPECT_EQ(e.slices.back().end, e.close_time);
+  for (std::size_t s = 1; s < e.slices.size(); ++s) {
+    EXPECT_EQ(e.slices[s].begin, e.slices[s - 1].end);
+  }
+  EXPECT_EQ(e.slices[0].phase, EpisodePhase::kDetect);
+  EXPECT_EQ(e.slices[1].phase, EpisodePhase::kReact);
+  EXPECT_EQ(e.slices[2].phase, EpisodePhase::kExec);
+  EXPECT_EQ(e.slices[3].phase, EpisodePhase::kQueue);
+}
+
+TEST(EpisodeTest, HealthLifecycleWithFlapKeepsOneChain) {
+  const Journal journal = make_journal({
+      ev(Event::kChurnDeparture, 1.0, 9, 0),
+      ev(Event::kHealthProbeMiss, 1.5, 9, 0),
+      ev(Event::kHealthSuspect, 2.0, 9, 11),
+      ev(Event::kHealthQuarantine, 3.0, 9, 11),
+      ev(Event::kRepairAttempt, 3.5, 1, 11),  // recruited one standby
+      ev(Event::kHealthProbation, 4.0, 9, 11),
+      ev(Event::kHealthQuarantine, 4.5, 9, 11),  // flap back in
+      ev(Event::kHealthProbation, 5.5, 9, 11),
+      ev(Event::kHealthRecover, 6.0, 9, 11),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& e = report.episodes[0];
+  EXPECT_EQ(e.kind, EpisodeKind::kHealth);
+  EXPECT_EQ(e.id, 11u);
+  EXPECT_EQ(e.subject, 9u);
+  EXPECT_EQ(e.open_time, 1.0);  // churn departure beats the miss streak
+  EXPECT_EQ(e.close_time, 6.0);
+  EXPECT_TRUE(e.closed);
+  EXPECT_EQ(e.phases[kDetect], 1.0);
+  EXPECT_EQ(e.phases[kReact], 1.0);   // suspect dwell
+  EXPECT_EQ(e.phases[kQueue], 2.0);   // both quarantine dwells
+  EXPECT_EQ(e.phases[kExec], 0.0);
+  EXPECT_EQ(e.phases[kDrain], 1.0);   // both probation dwells
+  EXPECT_EQ(e.phase_total(), e.span());
+  EXPECT_EQ(e.attempts, 1u);
+  EXPECT_EQ(e.failures, 0u);
+}
+
+TEST(EpisodeTest, MissStreakAnchorsDetectAndOkResetsIt) {
+  const Journal journal = make_journal({
+      ev(Event::kHealthProbeMiss, 1.0, 4, 0),
+      ev(Event::kHealthProbeOk, 1.2, 4, 0),  // streak broken
+      ev(Event::kHealthProbeMiss, 1.5, 4, 0),
+      ev(Event::kHealthSuspect, 2.0, 4, 3),
+      ev(Event::kHealthRecover, 3.0, 4, 3),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].open_time, 1.5);  // current streak only
+  EXPECT_EQ(report.episodes[0].phases[kDetect], 0.5);
+}
+
+TEST(EpisodeTest, UnclosedChainEndsAtHorizonFlaggedOpen) {
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 2.0, 1, 5),
+      ev(Event::kRouteServiceRebuildStart, 3.0, 1, 1),
+      ev(Event::kRouteServiceBatch, 10.0, 0, 0),  // journal keeps going
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& e = report.episodes[0];
+  EXPECT_FALSE(e.closed);
+  EXPECT_EQ(e.open_time, 2.0);
+  EXPECT_EQ(e.close_time, 10.0);  // observation horizon, not a terminal
+  EXPECT_EQ(e.phases[kReact], 1.0);
+  EXPECT_EQ(e.phases[kExec], 7.0);  // trailing interval stays under exec
+  EXPECT_EQ(e.phase_total(), e.span());
+}
+
+TEST(EpisodeTest, GiveUpDwellsUnderQueueUntilHorizon) {
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 1.0, 1, 2),
+      ev(Event::kRouteServiceRebuildStart, 1.5, 1, 1),
+      ev(Event::kRouteServiceRebuildCrash, 2.5, 1, 1),
+      ev(Event::kRouteServiceRebuildGiveUp, 2.5, 1, 1),
+      ev(Event::kRouteServiceBatch, 6.5, 0, 0),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& e = report.episodes[0];
+  EXPECT_FALSE(e.closed);
+  EXPECT_TRUE(e.gave_up);
+  EXPECT_EQ(e.phases[kQueue], 4.0);  // dead dwell after the budget ran out
+  EXPECT_EQ(e.attempts, 1u);
+  EXPECT_EQ(e.failures, 1u);
+}
+
+TEST(EpisodeTest, EqualTimeCompletionsRunBeforeNewStarts) {
+  // Within one simulated instant the journal's export key orders a degrade
+  // (slot 24) and rebuild start (26) ahead of the epoch publish (30) that
+  // causally preceded them. The reconstructor must close episode 2 before
+  // opening episode 3 or the degrade would look nested.
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 1.0, 1, 2),
+      ev(Event::kRouteServiceRebuildStart, 1.5, 1, 1),
+      ev(Event::kRouteServiceEpochPublish, 2.0, 2, 1),
+      ev(Event::kRouteServiceDegrade, 2.0, 2, 3),
+      ev(Event::kRouteServiceRebuildStart, 2.0, 2, 2),
+      ev(Event::kRouteServiceEpochPublish, 3.0, 3, 2),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  ASSERT_EQ(report.episodes.size(), 2u);
+  EXPECT_EQ(report.episodes[0].id, 2u);
+  EXPECT_EQ(report.episodes[0].close_time, 2.0);
+  EXPECT_TRUE(report.episodes[0].closed);
+  EXPECT_EQ(report.episodes[1].id, 3u);
+  EXPECT_EQ(report.episodes[1].open_time, 2.0);
+  EXPECT_EQ(report.episodes[1].phases[kExec], 1.0);
+}
+
+TEST(EpisodeTest, InitialBuildPublishIsNotAnEpisode) {
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceEpochPublish, 0.0, 1, 0),  // constructor build
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_TRUE(report.episodes.empty());
+}
+
+TEST(EpisodeTest, DropFreeOrphansAndReuseCountMalformed) {
+  {
+    // Mid-chain orphan with no drops: producer contract violation.
+    const Journal journal =
+        make_journal({ev(Event::kHealthQuarantine, 5.0, 8, 8)});
+    const EpisodeReport report = episodes_from_journal(journal);
+    EXPECT_EQ(report.malformed, 1u);
+    EXPECT_TRUE(report.episodes.empty());
+  }
+  {
+    // Events after the terminal, then a reopened id: two violations.
+    const Journal journal = make_journal({
+        ev(Event::kHealthSuspect, 1.0, 2, 5),
+        ev(Event::kHealthRecover, 2.0, 2, 5),
+        ev(Event::kHealthQuarantine, 3.0, 2, 5),
+        ev(Event::kHealthSuspect, 4.0, 2, 5),
+    });
+    const EpisodeReport report = episodes_from_journal(journal);
+    EXPECT_EQ(report.malformed, 2u);
+    ASSERT_EQ(report.episodes.size(), 1u);
+    EXPECT_TRUE(report.episodes[0].closed);
+  }
+  {
+    // A probe stamped with a terminated episode's id: the hygiene tripwire
+    // the HealthMonitor's recovery-time id retirement exists to keep quiet.
+    const Journal journal = make_journal({
+        ev(Event::kHealthSuspect, 1.0, 2, 5),
+        ev(Event::kHealthRecover, 2.0, 2, 5),
+        ev(Event::kHealthProbeOk, 3.0, 2, 5),
+    });
+    EXPECT_EQ(episodes_from_journal(journal).malformed, 1u);
+  }
+  {
+    // Rebuild-attempt id reused, and a terminal with no start.
+    const Journal journal = make_journal({
+        ev(Event::kRouteServiceDegrade, 1.0, 1, 2),
+        ev(Event::kRouteServiceRebuildStart, 1.5, 1, 1),
+        ev(Event::kRouteServiceRebuildStart, 2.0, 1, 1),
+        ev(Event::kRouteServiceRebuildCrash, 2.5, 1, 9),
+    });
+    EXPECT_EQ(episodes_from_journal(journal).malformed, 2u);
+  }
+}
+
+TEST(EpisodeTest, LossyJournalSynthesizesTruncatedChains) {
+  // Same orphan events, but the ring admits it evicted records: the
+  // reconstructor flags instead of condemning.
+  const Journal journal = make_journal(
+      {
+          ev(Event::kHealthQuarantine, 5.0, 8, 8),
+          ev(Event::kHealthRecover, 7.0, 8, 8),
+          ev(Event::kRouteServiceEpochPublish, 9.0, 2, 4),  // chain evicted
+      },
+      /*dropped=*/3);
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_EQ(report.journal_dropped, 3u);
+  EXPECT_TRUE(report.truncated());
+  ASSERT_EQ(report.episodes.size(), 2u);
+  const Episode& health = report.episodes[0];
+  EXPECT_EQ(health.kind, EpisodeKind::kHealth);
+  EXPECT_TRUE(health.truncated);
+  EXPECT_TRUE(health.closed);
+  EXPECT_EQ(health.open_time, 5.0);  // only the surviving suffix
+  EXPECT_EQ(health.phases[kQueue], 2.0);
+  const Episode& serve = report.episodes[1];
+  EXPECT_EQ(serve.kind, EpisodeKind::kServe);
+  EXPECT_TRUE(serve.truncated);
+  EXPECT_EQ(serve.span(), 0.0);  // zero-span marker for the lost chain
+}
+
+TEST(EpisodeTest, QtraceRowsAttributeByWindowAndCorrelation) {
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 1.0, 1, 7),
+      ev(Event::kRouteServiceRebuildStart, 2.0, 1, 1),
+      ev(Event::kRouteServiceEpochPublish, 6.5, 2, 1),
+  });
+  QtraceSnapshot qtrace;
+  qtrace.rows = {
+      qrow(3.0, 7, 1),   // stale served inside the window
+      qrow(4.0, 8, 2),   // shed, correlation past the opening version
+      qrow(5.0, 9, 3),   // refused
+      qrow(5.0, 3, 1),   // correlation before the episode opened
+      qrow(9.0, 7, 1),   // outside every window
+      qrow(3.0, 7, 0),   // fresh rows never attribute
+      qrow(3.0, 0, 1),   // no correlation: fresh-state shedding
+  };
+  qtrace.recorded = qtrace.rows.size();
+  const EpisodeReport report = episodes_from_journal(journal, &qtrace);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].stale_served, 1u);
+  EXPECT_EQ(report.episodes[0].shedded, 1u);
+  EXPECT_EQ(report.episodes[0].refused, 1u);
+  EXPECT_EQ(report.unattributed, 2u);
+}
+
+TEST(EpisodeTest, NonRepresentableTimesStillSumExactly) {
+  // 0.1 / 0.2 / 0.3 / 0.7 are not dyadic: the naive phase sum differs from
+  // the span by an ulp, and the residual fold must absorb it.
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 0.1, 1, 2),
+      ev(Event::kRouteServiceRebuildStart, 0.2, 1, 1),
+      ev(Event::kRouteServiceRebuildCrash, 0.3, 1, 1),
+      ev(Event::kRouteServiceRebuildStart, 0.4, 1, 2),
+      ev(Event::kRouteServiceEpochPublish, 0.7, 2, 2),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const Episode& e = report.episodes[0];
+  EXPECT_EQ(e.phase_total(), e.span());  // bit-exact, not approximate
+}
+
+TEST(EpisodeTest, JsonlWriterGoldenBytes) {
+  const Journal journal = make_journal({
+      ev(Event::kRouteServiceDegrade, 1.0, 1, 2),
+      ev(Event::kRouteServiceRebuildStart, 1.5, 1, 1),
+      ev(Event::kRouteServiceEpochPublish, 2.5, 2, 1),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  std::ostringstream out;
+  bsr::obs::write_episodes_jsonl(out, report);
+  EXPECT_EQ(out.str(),
+            "{\"schema\": \"bsr-episodes/1\", \"episodes\": 1, "
+            "\"journal_dropped\": 0, \"qtrace_dropped\": 0, \"malformed\": 0, "
+            "\"unattributed\": 0}\n"
+            "{\"kind\": \"serve\", \"id\": 2, \"subject\": 1, \"open\": 1, "
+            "\"close\": 2.5, \"closed\": true, \"truncated\": false, "
+            "\"exposure\": 1.5, \"phases\": {\"detect\": 0, \"react\": 0.5, "
+            "\"queue\": 0, \"exec\": 1, \"drain\": 0}, \"attempts\": 1, "
+            "\"failures\": 0, \"gave_up\": false, \"stale_served\": 0, "
+            "\"shedded\": 0, \"refused\": 0}\n");
+}
+
+TEST(EpisodeTest, ReportSortsByOpenTimeKindId) {
+  const Journal journal = make_journal({
+      ev(Event::kHealthSuspect, 1.0, 2, 4),
+      ev(Event::kRouteServiceDegrade, 1.0, 1, 9),
+      ev(Event::kHealthRecover, 2.0, 2, 4),
+      ev(Event::kRouteServiceRebuildStart, 2.0, 1, 1),
+      ev(Event::kRouteServiceEpochPublish, 3.0, 2, 1),
+  });
+  const EpisodeReport report = episodes_from_journal(journal);
+  ASSERT_EQ(report.episodes.size(), 2u);
+  EXPECT_EQ(report.episodes[0].kind, EpisodeKind::kHealth);  // kind tiebreak
+  EXPECT_EQ(report.episodes[1].kind, EpisodeKind::kServe);
+}
+
+// End-to-end against the real producer: the HealthMonitor's journal stream
+// reconstructs with zero malformed lifecycles, and overlapping failures of
+// the same broker get distinct episode ids with corr-0 probes in between
+// (the id-retirement regression).
+TEST(EpisodeTest, HealthMonitorOverlapGetsFreshEpisodeIds) {
+  if (!BSR_STATS_ENABLED) GTEST_SKIP() << "built with BSR_STATS=OFF";
+
+  const auto g = bsr::test::make_complete(8);
+  const bsr::broker::BrokerSet brokers(
+      8, std::vector<bsr::graph::NodeId>{0, 2, 4});
+  bsr::graph::FaultPlane faults(g);
+  bsr::sim::HealthConfig config;
+  config.probe_interval = 1.0;
+  config.suspect_after = 1;
+  config.quarantine_after = 2;
+  config.probation_successes = 1;
+  config.reprobe_backoff = 1.0;
+  config.backoff_max = 16.0;
+  config.jitter = 0.0;
+
+  bsr::obs::start_recording();
+  bsr::sim::HealthMonitor monitor(g, brokers, faults, config, 0, 7);
+
+  faults.fail_vertex(4);
+  monitor.advance(10.0);
+  faults.heal_vertex(4);
+  monitor.advance(30.0);  // recover fully
+  faults.fail_vertex(4);  // second, non-overlapping failure of the subject
+  monitor.advance(40.0);
+  faults.heal_vertex(4);
+  monitor.advance(70.0);
+  bsr::obs::stop_recording();
+
+  const Journal journal = bsr::obs::snapshot_journal();
+  ASSERT_EQ(journal.dropped, 0u);
+  const EpisodeReport report = episodes_from_journal(journal);
+  EXPECT_EQ(report.malformed, 0u);
+
+  std::vector<const Episode*> broker4;
+  for (const Episode& e : report.episodes) {
+    ASSERT_EQ(e.kind, EpisodeKind::kHealth);
+    EXPECT_EQ(e.phase_total(), e.span());
+    if (e.subject == 4) broker4.push_back(&e);
+  }
+  ASSERT_EQ(broker4.size(), 2u);
+  EXPECT_NE(broker4[0]->id, broker4[1]->id);  // never reused across failures
+  EXPECT_TRUE(broker4[0]->closed);
+  EXPECT_TRUE(broker4[1]->closed);
+  EXPECT_LT(broker4[0]->close_time, broker4[1]->open_time);
+
+  // Between the two failures the broker is healthy again: its probes must
+  // carry no episode id (the retired id is gone, not lingering).
+  for (const EventRecord& record : journal.events) {
+    if (record.type != Event::kHealthProbeOk || record.subject != 4) continue;
+    if (record.time > broker4[0]->close_time &&
+        record.time < broker4[1]->open_time) {
+      EXPECT_EQ(record.correlation, 0u) << "at t=" << record.time;
+    }
+  }
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include "broker/broker_set.hpp"
 #include "graph/fault_plane.hpp"
 #include "graph/rng.hpp"
+#include "obs/episode.hpp"
 #include "obs/journal.hpp"
 #include "sim/route_service.hpp"
 #include "test_util.hpp"
@@ -196,6 +197,101 @@ TEST(RouteServiceFuzz, FreshAnswersMatchOracleAndTransitionsJournalOnce) {
                     service.stats().patch_crashes,
                 0u);
     }
+
+    // Episode-lifecycle well-formedness: every rebuild-attempt correlation
+    // id is opened exactly once, its events are time-monotone, and it sees
+    // at most one terminal (crash / discard / publish) — with only the
+    // attempt still in flight at journal end allowed to lack one. A give-up
+    // may follow a failed attempt's terminal but never precede its start.
+    struct AttemptLife {
+      std::size_t starts = 0;
+      std::size_t terminals = 0;
+      double last_time = -1.0;
+    };
+    std::map<std::uint64_t, AttemptLife> attempt_life;
+    std::size_t degrades = 0;
+    std::size_t rebuild_starts = 0;
+    double prev_time = 0.0;
+    for (const auto& record : journal.events) {
+      ASSERT_GE(record.time, prev_time) << "seed " << seed;
+      prev_time = record.time;
+      const bool is_terminal =
+          record.type == bsr::obs::Event::kRouteServiceRebuildCrash ||
+          record.type == bsr::obs::Event::kRouteServiceRebuildDiscard ||
+          (record.type == bsr::obs::Event::kRouteServiceEpochPublish &&
+           record.correlation != 0);
+      if (record.type == bsr::obs::Event::kRouteServiceDegrade) {
+        ++degrades;
+      } else if (record.type == bsr::obs::Event::kRouteServiceRebuildStart) {
+        ++rebuild_starts;
+        ASSERT_NE(record.correlation, 0u) << "seed " << seed;
+        AttemptLife& life = attempt_life[record.correlation];
+        EXPECT_EQ(life.starts, 0u)
+            << "seed " << seed << ": attempt " << record.correlation
+            << " opened twice";
+        ++life.starts;
+        life.last_time = record.time;
+      } else if (is_terminal) {
+        AttemptLife& life = attempt_life[record.correlation];
+        EXPECT_EQ(life.starts, 1u)
+            << "seed " << seed << ": terminal before start for attempt "
+            << record.correlation;
+        EXPECT_EQ(life.terminals, 0u)
+            << "seed " << seed << ": two terminals for attempt "
+            << record.correlation;
+        EXPECT_GE(record.time, life.last_time) << "seed " << seed;
+        ++life.terminals;
+        life.last_time = record.time;
+      } else if (record.type == bsr::obs::Event::kRouteServiceRebuildGiveUp &&
+                 record.correlation != 0) {
+        const auto it = attempt_life.find(record.correlation);
+        ASSERT_NE(it, attempt_life.end())
+            << "seed " << seed << ": give-up for unknown attempt "
+            << record.correlation;
+        EXPECT_EQ(it->second.starts, 1u) << "seed " << seed;
+      }
+    }
+    std::size_t unterminated = 0;
+    for (const auto& [attempt, life] : attempt_life) {
+      if (life.terminals == 0) ++unterminated;
+    }
+    EXPECT_LE(unterminated, 1u)
+        << "seed " << seed << ": more than the in-flight build lacks a terminal";
+
+    // The reconstructor agrees: a drop-free journal from the real producers
+    // stitches with zero malformed lifecycles, every episode's phase
+    // decomposition sums bit-exactly to its span, its slices partition
+    // [open, close] with no gaps, and the aggregate attempt/degrade tallies
+    // round-trip through the report.
+    const bsr::obs::EpisodeReport report =
+        bsr::obs::episodes_from_journal(journal);
+    EXPECT_EQ(report.journal_dropped, 0u);
+    EXPECT_EQ(report.malformed, 0u) << "seed " << seed;
+    std::size_t serve_episodes = 0;
+    std::uint64_t attempts_total = 0;
+    for (const auto& ep : report.episodes) {
+      EXPECT_EQ(ep.phase_total(), ep.span())
+          << "seed " << seed << " episode " << ep.id;
+      if (ep.slices.empty()) {
+        // Zero-length slices are omitted, so only a zero-span episode (one
+        // opened by the journal's final record) may have none.
+        EXPECT_EQ(ep.span(), 0.0) << "seed " << seed << " episode " << ep.id;
+      } else {
+        EXPECT_EQ(ep.slices.front().begin, ep.open_time) << "seed " << seed;
+        EXPECT_EQ(ep.slices.back().end, ep.close_time) << "seed " << seed;
+        for (std::size_t s = 1; s < ep.slices.size(); ++s) {
+          EXPECT_EQ(ep.slices[s].begin, ep.slices[s - 1].end)
+              << "seed " << seed << " episode " << ep.id << " slice " << s;
+        }
+      }
+      EXPECT_FALSE(ep.truncated) << "seed " << seed;
+      if (ep.kind == bsr::obs::EpisodeKind::kServe) {
+        ++serve_episodes;
+        attempts_total += ep.attempts;
+      }
+    }
+    EXPECT_EQ(serve_episodes, degrades) << "seed " << seed;
+    EXPECT_EQ(attempts_total, rebuild_starts) << "seed " << seed;
   }
 }
 
